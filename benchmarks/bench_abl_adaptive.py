@@ -1,0 +1,75 @@
+"""Ablation: the Section-5 adaptive migration switch, implemented.
+
+The paper: "When the program's working set exceeds the capacity of the
+fast tier, the most effective strategy is to access pages directly from
+their initial placement, completely disabling page migration" -- and
+proposes detecting thrashing from balanced promotion/demotion rates.
+
+`nomad-adaptive` implements that proposal. Expectations:
+
+* small WSS (no thrashing): tracks plain Nomad (breaker stays closed);
+* large WSS (severe thrashing): the breaker trips, migration volume
+  drops, and stable bandwidth meets or beats both plain Nomad and the
+  no-migration baseline (it keeps the *useful* early migrations).
+"""
+
+from conftest import run_once
+
+from repro.bench import print_table
+from repro.bench.runner import run_experiment
+from repro.workloads import ZipfianMicrobench
+
+
+def _run(policy, scenario, accesses):
+    return run_experiment(
+        "A",
+        policy,
+        lambda: ZipfianMicrobench.scenario(scenario, total_accesses=accesses),
+    )
+
+
+def test_ablation_adaptive(benchmark, accesses):
+    def experiment():
+        out = {}
+        for scenario in ("small", "large"):
+            for policy in ("no-migration", "nomad", "nomad-adaptive"):
+                out[(scenario, policy)] = _run(policy, scenario, accesses)
+        return out
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows = []
+    for (scenario, policy), res in results.items():
+        rows.append(
+            [
+                scenario,
+                policy,
+                res.stable.bandwidth_gbps,
+                res.counter("migrate.promotions"),
+                res.counter("adaptive.breaker_trips"),
+                res.counter("adaptive.probes"),
+            ]
+        )
+    print_table(
+        "Ablation: adaptive migration switch (platform A)",
+        ["scenario", "policy", "stable GB/s", "promotions", "trips", "probes"],
+        rows,
+    )
+    benchmark.extra_info["rows"] = rows
+
+    def stable(scenario, policy):
+        return results[(scenario, policy)].stable.bandwidth_gbps
+
+    # Small WSS: adaptive must not cost anything when there is no thrash.
+    assert stable("small", "nomad-adaptive") > 0.93 * stable("small", "nomad")
+    # Large WSS: the breaker engages and migration volume drops.
+    adaptive = results[("large", "nomad-adaptive")]
+    plain = results[("large", "nomad")]
+    assert adaptive.counter("adaptive.breaker_trips") > 0
+    assert adaptive.counter("migrate.promotions") < plain.counter(
+        "migrate.promotions"
+    )
+    # And the outcome at least matches both plain Nomad and no-migration.
+    assert stable("large", "nomad-adaptive") >= 0.97 * stable("large", "nomad")
+    assert stable("large", "nomad-adaptive") >= 0.97 * stable(
+        "large", "no-migration"
+    )

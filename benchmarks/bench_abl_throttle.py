@@ -1,0 +1,57 @@
+"""Ablation: the Section-5 promotion throttle under severe thrashing.
+
+The paper's future-work extension: detect thrashing (near-equal, high
+promotion/demotion rates) and pause promotion. Under the large-WSS
+micro-benchmark the throttled variant should migrate less while staying
+within the unthrottled variant's bandwidth envelope.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments
+from repro.bench.reporting import print_table
+from repro.bench.runner import run_experiment
+from repro.workloads import ZipfianMicrobench
+
+
+def _run(accesses, throttle):
+    return run_experiment(
+        "A",
+        "nomad",
+        lambda: ZipfianMicrobench.scenario("large", total_accesses=accesses),
+        policy_kwargs={"throttle": throttle},
+    )
+
+
+def test_ablation_throttle(benchmark, accesses):
+    def both():
+        return _run(accesses, False), _run(accesses, True)
+
+    plain, throttled = benchmark.pedantic(both, rounds=1, iterations=1)
+    rows = [
+        [
+            "nomad",
+            plain.stable.bandwidth_gbps,
+            plain.counter("migrate.promotions"),
+            plain.counter("nomad.throttle_pauses"),
+        ],
+        [
+            "nomad+throttle",
+            throttled.stable.bandwidth_gbps,
+            throttled.counter("migrate.promotions"),
+            throttled.counter("nomad.throttle_pauses"),
+        ],
+    ]
+    print_table(
+        "Ablation: thrash throttle, large WSS (platform A)",
+        ["variant", "stable GB/s", "promotions", "throttle pauses"],
+        rows,
+    )
+    benchmark.extra_info["rows"] = rows
+    # The throttle engages and cuts migration volume...
+    assert throttled.counter("nomad.throttle_pauses") > 0
+    assert throttled.counter("migrate.promotions") < plain.counter(
+        "migrate.promotions"
+    )
+    # ...without losing meaningful bandwidth.
+    assert throttled.stable.bandwidth_gbps > 0.85 * plain.stable.bandwidth_gbps

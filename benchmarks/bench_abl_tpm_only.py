@@ -1,0 +1,48 @@
+"""Ablation: isolate Nomad's two mechanisms (DESIGN.md section 3).
+
+* nomad-tpm-only    -- transactional async migration, exclusive tiers
+* nomad-shadow-only -- synchronous promotion, but shadows + remap demote
+* nomad-full        -- both
+* nomad-throttled   -- full Nomad + the Section-5 thrashing throttle
+
+Expectation: full Nomad >= each single-mechanism variant, and every
+variant >= TPP on the thrash-prone medium scenario.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments, print_table
+
+
+def test_ablation_nomad_variants(benchmark, accesses):
+    rows = run_once(
+        benchmark, experiments.ablation_nomad_variants, accesses=accesses
+    )
+    print_table(
+        "Ablation: Nomad variants, large WSS, 20% writes (platform A)",
+        ["variant", "transient", "stable", "promotions", "remap demotions", "aborts"],
+        [
+            [
+                r["variant"],
+                r["transient_gbps"],
+                r["stable_gbps"],
+                r["promotions"],
+                r["remap_demotions"],
+                r["tpm_aborts"],
+            ]
+            for r in rows
+        ],
+    )
+    benchmark.extra_info["rows"] = rows
+    by = {r["variant"]: r for r in rows}
+    # Shadowing is what produces remap demotions.
+    assert by["nomad-full"]["remap_demotions"] > 0
+    assert by["nomad-tpm-only"]["remap_demotions"] == 0
+    # Only TPM variants abort transactions.
+    assert by["nomad-shadow-only"]["tpm_aborts"] == 0
+    # Full Nomad holds its own against each ablated variant.
+    full = by["nomad-full"]["stable_gbps"]
+    assert full >= 0.9 * by["nomad-tpm-only"]["stable_gbps"]
+    assert full >= 0.9 * by["nomad-shadow-only"]["stable_gbps"]
+    # And against TPP.
+    assert full >= by["tpp-baseline"]["stable_gbps"]

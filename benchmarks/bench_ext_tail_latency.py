@@ -1,0 +1,66 @@
+"""Extension: tail access latency under migration pressure.
+
+Not a paper figure -- a derived artifact that makes the paper's
+critical-path argument (Section 2.2, Figure 2) directly visible:
+synchronous promotion turns individual accesses into page-copy-length
+stalls, which shows up in p99 access latency long before it moves the
+mean. Nomad's fault path does queue work only, so its tail stays near
+the plain hint-fault cost; Memtis adds nothing to the fault path at all.
+"""
+
+from conftest import run_once
+
+from repro.bench import print_table
+from repro.bench.runner import run_experiment
+from repro.workloads import ZipfianMicrobench
+
+POLICIES = ["no-migration", "memtis-default", "nomad", "tpp"]
+
+
+def _run_all(accesses):
+    out = {}
+    for policy in POLICIES:
+        out[policy] = run_experiment(
+            "A",
+            policy,
+            lambda: ZipfianMicrobench.scenario("medium", total_accesses=accesses),
+        )
+    return out
+
+
+def test_ext_tail_latency(benchmark, accesses):
+    results = run_once(benchmark, _run_all, accesses)
+    rows = []
+    for policy, res in results.items():
+        overall = res.overall
+        rows.append(
+            [
+                policy,
+                overall.p50_access_cycles,
+                overall.p95_access_cycles,
+                overall.p99_access_cycles,
+                res.counter("fault.total"),
+            ]
+        )
+    print_table(
+        "Extension: access-latency percentiles, medium WSS (platform A)",
+        ["policy", "p50", "p95", "p99", "faults"],
+        rows,
+        float_fmt="{:.0f}",
+    )
+    benchmark.extra_info["rows"] = rows
+
+    def p99(policy):
+        return results[policy].overall.p99_access_cycles
+
+    def p50(policy):
+        return results[policy].overall.p50_access_cycles
+
+    # Synchronous migration inflates TPP's tail well past everyone else's.
+    assert p99("tpp") > 1.5 * p99("nomad")
+    assert p99("tpp") > 1.5 * p99("memtis-default")
+    # Nomad's tail is bounded by the plain-fault cost, not a page copy.
+    assert p99("nomad") < 2.0 * p99("no-migration") + 3000
+    # Medians stay tier-priced for every policy.
+    for policy in POLICIES:
+        assert p50(policy) <= 1.2 * p50("no-migration")

@@ -1,0 +1,38 @@
+"""Figure 1: TPP in-progress vs TPP stable vs no-migration bandwidth.
+
+Paper shape: no-migration consistently beats TPP while migration is in
+progress; TPP stable wins big when the WSS fits and placement was
+random; with a 24 GB WSS TPP never stabilizes (thrashing).
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments, print_table
+
+
+def test_fig01_tpp_motivation(benchmark, accesses):
+    rows = run_once(benchmark, experiments.fig1_tpp_motivation, accesses=accesses)
+    print_table(
+        "Figure 1: micro-benchmark bandwidth (GB/s)",
+        ["WSS (GB)", "placement", "TPP in progress", "TPP stable", "no migration"],
+        [
+            [
+                r["wss_gb"],
+                r["placement"],
+                r["tpp_in_progress_gbps"],
+                r["tpp_stable_gbps"],
+                r["no_migration_gbps"],
+            ]
+            for r in rows
+        ],
+    )
+    benchmark.extra_info["rows"] = rows
+    for r in rows:
+        # The headline of Figure 1: migration overhead outweighs benefit
+        # until migration completes.
+        assert r["no_migration_gbps"] > r["tpp_in_progress_gbps"]
+    # With a fitting WSS and random placement, completing migration wins.
+    random_fit = next(
+        r for r in rows if r["wss_gb"] == 10.0 and r["placement"] == "random"
+    )
+    assert random_fit["tpp_stable_gbps"] > random_fit["no_migration_gbps"]

@@ -1,0 +1,37 @@
+"""Figure 2: runtime breakdown of TPP while migration is in progress.
+
+Paper shape: synchronous promotion and page-fault handling consume a
+large share of the application core; the demotion (kswapd) core is
+mostly idle.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments, print_table
+
+
+def test_fig02_time_breakdown(benchmark, accesses):
+    breakdown = run_once(
+        benchmark, experiments.fig2_time_breakdown, accesses=min(accesses, 80_000)
+    )
+    total = breakdown["total_cycles"]["total"]
+    rows = []
+    for core in ("app_core", "demotion_core"):
+        for category, cycles in breakdown[core].items():
+            rows.append([core, category, cycles / 1e6, 100.0 * cycles / total])
+    print_table(
+        "Figure 2: TPP-in-progress time breakdown",
+        ["core", "category", "Mcycles", "% of runtime"],
+        rows,
+    )
+    benchmark.extra_info["breakdown"] = {
+        core: dict(cats) for core, cats in breakdown.items()
+    }
+    app = breakdown["app_core"]
+    kswapd = breakdown["demotion_core"]
+    kernel_share = (app["fault_handling"] + app["promotion_copy"]) / total
+    # Fault handling + synchronous promotion are a significant fraction
+    # of the application core's time...
+    assert kernel_share > 0.15
+    # ...while the demotion core is mostly idle.
+    assert kswapd["idle"] > 0.5 * total

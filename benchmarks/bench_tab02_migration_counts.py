@@ -1,0 +1,63 @@
+"""Table 2: page promotions/demotions per phase (platform A).
+
+Paper shape: Memtis migrates orders of magnitude less than the
+fault-based policies; under the large WSS the fault-based policies keep
+migrating heavily even in the steady phase (thrashing); in the small-WSS
+steady phase migration quiesces for TPP/Nomad.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments, print_table
+
+
+def test_tab02_migration_counts(benchmark, accesses):
+    rows = run_once(
+        benchmark, experiments.tab2_migration_counts, "A", accesses=accesses
+    )
+    print_table(
+        "Table 2: promotions/demotions by phase (platform A)",
+        ["scenario", "mode", "policy", "in-prog promo", "in-prog demo", "steady promo", "steady demo"],
+        [
+            [
+                r["scenario"],
+                r["mode"],
+                r["policy"],
+                r["inprogress_promotions"],
+                r["inprogress_demotions"],
+                r["steady_promotions"],
+                r["steady_demotions"],
+            ]
+            for r in rows
+        ],
+        float_fmt="{:.0f}",
+    )
+    benchmark.extra_info["rows"] = rows
+
+    def cell(scenario, mode, policy):
+        return next(
+            r
+            for r in rows
+            if r["scenario"] == scenario
+            and r["mode"] == mode
+            and r["policy"] == policy
+        )
+
+    for mode in ("read", "write"):
+        # Memtis performs significantly fewer migrations than Nomad.
+        for scenario in ("small", "medium", "large"):
+            nomad = cell(scenario, mode, "nomad")
+            memtis = cell(scenario, mode, "memtis-default")
+            assert (
+                memtis["inprogress_promotions"] + memtis["steady_promotions"]
+                < nomad["inprogress_promotions"] + nomad["steady_promotions"]
+            )
+        # Large WSS: fault-based policies keep thrashing in steady state.
+        nomad_large = cell("large", mode, "nomad")
+        assert nomad_large["steady_promotions"] > 0
+        # Small WSS: migration largely completes before the steady phase.
+        nomad_small = cell("small", mode, "nomad")
+        assert (
+            nomad_small["steady_promotions"]
+            <= 0.5 * nomad_small["inprogress_promotions"] + 50
+        )

@@ -1,0 +1,30 @@
+"""Table 3: shadow memory size vs RSS (platform B geometry).
+
+Paper shape: as the RSS approaches the tiered-memory capacity, Nomad
+reclaims shadow pages, so the shadow footprint shrinks monotonically --
+and no run hits an OOM.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments, print_table
+
+
+def test_tab03_shadow_size(benchmark, accesses):
+    rows = run_once(benchmark, experiments.tab3_shadow_size, accesses=accesses)
+    print_table(
+        "Table 3: shadow memory vs RSS (32 GB tiered capacity)",
+        ["RSS (GB)", "shadow pages", "shadow size (GB)", "reclaimed"],
+        [
+            [r["rss_gb"], r["shadow_pages"], r["shadow_gb"], r["shadows_reclaimed"]]
+            for r in rows
+        ],
+    )
+    benchmark.extra_info["rows"] = rows
+    sizes = [r["shadow_gb"] for r in rows]
+    # Monotonically shrinking shadow footprint as RSS grows.
+    assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+    assert sizes[0] > 0, "small RSS should retain a healthy shadow set"
+    assert sizes[-1] < 0.5 * sizes[0], "large RSS must reclaim most shadows"
+    # No OOM occurred (run_experiment would have raised).
+    assert all(not r["oom"] for r in rows)

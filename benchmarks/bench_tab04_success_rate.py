@@ -1,0 +1,45 @@
+"""Table 4: transactional-migration success : aborted ratios.
+
+Paper shape: Redis (mostly-read value pages) commits almost every
+transaction (153:1 / 278:1); Liblinear (write-hot model pages being
+promoted) aborts far more often (1:1.9 / 2.6:1). A low success rate
+correlates with pages being actively written -- and does not imply low
+application performance.
+"""
+
+from conftest import run_once
+
+from repro.bench import experiments, print_table
+
+
+def test_tab04_success_rate(benchmark, accesses):
+    rows = run_once(benchmark, experiments.tab4_success_rate, accesses=accesses)
+    print_table(
+        "Table 4: TPM success : aborted",
+        ["workload", "platform", "commits", "aborts", "success:aborted"],
+        [
+            [
+                r["workload"],
+                r["platform"],
+                r["commits"],
+                r["aborts"],
+                r["success_to_aborted"],
+            ]
+            for r in rows
+        ],
+        float_fmt="{:.1f}",
+    )
+    benchmark.extra_info["rows"] = rows
+
+    def ratio(workload, platform):
+        return next(
+            r["success_to_aborted"]
+            for r in rows
+            if r["workload"] == workload and r["platform"] == platform
+        )
+
+    for platform in ("C", "D"):
+        # Redis transactions nearly always commit; Liblinear's write-hot
+        # model pages abort much more often.
+        assert ratio("redis", platform) > 5 * ratio("liblinear", platform)
+        assert ratio("liblinear", platform) < 20.0

@@ -1,0 +1,26 @@
+"""Shared configuration for the figure/table benchmarks.
+
+Each benchmark regenerates one paper artifact and prints the rows the
+figure plots. pytest-benchmark's wall-clock numbers measure *simulator*
+speed; the paper's metrics (bandwidth, ops/s, latency) are printed and
+attached to ``benchmark.extra_info``.
+
+Environment knob: set ``REPRO_BENCH_ACCESSES`` to raise the per-run
+access count (deeper phase separation, slower benches).
+"""
+
+import os
+
+import pytest
+
+ACCESSES = int(os.environ.get("REPRO_BENCH_ACCESSES", "120000"))
+
+
+@pytest.fixture
+def accesses():
+    return ACCESSES
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

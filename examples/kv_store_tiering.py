@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Tiering a key-value store: the Redis/YCSB scenario of Section 4.2.
+
+Loads a Redis-like store (index + value heap) whose RSS exceeds the fast
+tier, demotes everything to CXL memory (the paper's cold-start tool),
+then serves an update-heavy YCSB-A workload under each policy. Prints
+ops/s and the transactional-migration statistics, including the
+success:aborted ratio of Table 4.
+
+Usage:
+    python examples/kv_store_tiering.py [--case case1|case2|case3]
+"""
+
+import argparse
+
+from repro import Machine, platform_a
+from repro.bench.reporting import print_table
+from repro.policies import make_policy
+from repro.workloads import YCSB_CASES, YcsbWorkload
+
+POLICIES = ["no-migration", "tpp", "memtis-default", "nomad"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--case", default="case1", choices=sorted(YCSB_CASES))
+    parser.add_argument("--accesses", type=int, default=120_000)
+    args = parser.parse_args()
+
+    rss_gb, demote_all = YCSB_CASES[args.case]
+    print(
+        f"YCSB-A over the KV store: RSS {rss_gb} GB, "
+        f"{'demote-all (cold) start' if demote_all else 'in-place start'}"
+    )
+
+    rows = []
+    for policy in POLICIES:
+        machine = Machine(platform_a())
+        machine.set_policy(make_policy(policy, machine))
+        workload = YcsbWorkload.case(args.case, total_accesses=args.accesses)
+        report = machine.run_workload(workload)
+        ops = workload.throughput_ops(
+            report.overall.accesses,
+            report.overall.cycles,
+            machine.platform.freq_ghz,
+        )
+        commits = report.counters.get("nomad.tpm_commits", 0)
+        aborts = report.counters.get("nomad.tpm_aborts", 0)
+        ratio = f"{commits / aborts:.1f}:1" if aborts else "-"
+        rows.append(
+            [
+                policy,
+                ops,
+                report.counters.get("migrate.promotions", 0),
+                report.counters.get("nomad.shadow_faults", 0),
+                ratio,
+            ]
+        )
+
+    print_table(
+        f"YCSB-A ({args.case}) on platform A",
+        ["policy", "ops/s", "promotions", "shadow faults", "TPM success:abort"],
+        rows,
+        float_fmt="{:.0f}",
+    )
+    print(
+        "Paper shape (Figure 11): Nomad leads TPP; with larger RSS the\n"
+        "random-access pattern makes the no-migration baseline hard to\n"
+        "beat -- migrated pages are unlikely to be touched again. Redis's\n"
+        "mostly-read value pages give TPM a high success rate (Table 4)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Sweep the working-set size across the fast-tier boundary.
+
+The paper's central question -- is exclusive tiering the right strategy?
+-- comes down to what happens as the WSS approaches and passes fast-tier
+capacity (Figure 6's three regimes). This example sweeps the WSS from
+"fits easily" to "far too big" and reports stable bandwidth for TPP,
+Nomad, and the no-migration baseline, showing:
+
+* below capacity, migration wins big;
+* around capacity, Nomad's cheap (remap) demotions keep it ahead of TPP;
+* far beyond capacity, everyone converges toward (or below!) the
+  no-migration line -- thrashing makes migration a tax.
+
+Usage:
+    python examples/memory_pressure_sweep.py [--accesses N]
+"""
+
+import argparse
+
+from repro import Machine, platform_a
+from repro.bench.reporting import print_table
+from repro.policies import make_policy
+from repro.workloads import ZipfianMicrobench
+
+WSS_POINTS_GB = [8.0, 12.0, 14.0, 16.0, 20.0, 24.0, 28.0]
+POLICIES = ["no-migration", "tpp", "nomad"]
+
+
+def run(policy, wss_gb, accesses):
+    machine = Machine(platform_a())
+    machine.set_policy(make_policy(policy, machine))
+    workload = ZipfianMicrobench(
+        wss_gb=wss_gb,
+        rss_gb=min(wss_gb + 2.0, 30.0),
+        total_accesses=accesses,
+    )
+    report = machine.run_workload(workload)
+    return report.stable.bandwidth_gbps, report.counters
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=100_000)
+    args = parser.parse_args()
+
+    rows = []
+    for wss_gb in WSS_POINTS_GB:
+        row = [wss_gb]
+        extras = {}
+        for policy in POLICIES:
+            bandwidth, counters = run(policy, wss_gb, args.accesses)
+            row.append(bandwidth)
+            extras[policy] = counters
+        row.append(extras["nomad"].get("nomad.remap_demotions", 0))
+        rows.append(row)
+        print(f"  swept WSS={wss_gb} GB")
+
+    print_table(
+        "Stable bandwidth vs WSS (16 GB fast tier, platform A)",
+        ["WSS (GB)"] + POLICIES + ["nomad remap demotions"],
+        rows,
+    )
+    print(
+        "The crossover: once the WSS clears 16 GB the migrating policies\n"
+        "fall toward (TPP: below) the no-migration line, while Nomad's\n"
+        "remap demotions blunt the cost of thrashing."
+    )
+
+
+if __name__ == "__main__":
+    main()

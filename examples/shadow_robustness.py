@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Shadow-page robustness: Table 3's OOM-avoidance experiment.
+
+Non-exclusive tiering stores shadow copies, which consume slow-tier
+memory that an exclusive design would leave free. This example scans an
+increasing RSS toward the machine's total capacity and reports how Nomad
+trades shadow pages for safety: kswapd reclaims shadows first, and
+allocation failures trigger the 10x reclaim heuristic, so no run OOMs.
+
+Usage:
+    python examples/shadow_robustness.py [--accesses N]
+"""
+
+import argparse
+
+from repro import Machine, OutOfMemoryError, platform_b
+from repro.bench.reporting import print_table
+from repro.policies import make_policy
+from repro.sim.platform import PAGES_PER_GB
+from repro.workloads import SeqScanWorkload
+
+RSS_POINTS_GB = [20.0, 23.0, 25.0, 27.0, 29.0, 30.5]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--accesses", type=int, default=120_000)
+    args = parser.parse_args()
+
+    platform = platform_b()
+    total_gb = platform.fast_gb + platform.slow_gb
+    print(f"Tiered capacity: {total_gb} GB (16 fast + 16 slow), platform B")
+
+    rows = []
+    for rss_gb in RSS_POINTS_GB:
+        machine = Machine(platform)
+        machine.set_policy(make_policy("nomad", machine))
+        workload = SeqScanWorkload(rss_gb=rss_gb, total_accesses=args.accesses)
+        try:
+            report = machine.run_workload(workload)
+            oom = False
+        except OutOfMemoryError:  # pragma: no cover - must not happen
+            report = None
+            oom = True
+        policy = machine.policy
+        shadows = policy.shadow_index.nr_shadows
+        rows.append(
+            [
+                rss_gb,
+                shadows,
+                shadows / PAGES_PER_GB,
+                report.counters.get("nomad.shadows_reclaimed", 0) if report else 0,
+                report.counters.get("nomad.alloc_fail_reclaims", 0) if report else 0,
+                "OOM!" if oom else "ok",
+            ]
+        )
+        print(f"  scanned RSS={rss_gb} GB")
+
+    print_table(
+        "Shadow footprint vs RSS (Table 3's shape)",
+        [
+            "RSS (GB)",
+            "shadow pages",
+            "shadow GB",
+            "shadows reclaimed",
+            "alloc-fail reclaims",
+            "status",
+        ],
+        rows,
+    )
+    print(
+        "As the RSS squeezes total memory, the shadow footprint shrinks\n"
+        "monotonically and every run completes -- shadowing never causes\n"
+        "an out-of-memory failure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim: enables `pip install -e .` on environments without the
+`wheel` package (offline PEP 517 editable builds need bdist_wheel).
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro: a from-scratch reproduction of NOMAD (OSDI 2024).
+
+"NOMAD: Non-Exclusive Memory Tiering via Transactional Page Migration"
+(Xiang, Lin, Deng, Lu, Rao, Yuan, Wang -- OSDI 2024), rebuilt as a
+deterministic tiered-memory simulator in Python.
+
+Quickstart::
+
+    from repro import Machine, platform_a
+    from repro.core import NomadPolicy
+    from repro.workloads import ZipfianMicrobench
+
+    machine = Machine(platform_a())
+    machine.set_policy(NomadPolicy(machine))
+    workload = ZipfianMicrobench(wss_gb=10, rss_gb=20, total_accesses=200_000)
+    report = machine.run_workload(workload)
+    print(report.stable.bandwidth_gbps)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from .mem.node import OutOfMemoryError
+from .mem.tiers import FAST_TIER, SLOW_TIER, TieredMemory
+from .sim.platform import (
+    PAGES_PER_GB,
+    Platform,
+    gb_to_pages,
+    get_platform,
+    platform_a,
+    platform_b,
+    platform_c,
+    platform_d,
+)
+from .system import Machine, MachineConfig, RunReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "MachineConfig",
+    "RunReport",
+    "TieredMemory",
+    "OutOfMemoryError",
+    "FAST_TIER",
+    "SLOW_TIER",
+    "Platform",
+    "platform_a",
+    "platform_b",
+    "platform_c",
+    "platform_d",
+    "get_platform",
+    "gb_to_pages",
+    "PAGES_PER_GB",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Benchmark harness: experiment definitions, runner, reporting."""
+
+from . import experiments
+from .calibration import PlatformCalibration, calibrate
+from .analysis import (
+    MigrationProfile,
+    fault_overhead_per_access,
+    migration_profile,
+    stability_point,
+    thrash_index,
+    tier_hit_estimate,
+)
+from .reporting import format_table, normalize, print_table, speedup
+from .runner import RunResult, build_machine, policy_available, run_experiment
+
+__all__ = [
+    "experiments",
+    "calibrate",
+    "PlatformCalibration",
+    "MigrationProfile",
+    "migration_profile",
+    "thrash_index",
+    "fault_overhead_per_access",
+    "stability_point",
+    "tier_hit_estimate",
+    "run_experiment",
+    "build_machine",
+    "policy_available",
+    "RunResult",
+    "format_table",
+    "print_table",
+    "normalize",
+    "speedup",
+]

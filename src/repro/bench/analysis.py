@@ -1,0 +1,129 @@
+"""Post-run analysis: derived metrics over reports and counters.
+
+The paper reasons about tiering quality through a handful of derived
+quantities -- migration efficiency, thrash intensity, fault overhead per
+access, time-to-stability. This module computes them from a
+:class:`~repro.system.RunReport` (or a raw machine) so benches, examples
+and notebooks don't each reinvent the arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = [
+    "MigrationProfile",
+    "migration_profile",
+    "thrash_index",
+    "fault_overhead_per_access",
+    "stability_point",
+    "tier_hit_estimate",
+]
+
+
+@dataclass
+class MigrationProfile:
+    """Summary of a run's migration behaviour."""
+
+    promotions: float
+    demotions: float
+    remap_demotions: float
+    tpm_commits: float
+    tpm_aborts: float
+    shadow_faults: float
+    hint_faults: float
+    # Derived:
+    abort_rate: float  # aborts / (commits + aborts)
+    remap_share: float  # remap demotions / all demotions
+    faults_per_promotion: float
+    thrash_index: float  # see thrash_index()
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.__dict__)
+
+
+def thrash_index(promotions: float, demotions: float) -> float:
+    """0 = one-directional (warm-up or quiesced), 1 = perfectly balanced
+    churn. The paper's thrashing signature is a value near 1 at high
+    volume."""
+    hi = max(promotions, demotions)
+    if hi <= 0:
+        return 0.0
+    return min(promotions, demotions) / hi
+
+
+def migration_profile(counters: Dict[str, float]) -> MigrationProfile:
+    """Build a :class:`MigrationProfile` from a run's counter delta."""
+    promotions = counters.get("migrate.promotions", 0.0)
+    demotions = counters.get("migrate.demotions", 0.0)
+    commits = counters.get("nomad.tpm_commits", 0.0)
+    aborts = counters.get("nomad.tpm_aborts", 0.0)
+    hint_faults = counters.get("fault.hint", 0.0)
+    remap = counters.get("nomad.remap_demotions", 0.0)
+    return MigrationProfile(
+        promotions=promotions,
+        demotions=demotions,
+        remap_demotions=remap,
+        tpm_commits=commits,
+        tpm_aborts=aborts,
+        shadow_faults=counters.get("nomad.shadow_faults", 0.0),
+        hint_faults=hint_faults,
+        abort_rate=aborts / (commits + aborts) if commits + aborts else 0.0,
+        remap_share=remap / demotions if demotions else 0.0,
+        faults_per_promotion=hint_faults / promotions if promotions else 0.0,
+        thrash_index=thrash_index(promotions, demotions),
+    )
+
+
+def fault_overhead_per_access(report) -> float:
+    """Average cycles of fault handling charged per application access,
+    derived from the app core's breakdown."""
+    app = report.breakdowns.get("app0", {})
+    accesses = report.overall.accesses
+    if not accesses:
+        return 0.0
+    fault_cycles = (
+        app.get("fault", 0.0)
+        + app.get("promotion", 0.0)
+        + app.get("numa_scan", 0.0)
+    )
+    return fault_cycles / accesses
+
+
+def stability_point(stats, threshold_frac: float = 0.1) -> Optional[float]:
+    """Window-index fraction at which migration activity settles.
+
+    Scans the per-window promotion counters and returns the earliest
+    progress fraction after which every window's promotion increment is
+    below ``threshold_frac`` of the peak window. Returns None when the
+    run never settles (the paper's "TPP never reaches a stable state").
+    """
+    marks = stats.window_marks
+    if len(marks) < 4:
+        return None
+    increments: List[float] = []
+    prev = 0.0
+    for mark in marks:
+        value = mark.get("migrate.promotions", 0.0)
+        increments.append(value - prev)
+        prev = value
+    peak = max(increments)
+    if peak <= 0:
+        return 0.0
+    limit = peak * threshold_frac
+    for index in range(len(increments)):
+        if all(inc <= limit for inc in increments[index:]):
+            return index / len(increments)
+    return None
+
+
+def tier_hit_estimate(report, fast_latency: float, slow_latency: float) -> float:
+    """Estimate the fraction of accesses served by the fast tier from
+    the phase's average access latency (inverting the two-point latency
+    model). Clamped to [0, 1]."""
+    avg = report.stable.avg_access_cycles
+    if slow_latency <= fast_latency:
+        return 1.0
+    frac = (slow_latency - avg) / (slow_latency - fast_latency)
+    return max(0.0, min(1.0, frac))

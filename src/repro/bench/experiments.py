@@ -1,0 +1,577 @@
+"""One entry point per paper figure/table.
+
+Each function runs the corresponding experiment at simulation scale and
+returns a structured result (also printable with
+:mod:`repro.bench.reporting`). The ``benchmarks/`` tree wraps these in
+pytest-benchmark targets; ``EXPERIMENTS.md`` records paper-vs-measured.
+
+Access-count defaults are sized so a full figure regenerates in seconds;
+pass a larger ``accesses`` for tighter phase separation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..sim.costs import PAGE_SIZE
+from ..sim.platform import PAGES_PER_GB, get_platform
+from ..system import MachineConfig
+from ..workloads import (
+    LiblinearWorkload,
+    PageRankWorkload,
+    PointerChase,
+    SeqScanWorkload,
+    YcsbWorkload,
+    ZipfianMicrobench,
+)
+from .runner import RunResult, policy_available, run_experiment
+
+__all__ = [
+    "MICRO_POLICIES",
+    "fig1_tpp_motivation",
+    "fig2_time_breakdown",
+    "micro_benchmark_grid",
+    "tab2_migration_counts",
+    "fig10_pointer_chase",
+    "tab3_shadow_size",
+    "fig11_redis_ycsb",
+    "fig12_pagerank",
+    "fig13_liblinear",
+    "fig14_redis_large",
+    "fig15_pagerank_large",
+    "fig16_liblinear_large",
+    "tab4_success_rate",
+    "ablation_nomad_variants",
+    "ablation_shadow_reclaim_factor",
+]
+
+MICRO_POLICIES = ("tpp", "memtis-default", "memtis-quickcool", "nomad")
+DEFAULT_ACCESSES = 150_000
+
+
+def _zipf_factory(**kwargs):
+    return lambda: ZipfianMicrobench(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Figure 1 -- TPP motivation: in-progress vs stable vs no-migration
+# ----------------------------------------------------------------------
+def fig1_tpp_motivation(
+    platform: str = "A",
+    accesses: int = DEFAULT_ACCESSES,
+    prefill_gb: float = 10.0,
+) -> List[Dict]:
+    """Bandwidth of TPP (in progress / stable) vs the no-migration
+    baseline, for a fitting (10 GB) and an over-committed (24 GB) WSS
+    under Frequency-opt and Random initial placement."""
+    plat = get_platform(platform)
+    total_gb = plat.fast_gb + plat.slow_gb
+    rows = []
+    for wss_gb in (10.0, 24.0):
+        # Cap the prefill so RSS fits in tiered memory with headroom for
+        # the watermark reserve (the paper's testbed kept ~1.3 GB back).
+        prefill = min(prefill_gb, max(0.0, total_gb - wss_gb - 2.0))
+        for placement in ("frequency-opt", "random"):
+            factory = _zipf_factory(
+                wss_gb=wss_gb,
+                rss_gb=wss_gb + prefill,
+                placement=placement,
+                total_accesses=accesses,
+            )
+            tpp = run_experiment(platform, "tpp", factory)
+            nomig = run_experiment(platform, "no-migration", factory)
+            rows.append(
+                {
+                    "wss_gb": wss_gb,
+                    "placement": placement,
+                    "tpp_in_progress_gbps": tpp.transient.bandwidth_gbps,
+                    "tpp_stable_gbps": tpp.stable.bandwidth_gbps,
+                    "no_migration_gbps": nomig.overall.bandwidth_gbps,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 2 -- runtime breakdown of TPP in progress
+# ----------------------------------------------------------------------
+def fig2_time_breakdown(
+    platform: str = "A", accesses: int = 60_000
+) -> Dict[str, Dict[str, float]]:
+    """Where the cycles go while TPP actively migrates: the application
+    core is consumed by fault handling + synchronous promotion while the
+    demotion (kswapd) core stays mostly idle."""
+    factory = _zipf_factory(
+        wss_gb=13.5, rss_gb=27.0, total_accesses=accesses
+    )
+    result = run_experiment(platform, "tpp", factory)
+    total_cycles = result.report.cycles
+    app = result.machine.stats.breakdown("app0")
+    kswapd = result.machine.stats.breakdown("kswapd0")
+    app_total = sum(app.values())
+    out = {
+        "app_core": {
+            "user": app.get("user", 0.0),
+            "fault_handling": app.get("fault", 0.0),
+            "promotion_copy": app.get("promotion", 0.0),
+            "numa_scan": app.get("numa_scan", 0.0),
+            "other": max(0.0, total_cycles - app_total),
+        },
+        "demotion_core": {
+            "demotion": kswapd.get("demotion", 0.0),
+            "reclaim_scan": kswapd.get("reclaim", 0.0),
+            "idle": max(0.0, total_cycles - sum(kswapd.values())),
+        },
+        "total_cycles": {"total": total_cycles},
+    }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figures 7/8/9 -- the micro-benchmark grid per platform
+# ----------------------------------------------------------------------
+def micro_benchmark_grid(
+    platform: str,
+    policies: Optional[Sequence[str]] = None,
+    scenarios: Sequence[str] = ("small", "medium", "large"),
+    write_ratios: Sequence[float] = (0.0, 1.0),
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """Transient and stable bandwidth for every (scenario, r/w, policy)
+    cell of Figures 7 (platform A), 8 (C), and 9 (D)."""
+    if policies is None:
+        policies = [p for p in MICRO_POLICIES if policy_available(p, platform)]
+    rows = []
+    for scenario in scenarios:
+        for write_ratio in write_ratios:
+            for policy in policies:
+                factory = lambda s=scenario, w=write_ratio: ZipfianMicrobench.scenario(
+                    s, write_ratio=w, total_accesses=accesses
+                )
+                result = run_experiment(platform, policy, factory)
+                rows.append(
+                    {
+                        "scenario": scenario,
+                        "mode": "write" if write_ratio >= 0.5 else "read",
+                        "policy": policy,
+                        "transient_gbps": result.transient.bandwidth_gbps,
+                        "stable_gbps": result.stable.bandwidth_gbps,
+                        "promotions": result.counter("migrate.promotions"),
+                        "demotions": result.counter("migrate.demotions"),
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 2 -- migration counts per phase
+# ----------------------------------------------------------------------
+def tab2_migration_counts(
+    platform: str = "A",
+    policies: Optional[Sequence[str]] = None,
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """Promotions/demotions during the in-progress and steady phases for
+    read and write runs of each WSS scenario (Table 2's cells)."""
+    if policies is None:
+        policies = ["tpp", "memtis-default", "nomad"]
+    rows = []
+    for scenario in ("small", "medium", "large"):
+        for write_ratio, mode in ((0.0, "read"), (1.0, "write")):
+            for policy in policies:
+                if not policy_available(policy, platform):
+                    continue
+                factory = lambda s=scenario, w=write_ratio: ZipfianMicrobench.scenario(
+                    s, write_ratio=w, total_accesses=accesses
+                )
+                result = run_experiment(platform, policy, factory)
+                stats = result.machine.stats
+                cfg = result.machine.config
+                t0, t1 = 0.0, cfg.transient_frac
+                s0, s1 = 1.0 - cfg.stable_frac, 1.0
+                rows.append(
+                    {
+                        "scenario": scenario,
+                        "mode": mode,
+                        "policy": policy,
+                        "inprogress_promotions": stats.phase_counter_delta(
+                            "migrate.promotions", t0, t1
+                        ),
+                        "inprogress_demotions": stats.phase_counter_delta(
+                            "migrate.demotions", t0, t1
+                        ),
+                        "steady_promotions": stats.phase_counter_delta(
+                            "migrate.promotions", s0, s1
+                        ),
+                        "steady_demotions": stats.phase_counter_delta(
+                            "migrate.demotions", s0, s1
+                        ),
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 10 -- pointer chase: PEBS's blind spot
+# ----------------------------------------------------------------------
+def fig10_pointer_chase(
+    platform: str = "C",
+    wss_blocks: Sequence[int] = (8, 12, 16, 20, 24),
+    policies: Sequence[str] = ("memtis-default", "tpp", "nomad"),
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """Average cache-line access latency vs WSS for the block pointer
+    chase. Page-fault-based policies converge near fast-tier latency
+    while Memtis stays near slow-tier latency once WSS exceeds the fast
+    tier."""
+    rows = []
+    for blocks in wss_blocks:
+        for policy in policies:
+            if not policy_available(policy, platform):
+                continue
+            factory = lambda b=blocks: PointerChase(
+                nr_blocks=b, total_accesses=accesses
+            )
+            result = run_experiment(platform, policy, factory)
+            rows.append(
+                {
+                    "wss_gb": blocks,
+                    "policy": policy,
+                    "avg_latency_cycles": result.stable.avg_access_cycles,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 3 -- shadow memory vs RSS
+# ----------------------------------------------------------------------
+def tab3_shadow_size(
+    platform: str = "B",
+    rss_gbs: Sequence[float] = (23.0, 25.0, 27.0, 29.0),
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """Total shadow page size after a sequential scan of a given RSS.
+
+    The machine's tiered capacity is 32 sim-GB (the paper reports
+    30.7 GB usable); as the RSS grows, Nomad must reclaim shadows to
+    avoid OOM, so the shadow footprint shrinks."""
+    rows = []
+    for rss_gb in rss_gbs:
+        factory = lambda r=rss_gb: SeqScanWorkload(
+            rss_gb=r, total_accesses=accesses
+        )
+        result = run_experiment(platform, "nomad", factory)
+        policy = result.machine.policy
+        shadow_pages = policy.shadow_index.nr_shadows
+        rows.append(
+            {
+                "rss_gb": rss_gb,
+                "shadow_pages": shadow_pages,
+                "shadow_gb": shadow_pages * PAGE_SIZE / (PAGES_PER_GB * PAGE_SIZE),
+                "shadows_reclaimed": result.counter("nomad.shadows_reclaimed"),
+                "oom": False,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 11/14 -- Redis + YCSB
+# ----------------------------------------------------------------------
+def _ycsb_row(platform: str, policy: str, case: str, accesses: int) -> Dict:
+    factory = lambda: YcsbWorkload.case(case, total_accesses=accesses)
+    result = run_experiment(platform, policy, factory)
+    wl = result.workload_obj
+    ops = wl.throughput_ops(
+        result.overall.accesses,
+        result.overall.cycles,
+        result.machine.platform.freq_ghz,
+    )
+    return {
+        "platform": platform,
+        "case": case,
+        "policy": policy,
+        "ops_per_sec": ops,
+        "promotions": result.counter("migrate.promotions"),
+        "tpm_commits": result.counter("nomad.tpm_commits"),
+        "tpm_aborts": result.counter("nomad.tpm_aborts"),
+    }
+
+
+def fig11_redis_ycsb(
+    platforms: Sequence[str] = ("A",),
+    cases: Sequence[str] = ("case1", "case2", "case3"),
+    policies: Sequence[str] = (
+        "tpp",
+        "memtis-default",
+        "memtis-quickcool",
+        "nomad",
+        "no-migration",
+    ),
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """YCSB-A throughput over the Redis-like store, cases 1-3."""
+    rows = []
+    for platform in platforms:
+        for case in cases:
+            for policy in policies:
+                if not policy_available(policy, platform):
+                    continue
+                rows.append(_ycsb_row(platform, policy, case, accesses))
+    return rows
+
+
+def fig14_redis_large(
+    platforms: Sequence[str] = ("C", "D"),
+    policies: Sequence[str] = ("tpp", "memtis-default", "nomad"),
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """Large-RSS Redis (36.5 GB): thrashing vs normal initial placement,
+    on the platforms with big slow tiers."""
+    rows = []
+    for platform in platforms:
+        big = get_platform(platform).with_capacity(16.0, 64.0)
+        for case in ("large-thrashing", "large-normal"):
+            for policy in policies:
+                if not policy_available(policy, platform):
+                    continue
+                factory = lambda c=case: YcsbWorkload.case(c, total_accesses=accesses)
+                result = run_experiment(big, policy, factory)
+                wl = result.workload_obj
+                rows.append(
+                    {
+                        "platform": platform,
+                        "case": case,
+                        "policy": policy,
+                        "ops_per_sec": wl.throughput_ops(
+                            result.overall.accesses,
+                            result.overall.cycles,
+                            result.machine.platform.freq_ghz,
+                        ),
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 12/15 -- PageRank
+# ----------------------------------------------------------------------
+def fig12_pagerank(
+    platforms: Sequence[str] = ("A",),
+    policies: Sequence[str] = ("no-migration", "tpp", "memtis-default", "nomad"),
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """PageRank, RSS 22 GB: negligible variance across policies."""
+    rows = []
+    for platform in platforms:
+        for policy in policies:
+            if not policy_available(policy, platform):
+                continue
+            factory = lambda: PageRankWorkload(
+                rss_gb=22.0, total_accesses=accesses
+            )
+            result = run_experiment(platform, policy, factory)
+            rows.append(
+                {
+                    "platform": platform,
+                    "policy": policy,
+                    "throughput_gbps": result.overall.bandwidth_gbps,
+                }
+            )
+    return rows
+
+
+def fig15_pagerank_large(
+    platforms: Sequence[str] = ("C", "D"),
+    policies: Sequence[str] = ("no-migration", "tpp", "memtis-default", "nomad"),
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """Large-RSS PageRank (WSS far beyond the 16 GB fast tier)."""
+    rows = []
+    for platform in platforms:
+        big = get_platform(platform).with_capacity(16.0, 64.0)
+        for policy in policies:
+            if not policy_available(policy, platform):
+                continue
+            factory = lambda: PageRankWorkload(
+                rss_gb=48.0, total_accesses=accesses
+            )
+            result = run_experiment(big, policy, factory)
+            rows.append(
+                {
+                    "platform": platform,
+                    "policy": policy,
+                    "throughput_gbps": result.overall.bandwidth_gbps,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figures 13/16 -- Liblinear
+# ----------------------------------------------------------------------
+def fig13_liblinear(
+    platforms: Sequence[str] = ("A",),
+    policies: Sequence[str] = ("no-migration", "tpp", "memtis-default", "nomad"),
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """Liblinear, RSS 10 GB, demote-all start: prompt promotion of the
+    hot model pages wins 20-150% over no-migration/Memtis."""
+    rows = []
+    for platform in platforms:
+        for policy in policies:
+            if not policy_available(policy, platform):
+                continue
+            factory = lambda: LiblinearWorkload(
+                rss_gb=10.0, total_accesses=accesses
+            )
+            result = run_experiment(platform, policy, factory)
+            rows.append(
+                {
+                    "platform": platform,
+                    "policy": policy,
+                    "throughput_gbps": result.overall.bandwidth_gbps,
+                }
+            )
+    return rows
+
+
+def fig16_liblinear_large(
+    platforms: Sequence[str] = ("C", "D"),
+    policies: Sequence[str] = ("no-migration", "tpp", "memtis-default", "nomad"),
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """Large-model Liblinear: Nomad stays consistent, TPP collapses."""
+    rows = []
+    for platform in platforms:
+        big = get_platform(platform).with_capacity(16.0, 64.0)
+        for policy in policies:
+            if not policy_available(policy, platform):
+                continue
+            factory = lambda: LiblinearWorkload(
+                rss_gb=30.0,
+                model_fraction=0.6,
+                total_accesses=accesses,
+            )
+            result = run_experiment(big, policy, factory)
+            rows.append(
+                {
+                    "platform": platform,
+                    "policy": policy,
+                    "throughput_gbps": result.overall.bandwidth_gbps,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 4 -- TPM success rates
+# ----------------------------------------------------------------------
+def tab4_success_rate(
+    platforms: Sequence[str] = ("C", "D"),
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """Success : aborted ratio of transactional migrations for the
+    large-RSS Liblinear and Redis runs."""
+    rows = []
+    for platform in platforms:
+        big = get_platform(platform).with_capacity(16.0, 64.0)
+        for label, factory in (
+            (
+                "liblinear",
+                lambda: LiblinearWorkload(
+                    rss_gb=30.0, model_fraction=0.6, total_accesses=accesses
+                ),
+            ),
+            (
+                "redis",
+                lambda: YcsbWorkload.case(
+                    "large-thrashing", total_accesses=accesses
+                ),
+            ),
+        ):
+            result = run_experiment(big, "nomad", factory)
+            commits = result.counter("nomad.tpm_commits")
+            aborts = result.counter("nomad.tpm_aborts")
+            rows.append(
+                {
+                    "workload": label,
+                    "platform": platform,
+                    "commits": commits,
+                    "aborts": aborts,
+                    "success_to_aborted": commits / aborts if aborts else float("inf"),
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Ablations (DESIGN.md section 3)
+# ----------------------------------------------------------------------
+def ablation_nomad_variants(
+    platform: str = "A",
+    scenario: str = "large",
+    write_ratio: float = 0.2,
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """Isolate TPM and shadowing: full Nomad vs TPM-only (exclusive) vs
+    shadowing-only (sync promote) vs throttled Nomad vs TPP."""
+    variants = [
+        ("nomad-full", {"shadowing": True, "tpm": True}),
+        ("nomad-tpm-only", {"shadowing": False, "tpm": True}),
+        ("nomad-shadow-only", {"shadowing": True, "tpm": False}),
+        ("nomad-throttled", {"shadowing": True, "tpm": True, "throttle": True}),
+    ]
+    rows = []
+    factory = lambda: ZipfianMicrobench.scenario(
+        scenario, write_ratio=write_ratio, total_accesses=accesses
+    )
+    for label, kwargs in variants:
+        result = run_experiment(platform, "nomad", factory, policy_kwargs=kwargs)
+        rows.append(
+            {
+                "variant": label,
+                "transient_gbps": result.transient.bandwidth_gbps,
+                "stable_gbps": result.stable.bandwidth_gbps,
+                "promotions": result.counter("migrate.promotions"),
+                "remap_demotions": result.counter("nomad.remap_demotions"),
+                "tpm_aborts": result.counter("nomad.tpm_aborts"),
+            }
+        )
+    tpp = run_experiment(platform, "tpp", factory)
+    rows.append(
+        {
+            "variant": "tpp-baseline",
+            "transient_gbps": tpp.transient.bandwidth_gbps,
+            "stable_gbps": tpp.stable.bandwidth_gbps,
+            "promotions": tpp.counter("migrate.promotions"),
+            "remap_demotions": 0.0,
+            "tpm_aborts": 0.0,
+        }
+    )
+    return rows
+
+
+def ablation_shadow_reclaim_factor(
+    platform: str = "B",
+    factors: Sequence[int] = (1, 5, 10, 20),
+    rss_gb: float = 27.0,
+    accesses: int = 100_000,
+) -> List[Dict]:
+    """Vary the 10x allocation-failure reclaim multiplier (Section 3.2)."""
+    rows = []
+    for factor in factors:
+        factory = lambda: SeqScanWorkload(rss_gb=rss_gb, total_accesses=accesses)
+        result = run_experiment(
+            platform, "nomad", factory, policy_kwargs={"alloc_fail_factor": factor}
+        )
+        rows.append(
+            {
+                "factor": factor,
+                "throughput_gbps": result.overall.bandwidth_gbps,
+                "shadows_reclaimed": result.counter("nomad.shadows_reclaimed"),
+                "alloc_fail_reclaims": result.counter("nomad.alloc_fail_reclaims"),
+            }
+        )
+    return rows

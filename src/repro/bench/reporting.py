@@ -1,0 +1,54 @@
+"""Plain-text reporting helpers: print the rows the paper's figures plot."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_table", "print_table", "normalize", "speedup"]
+
+
+def format_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = []
+    for row in rows:
+        out = []
+        for cell in row:
+            if isinstance(cell, float):
+                out.append(float_fmt.format(cell))
+            else:
+                out.append(str(cell))
+        str_rows.append(out)
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(title, headers, rows, float_fmt="{:.3f}") -> None:
+    print()
+    print(format_table(title, headers, rows, float_fmt))
+    print()
+
+
+def normalize(values: Sequence[float]) -> List[float]:
+    """Normalize to the smallest value (the paper's 'normalized to the
+    approach with the lowest speed')."""
+    floor = min(v for v in values if v > 0) if any(v > 0 for v in values) else 1.0
+    return [v / floor if floor else 0.0 for v in values]
+
+
+def speedup(a: float, b: float) -> float:
+    """a over b, guarding zero."""
+    return a / b if b else float("inf")

@@ -1,0 +1,103 @@
+"""Experiment runner: builds a machine + policy + workload and runs it.
+
+All figure/table reproductions go through :func:`run_experiment` so that
+platform quirks are applied uniformly (e.g. Memtis loses CXL load-miss
+visibility on platforms A/B, and is unavailable on platform D, exactly
+as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..policies import make_policy
+from ..sim.platform import Platform, get_platform
+from ..system import Machine, MachineConfig, RunReport
+from ..workloads.base import Workload
+
+__all__ = ["RunResult", "build_machine", "run_experiment", "policy_available"]
+
+# PEBS/IBS availability per the paper: Memtis cannot run on AMD (platform
+# D), and on CXL platforms (A/B) load misses to CXL memory are uncore
+# events invisible to PEBS.
+_CXL_PLATFORMS = {"A", "B"}
+_NO_PEBS_PLATFORMS = {"D"}
+
+
+@dataclass
+class RunResult:
+    platform: str
+    policy: str
+    workload: str
+    report: RunReport
+    machine: Machine
+    workload_obj: Workload
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def transient(self):
+        return self.report.transient
+
+    @property
+    def stable(self):
+        return self.report.stable
+
+    @property
+    def overall(self):
+        return self.report.overall
+
+    def counter(self, name: str) -> float:
+        return self.report.counters.get(name, 0.0)
+
+
+def policy_available(policy: str, platform_name: str) -> bool:
+    """Memtis needs PEBS/IBS; it was not evaluated on platform D."""
+    if policy.startswith("memtis") and platform_name.upper() in _NO_PEBS_PLATFORMS:
+        return False
+    return True
+
+
+def build_machine(
+    platform: "Platform | str",
+    policy: str,
+    policy_kwargs: Optional[dict] = None,
+    config: Optional[MachineConfig] = None,
+) -> Machine:
+    """Construct a machine with ``policy`` installed."""
+    if isinstance(platform, str):
+        platform = get_platform(platform)
+    machine = Machine(platform, config)
+    kwargs = dict(policy_kwargs or {})
+    if policy.startswith("memtis") and platform.name in _CXL_PLATFORMS:
+        kwargs.setdefault("cxl_reads_invisible", True)
+    machine.set_policy(make_policy(policy, machine, **kwargs))
+    return machine
+
+
+def run_experiment(
+    platform: "Platform | str",
+    policy: str,
+    workload_factory: Callable[[], Workload],
+    policy_kwargs: Optional[dict] = None,
+    config: Optional[MachineConfig] = None,
+    run_cycles: Optional[float] = None,
+) -> RunResult:
+    """Run one (platform, policy, workload) cell and collect the report."""
+    if isinstance(platform, str):
+        platform = get_platform(platform)
+    if not policy_available(policy, platform.name):
+        raise ValueError(
+            f"policy {policy!r} is not available on platform {platform.name}"
+        )
+    machine = build_machine(platform, policy, policy_kwargs, config)
+    workload = workload_factory()
+    report = machine.run_workload(workload, run_cycles=run_cycles)
+    return RunResult(
+        platform=platform.name,
+        policy=policy,
+        workload=workload.name,
+        report=report,
+        machine=machine,
+        workload_obj=workload,
+    )

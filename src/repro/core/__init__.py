@@ -1,0 +1,19 @@
+"""Nomad's core contribution: TPM, page shadowing, the two-queue pipeline."""
+
+from .kpromote import Kpromote
+from .nomad import NomadPolicy
+from .queues import MigrationPendingQueue, MigrationRequest, PromotionCandidateQueue
+from .shadow import ShadowIndex
+from .tpm import TpmOutcome, TpmResult, TransactionalMigrator
+
+__all__ = [
+    "NomadPolicy",
+    "Kpromote",
+    "TransactionalMigrator",
+    "TpmOutcome",
+    "TpmResult",
+    "ShadowIndex",
+    "PromotionCandidateQueue",
+    "MigrationPendingQueue",
+    "MigrationRequest",
+]

@@ -1,0 +1,132 @@
+"""kpromote: Nomad's background promotion daemon.
+
+Drains the migration pending queue and runs one transactional migration
+at a time on its own core, keeping promotion entirely off the
+application's critical path. Multi-mapped pages fall back to the stock
+synchronous migration (Section 3.3). Aborted transactions are requeued
+with bounded attempts.
+
+An optional thrashing throttle (the paper's Section 5 future-work
+extension) pauses promotion when promotions and demotions chase each
+other at high, near-equal rates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from ..kernel.migrate import sync_migrate_page
+from ..mem.tiers import FAST_TIER, SLOW_TIER
+from .queues import MigrationPendingQueue, MigrationRequest
+from .tpm import TpmOutcome, TransactionalMigrator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..system import Machine
+
+__all__ = ["Kpromote"]
+
+
+class Kpromote:
+    """Background transactional-promotion daemon."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        mpq: MigrationPendingQueue,
+        migrator: TransactionalMigrator,
+        retry_backoff_cycles: float = 100_000.0,
+        throttle_enabled: bool = False,
+        throttle_window: int = 256,
+        throttle_pause_cycles: float = 2_000_000.0,
+        throttle_balance: float = 0.7,
+    ) -> None:
+        self.machine = machine
+        self.mpq = mpq
+        self.migrator = migrator
+        self.retry_backoff_cycles = retry_backoff_cycles
+        self.throttle_enabled = throttle_enabled
+        self.throttle_window = throttle_window
+        self.throttle_pause_cycles = throttle_pause_cycles
+        self.throttle_balance = throttle_balance
+        self.cpu = machine.cpus.get("kpromote")
+        self._wakeup = machine.engine.event("kpromote.wakeup")
+        self._last_promotions = 0.0
+        self._last_demotions = 0.0
+        self._since_check = 0
+        self.proc = None
+
+    def start(self) -> None:
+        self.proc = self.machine.engine.spawn(self._run(), name="kpromote")
+
+    def wake(self) -> None:
+        if not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        m = self.machine
+        while True:
+            request = self.mpq.pop()
+            if request is None:
+                self._wakeup = m.engine.event("kpromote.wakeup")
+                if len(self.mpq) == 0:
+                    yield self._wakeup
+                continue
+            if self.throttle_enabled:
+                pause = self._check_thrashing()
+                if pause:
+                    yield pause
+            yield from self._promote(request)
+
+    def _promote(self, request: MigrationRequest):
+        m = self.machine
+        frame = request.frame
+        if (
+            frame.generation != request.generation
+            or not frame.mapped
+            or frame.node_id != SLOW_TIER
+        ):
+            m.stats.bump("nomad.kpromote_stale")
+            return
+        if frame.mapcount > 1:
+            # Section 3.3: multi-mapped pages would need simultaneous
+            # shootdowns per mapping; fall back to stock migration.
+            result = sync_migrate_page(
+                m, frame, FAST_TIER, self.cpu, category="promotion"
+            )
+            yield max(result.cycles, 1.0)
+            m.stats.bump("nomad.sync_fallbacks")
+            return
+
+        result = yield from self.migrator.migrate(request, self.cpu)
+        if result.outcome is TpmOutcome.ABORTED_DIRTY:
+            if self.mpq.retry(request):
+                # Give the writer time to move on before retrying.
+                yield self.retry_backoff_cycles
+        elif result.outcome is TpmOutcome.FAILED_NOMEM:
+            # Fast tier full; kswapd was woken by the allocator. Retry
+            # after backoff rather than spinning.
+            if self.mpq.retry(request):
+                yield self.retry_backoff_cycles
+
+    # ------------------------------------------------------------------
+    def _check_thrashing(self) -> Optional[float]:
+        """Detect promotion/demotion churn (Section 5 extension)."""
+        self._since_check += 1
+        if self._since_check < self.throttle_window:
+            return None
+        self._since_check = 0
+        stats = self.machine.stats
+        promotions = stats.get("migrate.promotions")
+        demotions = stats.get("migrate.demotions")
+        dp = promotions - self._last_promotions
+        dd = demotions - self._last_demotions
+        self._last_promotions = promotions
+        self._last_demotions = demotions
+        if dp + dd < self.throttle_window:
+            return None
+        balance = min(dp, dd) / max(dp, dd, 1.0)
+        if balance >= self.throttle_balance:
+            stats.bump("nomad.throttle_pauses")
+            return self.throttle_pause_cycles
+        return None

@@ -1,0 +1,289 @@
+"""The Nomad tiering policy: TPM + page shadowing + two-queue promotion.
+
+Wires the pieces of Section 3 together:
+
+* hint faults (same NUMA-hint arming as TPP) feed the promotion
+  candidate queue instead of triggering synchronous migration -- the
+  fault handler only flips PTE bits and does queue work, so the
+  application resumes almost immediately;
+* ``kpromote`` asynchronously runs transactional migrations off the MPQ;
+* committed promotions leave a shadow copy behind; demotion of a still-
+  shadowed (hence clean) master is a pure remap;
+* shadow pages are reclaimed by kswapd first and, on allocation failure,
+  in 10x-the-request batches.
+
+Ablation switches: ``shadowing=False`` gives the TPM-only exclusive
+variant; ``tpm=False`` degrades promotion to synchronous migration while
+keeping shadowing (shadowing-only variant); ``throttle=True`` enables the
+Section-5 thrashing throttle.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..kernel.migrate import sync_migrate_page
+from ..mem.frame import Frame, FrameFlags
+from ..mem.tiers import FAST_TIER, SLOW_TIER
+from ..mmu.faults import Fault, UnhandledFault
+from ..mmu.pte import (
+    PTE_ACCESSED,
+    PTE_PROT_NONE,
+    PTE_SOFT_SHADOW_RW,
+    PTE_WRITE,
+)
+from ..policies.base import TieringPolicy
+from .kpromote import Kpromote
+from .queues import MigrationPendingQueue, MigrationRequest, PromotionCandidateQueue
+from .shadow import ShadowIndex
+from .tpm import TransactionalMigrator
+
+__all__ = ["NomadPolicy"]
+
+ALLOC_FAIL_RECLAIM_FACTOR = 10  # Section 3.2's heuristic
+
+
+class NomadPolicy(TieringPolicy):
+    """Non-exclusive memory tiering via transactional page migration."""
+
+    name = "nomad"
+
+    def __init__(
+        self,
+        machine,
+        shadowing: bool = True,
+        tpm: bool = True,
+        throttle: bool = False,
+        pcq_capacity: int = 4096,
+        mpq_capacity: int = 4096,
+        pcq_scan_limit: int = 16,
+        mpq_max_attempts: int = 4,
+        alloc_fail_factor: int = ALLOC_FAIL_RECLAIM_FACTOR,
+    ) -> None:
+        super().__init__(machine)
+        self.shadowing = shadowing
+        self.tpm = tpm
+        self.alloc_fail_factor = alloc_fail_factor
+        self.shadow_index = ShadowIndex(machine)
+        self.pcq = PromotionCandidateQueue(pcq_capacity)
+        self.mpq = MigrationPendingQueue(mpq_capacity, mpq_max_attempts)
+        self.pcq_scan_limit = pcq_scan_limit
+        self.migrator = TransactionalMigrator(
+            machine, self.shadow_index, shadowing=shadowing
+        )
+        self.kpromote = Kpromote(
+            machine, self.mpq, self.migrator, throttle_enabled=throttle
+        )
+
+    def install(self) -> None:
+        self.machine.start_numa_scanner()
+        if self.tpm:
+            self.kpromote.start()
+
+    # ------------------------------------------------------------------
+    # Hint faults: queue work only, never migration (Section 3.1)
+    # ------------------------------------------------------------------
+    def handle_hint_fault(self, fault: Fault, cpu) -> float:
+        m = self.machine
+        pt = fault.space.page_table
+        cycles = 0.0
+
+        pt.clear_flags(fault.vpn, PTE_PROT_NONE)
+        cycles += m.costs.pte_update
+        m.stats.bump("nomad.hint_faults")
+
+        _flags, gpfn = pt.entry(fault.vpn)
+        frame = m.tiers.frame(gpfn)
+        if frame.node_id != SLOW_TIER:
+            return cycles
+
+        # Keep feeding the stock temperature protocol (Nomad does not
+        # change how Linux determines page temperature).
+        m.lru.mark_accessed(frame)
+        cycles += m.costs.lru_op
+
+        if not self.tpm:
+            # Shadowing-only ablation: promote synchronously like TPP,
+            # but still through the shadow-aware commit path.
+            cycles += self._sync_promote_with_shadow(frame, fault, cpu)
+            return cycles
+
+        # Scan the PCQ for hot candidates, then enqueue the faulting
+        # page. A candidate is promoted only once hardware has touched it
+        # *after* the fault that enqueued it (the accessed-bit evidence
+        # of Figure 4); the page stays mapped, so that re-touch needs no
+        # fault -- the "one page fault per migration" property.
+        hot = self.pcq.scan_hot(self._is_hot, self.pcq_scan_limit)
+        self.pcq.push(
+            MigrationRequest(
+                frame,
+                fault.space,
+                fault.vpn,
+                frame.generation,
+                enqueue_ts=m.engine.now,
+            )
+        )
+        cycles += m.costs.queue_op
+        for request in hot:
+            if self.mpq.push(request):
+                cycles += m.costs.queue_op
+        if hot:
+            self.kpromote.wake()
+        return cycles
+
+    def _is_hot(self, request) -> bool:
+        """Temperature check (Figure 4): a referenced/active page whose
+        accessed state shows a touch after the fault that enqueued it.
+
+        The enqueueing fault's own (retried) access lands within the same
+        execution chunk, so reuse means a recorded access at least one
+        chunk past the enqueue time.
+        """
+        frame = request.frame
+        if not (frame.referenced or frame.active):
+            return False
+        m = self.machine
+        gap = m.config.chunk_size * m.costs.read_latency[1]
+        threshold = request.enqueue_ts + gap
+        for space, vpn in frame.rmap:
+            pt = space.page_table
+            if (
+                pt.test_flags(vpn, PTE_ACCESSED)
+                and pt.last_access[vpn] > threshold
+            ):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Shadow page faults (Section 3.2, Figure 5)
+    # ------------------------------------------------------------------
+    def handle_wp_fault(self, fault: Fault, cpu) -> float:
+        m = self.machine
+        pt = fault.space.page_table
+        flags, gpfn = pt.entry(fault.vpn)
+        frame = m.tiers.frame(gpfn)
+        if not (frame.shadowed and flags & PTE_SOFT_SHADOW_RW):
+            raise UnhandledFault(fault, "write to a genuinely read-only page")
+
+        # Restore the true write permission from the soft bit and
+        # discard the (about to become stale) shadow copy.
+        pt.set_flags(fault.vpn, PTE_WRITE)
+        pt.clear_flags(fault.vpn, PTE_SOFT_SHADOW_RW)
+        self.shadow_index.discard(frame)
+        m.stats.bump("nomad.shadow_faults")
+        return m.costs.pte_update + m.costs.free_page
+
+    # ------------------------------------------------------------------
+    # Demotion (kswapd victim callback)
+    # ------------------------------------------------------------------
+    def demote_page(self, frame: Frame, cpu) -> Tuple[bool, float]:
+        m = self.machine
+        if frame.node_id != FAST_TIER:
+            return False, 0.0
+        if frame.shadowed:
+            return self._remap_demote(frame, cpu)
+        result = sync_migrate_page(m, frame, SLOW_TIER, cpu, category="demotion")
+        if result.success:
+            m.stats.bump("nomad.copy_demotions")
+        return result.success, result.cycles
+
+    def _remap_demote(self, master: Frame, cpu) -> Tuple[bool, float]:
+        """Demote a clean shadowed master by remapping to its shadow --
+        no page copy (the headline win of non-exclusive tiering)."""
+        m = self.machine
+        mapping = master.sole_mapping()
+        if mapping is None or master.locked:
+            return False, 0.0
+        space, vpn = mapping
+        pt = space.page_table
+        shadow = self.shadow_index.detach(master)
+        if shadow is None:  # raced with a shadow fault
+            return False, 0.0
+
+        cycles = m.costs.migrate_setup
+        old_flags, _old_gpfn = pt.unmap(vpn)
+        cycles += m.costs.pte_update
+        cycles += m.tlb_shootdown(space, vpn, cpu)
+
+        # Rebuild the slow-tier mapping with the true write permission.
+        new_flags = old_flags & ~(
+            0xFFFFFFFF & (PTE_SOFT_SHADOW_RW | PTE_ACCESSED)
+        )
+        new_flags &= ~0x1  # clear PRESENT; map() sets it
+        if old_flags & PTE_SOFT_SHADOW_RW:
+            new_flags |= PTE_WRITE
+        pt.map(vpn, m.tiers.gpfn(shadow), new_flags)
+        cycles += m.costs.pte_update
+
+        shadow.add_rmap(space, vpn)
+        master.remove_rmap(space, vpn)
+        m.lru.transfer(master, shadow)
+        master.clear_flag(FrameFlags.REFERENCED | FrameFlags.ACTIVE)
+        m.tiers.free_page(master)
+        cycles += m.costs.free_page
+
+        cpu.account("demotion", cycles)
+        m.stats.bump("nomad.remap_demotions")
+        m.stats.bump("migrate.demotions")
+        return True, cycles
+
+    # ------------------------------------------------------------------
+    # Shadow reclamation (Section 3.2)
+    # ------------------------------------------------------------------
+    def reclaim_hint(self, node_id: int, target: int, cpu) -> Tuple[int, float]:
+        if node_id != SLOW_TIER:
+            return 0, 0.0
+        freed, cycles = self.shadow_index.reclaim(target)
+        if cycles:
+            cpu.account("reclaim", cycles)
+        return freed, cycles
+
+    def on_alloc_fail(self, tier: int, nr: int) -> int:
+        freed, _cycles = self.shadow_index.reclaim(nr * self.alloc_fail_factor)
+        if freed:
+            self.machine.stats.bump("nomad.alloc_fail_reclaims")
+        return freed
+
+    # ------------------------------------------------------------------
+    def on_frame_replaced(self, old: Frame, new: Frame) -> None:
+        if old.shadowed:
+            self.shadow_index.rekey(old, new)
+
+    # ------------------------------------------------------------------
+    def _sync_promote_with_shadow(self, frame: Frame, fault: Fault, cpu) -> float:
+        """Shadowing-only ablation: synchronous promotion that still
+        leaves a shadow copy behind."""
+        m = self.machine
+        if not frame.active:
+            return 0.0
+        mapping = frame.sole_mapping()
+        if mapping is None or frame.locked:
+            result = sync_migrate_page(m, frame, FAST_TIER, cpu, "promotion")
+            return result.cycles
+
+        space, vpn = mapping
+        pt = space.page_table
+        new_frame = m.tiers.alloc_on(FAST_TIER)
+        if new_frame is None:
+            return 0.0
+        costs = m.costs
+        cycles = costs.migrate_setup + costs.alloc_page
+        old_flags, old_gpfn = pt.unmap(vpn)
+        cycles += costs.pte_update + m.tlb_shootdown(space, vpn, cpu)
+        cycles += costs.page_copy_cycles(SLOW_TIER, FAST_TIER)
+        new_flags = old_flags & ~(0x1 | PTE_PROT_NONE)
+        if self.shadowing and new_flags & PTE_WRITE:
+            new_flags = (new_flags & ~PTE_WRITE) | PTE_SOFT_SHADOW_RW
+        pt.map(vpn, m.tiers.gpfn(new_frame), new_flags)
+        cycles += costs.pte_update
+        new_frame.add_rmap(space, vpn)
+        frame.remove_rmap(space, vpn)
+        m.lru.transfer(frame, new_frame)
+        frame.clear_flag(FrameFlags.REFERENCED | FrameFlags.ACTIVE)
+        if self.shadowing:
+            self.shadow_index.insert(new_frame, frame)
+        else:
+            m.tiers.free_page(frame)
+        m.stats.bump("migrate.promotions")
+        cpu.account("promotion", cycles)
+        return cycles

@@ -1,0 +1,192 @@
+"""Transactional page migration (TPM) -- Figure 3's eight-step protocol.
+
+The migrating page stays mapped and accessible during the copy. The
+transaction commits only if no store hit the page while it was being
+copied; otherwise the original PTE is restored and the copy discarded.
+The page is inaccessible only between the atomic ``get_and_clear``
+(step 4) and the remap/restore (step 7/8) -- two PTE updates and one TLB
+shootdown, not an entire page copy.
+
+The migrator is written as a generator so the driving daemon
+(:mod:`repro.core.kpromote`) advances simulation time between protocol
+steps; application stores genuinely race with the copy window, and the
+dirty check observes them exactly as the hardware dirty bit would.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from ..mem.frame import Frame, FrameFlags
+from ..mem.tiers import FAST_TIER, SLOW_TIER
+from ..mmu.pte import (
+    PTE_ACCESSED,
+    PTE_DIRTY,
+    PTE_PRESENT,
+    PTE_PROT_NONE,
+    PTE_SOFT_SHADOW_RW,
+    PTE_WRITE,
+)
+from .queues import MigrationRequest
+from .shadow import ShadowIndex
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.cpu import Cpu
+    from ..system import Machine
+
+__all__ = ["TpmOutcome", "TpmResult", "TransactionalMigrator"]
+
+
+class TpmOutcome(enum.Enum):
+    COMMITTED = "committed"
+    ABORTED_DIRTY = "aborted_dirty"
+    FAILED_NOMEM = "failed_nomem"
+    FAILED_STALE = "failed_stale"
+    FAILED_BUSY = "failed_busy"
+
+
+@dataclass
+class TpmResult:
+    outcome: TpmOutcome
+    cycles: float
+    new_frame: Optional[Frame] = None
+
+    @property
+    def committed(self) -> bool:
+        return self.outcome is TpmOutcome.COMMITTED
+
+
+class TransactionalMigrator:
+    """Executes TPM transactions for a machine."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        shadow_index: Optional[ShadowIndex],
+        shadowing: bool = True,
+    ) -> None:
+        self.machine = machine
+        self.shadow_index = shadow_index
+        self.shadowing = shadowing and shadow_index is not None
+
+    # ------------------------------------------------------------------
+    def migrate(self, request: MigrationRequest, cpu: "Cpu"):
+        """Generator: run one transaction; returns a :class:`TpmResult`.
+
+        Drive with ``result = yield from migrator.migrate(req, cpu)``.
+        """
+        m = self.machine
+        costs = m.costs
+        frame = request.frame
+        space = request.space
+        vpn = request.vpn
+        pt = space.page_table
+        total = 0.0
+
+        def spend(cycles: float, category: str = "tpm") -> float:
+            nonlocal total
+            total += cycles
+            cpu.account(category, cycles)
+            return cycles
+
+        # -- validation ------------------------------------------------
+        if (
+            frame.generation != request.generation
+            or not frame.mapped
+            or frame.node_id != SLOW_TIER
+            or frame.sole_mapping() != (space, vpn)
+        ):
+            m.stats.bump("nomad.tpm_stale")
+            return TpmResult(TpmOutcome.FAILED_STALE, total)
+        if frame.locked:
+            m.stats.bump("nomad.tpm_busy")
+            return TpmResult(TpmOutcome.FAILED_BUSY, total)
+
+        frame.set_flag(FrameFlags.LOCKED)
+        try:
+            yield spend(costs.migrate_setup)
+
+            # Step 1: open the transaction -- clear the PTE dirty bit.
+            t_open = m.engine.now
+            pt.clear_flags(vpn, PTE_DIRTY)
+            yield spend(costs.pte_update)
+
+            # Step 2: TLB shootdown so subsequent stores re-set the bit.
+            yield spend(m.tlb_shootdown(space, vpn, cpu))
+
+            # Allocate the destination page on the fast tier.
+            new_frame = m.tiers.alloc_on(FAST_TIER)
+            if new_frame is None:
+                m.stats.bump("nomad.tpm_nomem")
+                return TpmResult(TpmOutcome.FAILED_NOMEM, total)
+            yield spend(costs.alloc_page)
+
+            # Step 3: copy while the page remains mapped and accessible.
+            yield spend(
+                costs.page_copy_cycles(SLOW_TIER, FAST_TIER), "tpm_copy"
+            )
+
+            # Steps 4-8 execute as one engine-atomic block: the window in
+            # which the page is unmapped must not be visible to the
+            # application process (in the kernel, a racing fault would
+            # spin on the PTL / migration entry; here we simply do not
+            # yield while the PTE is cleared). The costs of the block are
+            # charged in a single final yield.
+
+            # Step 4: atomic get_and_clear -- page becomes inaccessible.
+            old_flags, old_gpfn = pt.get_and_clear(vpn)
+            blocked = costs.pte_update
+
+            # Step 5: second shootdown for the cleared PTE.
+            blocked += m.tlb_shootdown(space, vpn, cpu)
+
+            # Step 6: commit check -- was the page dirtied during copy?
+            dirtied = bool(old_flags & PTE_DIRTY) or pt.written_since(vpn, t_open)
+
+            if dirtied:
+                # Step 8: abort -- restore the original PTE verbatim.
+                pt.restore(vpn, old_flags | PTE_DIRTY, old_gpfn)
+                blocked += costs.pte_update
+                m.tiers.free_page(new_frame)
+                blocked += costs.free_page
+                m.stats.bump("nomad.tpm_aborts")
+                yield spend(blocked)
+                return TpmResult(TpmOutcome.ABORTED_DIRTY, total)
+
+            # Step 7: commit -- remap to the fast tier.
+            new_gpfn = m.tiers.gpfn(new_frame)
+            new_flags = old_flags & ~(PTE_PRESENT | PTE_DIRTY | PTE_PROT_NONE)
+            if self.shadowing:
+                # Master becomes read-only; true permission parks in the
+                # shadow r/w soft bit (Figure 5).
+                if new_flags & PTE_WRITE:
+                    new_flags = (new_flags & ~PTE_WRITE) | PTE_SOFT_SHADOW_RW
+            pt.map(vpn, new_gpfn, new_flags | PTE_ACCESSED)
+            blocked += costs.pte_update
+
+            new_frame.add_rmap(space, vpn)
+            frame.remove_rmap(space, vpn)
+            if frame.referenced:
+                new_frame.set_flag(FrameFlags.REFERENCED)
+            m.lru.transfer(frame, new_frame)
+            frame.clear_flag(FrameFlags.REFERENCED | FrameFlags.ACTIVE)
+
+            if self.shadowing:
+                # The old frame lives on as the shadow copy.
+                frame.clear_flag(FrameFlags.LOCKED)
+                self.shadow_index.insert(new_frame, frame)
+                blocked += costs.queue_op
+            else:
+                # TPM-only ablation: exclusive tiering, free the source.
+                frame.clear_flag(FrameFlags.LOCKED)
+                m.tiers.free_page(frame)
+                blocked += costs.free_page
+
+            m.stats.bump("nomad.tpm_commits")
+            m.stats.bump("migrate.promotions")
+            yield spend(blocked)
+            return TpmResult(TpmOutcome.COMMITTED, total, new_frame)
+        finally:
+            frame.clear_flag(FrameFlags.LOCKED)

@@ -1,0 +1,17 @@
+"""Kernel mechanisms: LRU lists, reclaim, migration, NUMA-hint faults."""
+
+from .lru import PAGEVEC_SIZE, LruManager, OrderedFrameSet
+from .migrate import MAX_RETRIES, MigrationResult, sync_migrate_page
+from .numa_fault import NumaHintScanner
+from .reclaim import Kswapd
+
+__all__ = [
+    "LruManager",
+    "OrderedFrameSet",
+    "PAGEVEC_SIZE",
+    "sync_migrate_page",
+    "MigrationResult",
+    "MAX_RETRIES",
+    "NumaHintScanner",
+    "Kswapd",
+]

@@ -1,0 +1,119 @@
+"""Synchronous page migration: the kernel's unmap-copy-remap pipeline.
+
+This is the stock mechanism TPP promotes and demotes with, and the
+fallback Nomad uses for multi-mapped pages (Section 3.3). The migrating
+page is *inaccessible for the whole copy* -- exactly the property Nomad's
+transactional migration removes -- and a busy (locked) page causes the
+caller to retry, up to ``MAX_RETRIES`` (10) attempts like
+``migrate_pages()`` in Linux.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from ..mem.frame import Frame, FrameFlags
+from ..mmu.pte import PTE_ACCESSED, PTE_DIRTY, PTE_PRESENT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.cpu import Cpu
+    from ..system import Machine
+
+__all__ = ["MigrationResult", "sync_migrate_page", "MAX_RETRIES"]
+
+MAX_RETRIES = 10
+
+
+@dataclass
+class MigrationResult:
+    success: bool
+    cycles: float
+    new_frame: Optional[Frame]
+    retries: int = 0
+    reason: str = ""
+
+
+def sync_migrate_page(
+    machine: "Machine",
+    frame: Frame,
+    dst_tier: int,
+    cpu: "Cpu",
+    category: str,
+    max_retries: int = MAX_RETRIES,
+) -> MigrationResult:
+    """Migrate ``frame`` to ``dst_tier`` with the stock 3-step mechanism.
+
+    All cycles are attributed to ``cpu`` under ``category`` and returned
+    so the calling process can advance its timeline. The page is
+    unmapped for the duration of the copy.
+    """
+    m = machine
+    costs = m.costs
+    cycles = 0.0
+
+    retries = 0
+    while frame.locked:
+        retries += 1
+        cycles += costs.migrate_setup
+        if retries >= max_retries:
+            cpu.account(category, cycles)
+            m.stats.bump("migrate.sync_failed_busy")
+            return MigrationResult(False, cycles, None, retries, "busy")
+
+    cycles += costs.migrate_setup
+    frame.set_flag(FrameFlags.LOCKED)
+
+    if not frame.mapped:
+        frame.clear_flag(FrameFlags.LOCKED)
+        cpu.account(category, cycles)
+        m.stats.bump("migrate.sync_failed_unmapped")
+        return MigrationResult(False, cycles, None, retries, "unmapped")
+
+    new_frame = m.tiers.alloc_on(dst_tier)
+    if new_frame is None:
+        frame.clear_flag(FrameFlags.LOCKED)
+        cpu.account(category, cycles)
+        m.stats.bump("migrate.sync_failed_nomem")
+        return MigrationResult(False, cycles, None, retries, "nomem")
+    cycles += costs.alloc_page
+
+    # Step 1-2: unmap every mapping and shoot down stale translations.
+    saved = []
+    for space, vpn in list(frame.rmap):
+        flags, _gpfn = space.page_table.unmap(vpn)
+        cycles += costs.pte_update
+        cycles += m.tlb_shootdown(space, vpn, cpu)
+        saved.append((space, vpn, flags))
+
+    # Step 3: copy the page while it is inaccessible.
+    src_tier = frame.node_id
+    cycles += costs.page_copy_cycles(src_tier, dst_tier)
+
+    # Step 4: remap everything at the new frame, preserving permissions
+    # and the architectural accessed/dirty state.
+    new_gpfn = m.tiers.gpfn(new_frame)
+    keep = ~(PTE_PRESENT) & 0xFFFFFFFF
+    for space, vpn, flags in saved:
+        space.page_table.map(vpn, new_gpfn, flags & keep)
+        cycles += costs.pte_update
+        new_frame.add_rmap(space, vpn)
+        frame.remove_rmap(space, vpn)
+
+    # Transfer struct-page state and LRU membership.
+    if frame.referenced:
+        new_frame.set_flag(FrameFlags.REFERENCED)
+    m.lru.transfer(frame, new_frame)
+    frame.clear_flag(FrameFlags.LOCKED)
+    frame.clear_flag(FrameFlags.REFERENCED | FrameFlags.ACTIVE)
+    m.on_frame_replaced(frame, new_frame)
+    m.tiers.free_page(frame)
+    cycles += costs.free_page
+
+    cpu.account(category, cycles)
+    m.stats.bump("migrate.sync_success")
+    if dst_tier < src_tier:
+        m.stats.bump("migrate.promotions")
+    elif dst_tier > src_tier:
+        m.stats.bump("migrate.demotions")
+    return MigrationResult(True, cycles, new_frame, retries)

@@ -1,0 +1,141 @@
+"""NUMA-hint fault machinery (AutoNUMA-style ``prot_none`` arming).
+
+Both TPP and Nomad rely on hint faults to observe accesses to slow-tier
+pages: a periodic scanner marks slow-tier-resident PTEs ``prot_none`` so
+the next touch traps into the kernel. TPP "sets all pages residing in
+slow memory as inaccessible" (Section 2.2); we implement that as a
+windowed scan like ``task_numa_work`` so arming cost is bounded and
+charged to the application task, as in Linux.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from ..mem.tiers import SLOW_TIER
+from ..mmu.pte import PTE_PRESENT, PTE_PROT_NONE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..mmu.address_space import AddressSpace
+    from ..system import Machine
+
+__all__ = ["NumaHintScanner"]
+
+
+class NumaHintScanner:
+    """Periodically arms ``prot_none`` on slow-tier pages.
+
+    With ``adaptive=True`` the scan period self-tunes the way
+    ``task_numa_work`` does: when hint faults are productive (they lead
+    to promotions), scanning speeds up toward ``period_min``; when faults
+    are wasted, it backs off toward ``period_max``, bounding tracking
+    overhead on workloads that do not benefit.
+    """
+
+    def __init__(
+        self,
+        machine: "Machine",
+        scan_period: float = 400_000.0,
+        pages_per_scan: int = 512,
+        task_cpu_name: str = "app0",
+        adaptive: bool = False,
+        period_min: Optional[float] = None,
+        period_max: Optional[float] = None,
+        speedup_ratio: float = 0.25,
+        slowdown_ratio: float = 0.05,
+    ) -> None:
+        self.machine = machine
+        self.scan_period = scan_period
+        self.pages_per_scan = pages_per_scan
+        self.task_cpu_name = task_cpu_name
+        self.adaptive = adaptive
+        self.period_min = period_min if period_min is not None else scan_period / 4
+        self.period_max = period_max if period_max is not None else scan_period * 8
+        self.speedup_ratio = speedup_ratio
+        self.slowdown_ratio = slowdown_ratio
+        self._cursors = {}
+        self._last_faults = 0.0
+        self._last_promotions = 0.0
+
+    def start(self) -> None:
+        self.machine.engine.spawn(self._run(), name="numa_scanner")
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        m = self.machine
+        while True:
+            yield self.scan_period
+            cost = 0.0
+            for space in list(m.spaces):
+                cost += self._scan_space(space)
+            if cost:
+                # task_numa_work runs in task context: the application
+                # pays for its own scanning.
+                cpu = m.cpus.get(self.task_cpu_name)
+                cpu.pending_stall += cost
+                m.stats.account(cpu.name, "numa_scan", cost)
+            if self.adaptive:
+                self._retune()
+
+    def _retune(self) -> None:
+        """Adjust the period from hint-fault productivity."""
+        m = self.machine
+        faults = m.stats.get("fault.hint")
+        promotions = m.stats.get("migrate.promotions")
+        df = faults - self._last_faults
+        dp = promotions - self._last_promotions
+        self._last_faults = faults
+        self._last_promotions = promotions
+        if df <= 0:
+            # Nothing faulted: scanning too fast for the access rate.
+            self.scan_period = min(self.scan_period * 1.5, self.period_max)
+            return
+        productivity = dp / df
+        if productivity >= self.speedup_ratio:
+            self.scan_period = max(self.scan_period / 1.5, self.period_min)
+        elif productivity < self.slowdown_ratio:
+            self.scan_period = min(self.scan_period * 1.5, self.period_max)
+        m.stats.counters["numa.scan_period"] = self.scan_period
+
+    def _scan_space(self, space: "AddressSpace") -> float:
+        """Arm up to ``pages_per_scan`` slow-tier pages; returns cycles."""
+        m = self.machine
+        pt = space.page_table
+        nr = pt.nr_vpns
+        cursor = self._cursors.get(space.asid, 0)
+        armed = 0
+        scanned = 0
+        cost = 0.0
+        window = self.pages_per_scan * 4  # examine up to 4x to find targets
+        while armed < self.pages_per_scan and scanned < window:
+            end = min(cursor + self.pages_per_scan, nr)
+            vpns = np.arange(cursor, end)
+            scanned += len(vpns)
+            cursor = end if end < nr else 0
+            if len(vpns) == 0:
+                break
+            flags = pt.flags[vpns]
+            gpfns = pt.gpfn[vpns]
+            present = (flags & PTE_PRESENT) != 0
+            unarmed = (flags & PTE_PROT_NONE) == 0
+            candidates = present & unarmed
+            if candidates.any():
+                on_slow = np.zeros_like(candidates)
+                idx = np.nonzero(candidates)[0]
+                on_slow[idx] = m.tiers.tier_of_gpfn[gpfns[idx]] == SLOW_TIER
+                targets = vpns[candidates & on_slow]
+                if len(targets):
+                    pt.flags[targets] |= np.uint32(PTE_PROT_NONE)
+                    armed += len(targets)
+                    cost += m.costs.pte_update * len(targets)
+                    m.stats.bump("numa.pages_armed", len(targets))
+            if cursor == 0:
+                break
+        self._cursors[space.asid] = cursor
+        if armed:
+            # One batched local flush per scan window, as change_prot_numa
+            # flushes once per range.
+            cost += m.costs.tlb_flush_local
+        return cost

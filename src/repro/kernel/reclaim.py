@@ -1,0 +1,171 @@
+"""kswapd: watermark-driven background reclaim.
+
+One daemon per node. When a node dips below its low watermark the
+allocator wakes the daemon, which works until free memory exceeds the
+high watermark:
+
+* it first offers the tiering policy a chance to reclaim cheaply (Nomad
+  frees shadow pages here -- "NOMAD instructs kswapd to prioritize the
+  reclamation of shadow pages", Section 3.2);
+* it then scans the inactive list tail: recently-referenced pages get a
+  second chance (and feed the activation machinery), cold pages are
+  demoted through the policy's demotion path (stock copy-migration for
+  TPP, remap-demotion for clean shadowed pages under Nomad).
+
+The fast-tier daemon is TPP's asynchronous demotion engine; the paper's
+Figure 2 shows it mostly idle, which our per-CPU accounting reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..mem.frame import Frame, FrameFlags
+from ..mmu.pte import PTE_ACCESSED
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..system import Machine
+
+__all__ = ["Kswapd"]
+
+SCAN_BATCH = 32
+
+
+class Kswapd:
+    """Background reclaim daemon for one node."""
+
+    def __init__(self, machine: "Machine", node_id: int) -> None:
+        self.machine = machine
+        self.node_id = node_id
+        self.cpu = machine.cpus.get(f"kswapd{node_id}")
+        self._wakeup = machine.engine.event(f"kswapd{node_id}.wakeup")
+        self._running = False
+        self.proc = None
+
+    def start(self) -> None:
+        self.proc = self.machine.engine.spawn(
+            self._run(), name=f"kswapd{self.node_id}"
+        )
+
+    def wake(self) -> None:
+        if not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        m = self.machine
+        node = m.tiers.nodes[self.node_id]
+        while True:
+            if not node.below_low() or self._no_policy():
+                # Sleep until the allocator wakes us.
+                self._wakeup = m.engine.event(f"kswapd{self.node_id}.wakeup")
+                yield self._wakeup
+            passes_without_progress = 0
+            gave_up = False
+            while node.reclaim_target() > 0:
+                # Like the kernel's scan priority, reclaim escalates when
+                # polite passes make no progress: priority 1 demotes
+                # pages whose struct-page referenced flag is clear even
+                # if the PTE accessed bit is set; priority 2 demotes
+                # anything on the inactive list. Active-list pages are
+                # never demoted directly -- they must age through
+                # shrink_active first, which is what protects a stable
+                # hot set from ping-pong demotion.
+                priority = min(passes_without_progress, 2)
+                freed, cycles = self._reclaim_pass(
+                    node.reclaim_target(), priority=priority
+                )
+                m.stats.bump("kswapd.passes")
+                yield self.cpu.account("reclaim", max(cycles, 1.0))
+                if freed == 0:
+                    passes_without_progress += 1
+                    if passes_without_progress >= 4:
+                        m.stats.bump("kswapd.gave_up")
+                        gave_up = True
+                        break
+                    # Back off briefly, as kswapd does under congestion.
+                    yield 50_000.0
+                else:
+                    passes_without_progress = 0
+            if gave_up:
+                # Nothing reclaimable right now; avoid a busy loop while
+                # the node stays below its watermark.
+                yield 500_000.0
+
+    def _no_policy(self) -> bool:
+        return self.machine.policy is None
+
+    # ------------------------------------------------------------------
+    def _reclaim_pass(self, target: int, priority: int = 0):
+        """One batch of reclaim work; returns (pages freed, cycles)."""
+        m = self.machine
+        policy = m.policy
+        cycles = 0.0
+        freed = 0
+
+        # Reclaim drains pending LRU batches first (lru_add_drain), so
+        # under memory pressure queued activation requests apply quickly
+        # -- with an idle kswapd a hot page still waits out the 15-entry
+        # pagevec, which is the TPP pathology of Section 3.1.
+        m.lru.drain_pagevec()
+        cycles += m.costs.lru_op
+
+        # 1. Cheap policy reclaim (shadow pages under Nomad).
+        if policy is not None:
+            got, c = policy.reclaim_hint(self.node_id, target, self.cpu)
+            freed += got
+            cycles += c
+            if freed >= target:
+                return freed, cycles
+
+        # 2. Scan the inactive list tail.
+        batch = m.lru.inactive_head_batch(self.node_id, SCAN_BATCH)
+        for frame in batch:
+            cycles += m.costs.lru_op
+            if frame.locked or not frame.mapped:
+                continue
+            protected = (
+                self._recently_accessed(frame)
+                if priority == 0
+                else frame.referenced if priority == 1 else False
+            )
+            if protected:
+                # Second chance: clear accessed bits, feed LRU aging.
+                self._clear_accessed(frame)
+                m.lru.mark_accessed(frame)
+                m.lru.rotate(frame)
+                cycles += m.costs.pte_update * frame.mapcount
+                continue
+            if policy is not None:
+                ok, c = policy.demote_page(frame, self.cpu)
+                cycles += c
+                if ok:
+                    freed += 1
+                    if freed >= target:
+                        break
+
+        # 3. Keep the inactive list stocked (shrink_active_list).
+        nr_inactive = m.lru.nr_inactive(self.node_id)
+        nr_active = m.lru.nr_active(self.node_id)
+        if nr_active > 0 and nr_inactive < max(SCAN_BATCH, nr_active // 2):
+            for frame in m.lru.active_head_batch(self.node_id, SCAN_BATCH):
+                cycles += m.costs.lru_op
+                if self._recently_accessed(frame):
+                    self._clear_accessed(frame)
+                    m.lru.rotate(frame)
+                    cycles += m.costs.pte_update * frame.mapcount
+                else:
+                    m.lru.deactivate(frame)
+        return freed, cycles
+
+    @staticmethod
+    def _recently_accessed(frame: Frame) -> bool:
+        for space, vpn in frame.rmap:
+            if space.page_table.test_flags(vpn, PTE_ACCESSED):
+                return True
+        return False
+
+    @staticmethod
+    def _clear_accessed(frame: Frame) -> None:
+        for space, vpn in frame.rmap:
+            space.page_table.clear_flags(vpn, PTE_ACCESSED)

@@ -1,0 +1,20 @@
+"""Physical memory substrate: frames, nodes, tiers, and the XArray."""
+
+from .frame import Frame, FrameFlags
+from .node import MemoryNode, OutOfMemoryError
+from .tiers import FAST_TIER, SLOW_TIER, TieredMemory
+from .xarray import XA_MARK_0, XA_MARK_1, XA_MARK_2, XArray
+
+__all__ = [
+    "Frame",
+    "FrameFlags",
+    "MemoryNode",
+    "OutOfMemoryError",
+    "TieredMemory",
+    "FAST_TIER",
+    "SLOW_TIER",
+    "XArray",
+    "XA_MARK_0",
+    "XA_MARK_1",
+    "XA_MARK_2",
+]

@@ -1,0 +1,115 @@
+"""Memory nodes (tiers) with free lists and kswapd watermarks.
+
+Each tier is a NUMA-node-like pool of frames. Watermarks follow the
+kernel scheme the paper leans on:
+
+* free < ``low``  -> wake ``kswapd`` (asynchronous reclaim),
+* free < ``min``  -> allocations enter direct reclaim,
+* kswapd reclaims until free > ``high``.
+
+TPP's "decoupled allocation and reclamation" and Nomad's shadow-page
+reclamation both key off these thresholds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from .frame import Frame, FrameFlags
+
+__all__ = ["MemoryNode", "OutOfMemoryError"]
+
+
+class OutOfMemoryError(RuntimeError):
+    """No frame could be allocated anywhere (the OOM killer would fire)."""
+
+
+class MemoryNode:
+    """One memory tier: a pool of page frames plus watermark state."""
+
+    def __init__(
+        self,
+        node_id: int,
+        nr_pages: int,
+        name: str = "",
+        watermark_scale: float = 0.02,
+    ) -> None:
+        if nr_pages <= 0:
+            raise ValueError(f"node needs at least one page, got {nr_pages}")
+        self.node_id = node_id
+        self.name = name or f"node{node_id}"
+        self.frames: List[Frame] = [
+            Frame(pfn, node_id) for pfn in range(nr_pages)
+        ]
+        self._free: Deque[int] = deque(range(nr_pages))
+        # Watermarks in pages, scaled like the kernel's watermark_scale_factor.
+        base = max(1, int(nr_pages * watermark_scale))
+        self.wmark_min = base
+        self.wmark_low = base * 2
+        self.wmark_high = base * 3
+
+    # ------------------------------------------------------------------
+    @property
+    def nr_pages(self) -> int:
+        return len(self.frames)
+
+    @property
+    def nr_free(self) -> int:
+        return len(self._free)
+
+    @property
+    def nr_used(self) -> int:
+        return self.nr_pages - self.nr_free
+
+    def below_low(self) -> bool:
+        return self.nr_free < self.wmark_low
+
+    def below_min(self) -> bool:
+        return self.nr_free < self.wmark_min
+
+    def above_high(self) -> bool:
+        return self.nr_free > self.wmark_high
+
+    def reclaim_target(self) -> int:
+        """Pages kswapd should free to restore the high watermark."""
+        return max(0, self.wmark_high - self.nr_free)
+
+    # ------------------------------------------------------------------
+    def alloc(self) -> Optional[Frame]:
+        """Pop a free frame, or None if the node is exhausted."""
+        if not self._free:
+            return None
+        frame = self.frames[self._free.popleft()]
+        frame.reset()
+        return frame
+
+    def free(self, frame: Frame) -> None:
+        """Return a frame to the free list."""
+        if frame.node_id != self.node_id:
+            raise ValueError(
+                f"pfn {frame.pfn} belongs to node {frame.node_id}, "
+                f"not {self.node_id}"
+            )
+        if frame.mapped:
+            raise RuntimeError(f"freeing mapped pfn {frame.pfn}")
+        if frame.test_flag(FrameFlags.LOCKED):
+            raise RuntimeError(f"freeing locked pfn {frame.pfn}")
+        frame.flags = 0
+        self._free.append(frame.pfn)
+        if len(self._free) > self.nr_pages:
+            raise RuntimeError(f"double free detected on node {self.node_id}")
+
+    def frame(self, pfn: int) -> Frame:
+        return self.frames[pfn]
+
+    def used_frames(self):
+        """Iterate frames not currently on the free list (O(n))."""
+        free = set(self._free)
+        return (f for f in self.frames if f.pfn not in free)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MemoryNode {self.name} {self.nr_free}/{self.nr_pages} free "
+            f"wm={self.wmark_min}/{self.wmark_low}/{self.wmark_high}>"
+        )

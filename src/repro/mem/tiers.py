@@ -1,0 +1,139 @@
+"""Tiered physical memory: a fast node plus a slow node.
+
+Implements the paper's assumed initial placement policy (Section 3):
+"Pages are allocated from the fast tier whenever possible and are placed
+in the slower tier only when there is an insufficient number of free
+pages in the fast tier, or attempts to reclaim memory in the fast tier
+have failed."
+
+Frames live in per-node pools; this module gives them a *global* frame
+number (gpfn) so page tables and the vectorized access path can refer to
+any frame with a single integer. Policy code installs two hooks:
+
+* ``on_low_watermark(tier)`` -- wake kswapd when a node dips below low,
+* ``on_alloc_fail(tier, nr_needed)`` -- last-ditch reclaim (Nomad frees
+  shadow pages here, targeting 10x the request, Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .frame import Frame
+from .node import MemoryNode, OutOfMemoryError
+
+__all__ = ["TieredMemory", "FAST_TIER", "SLOW_TIER"]
+
+FAST_TIER = 0
+SLOW_TIER = 1
+
+
+class TieredMemory:
+    """Two memory nodes and the allocation policy across them."""
+
+    def __init__(
+        self,
+        fast_pages: int,
+        slow_pages: int,
+        watermark_scale: float = 0.02,
+    ) -> None:
+        self.nodes: List[MemoryNode] = [
+            MemoryNode(FAST_TIER, fast_pages, "fast", watermark_scale),
+            MemoryNode(SLOW_TIER, slow_pages, "slow", watermark_scale),
+        ]
+        self._base = [0, fast_pages]
+        total = fast_pages + slow_pages
+        self.tier_of_gpfn = np.empty(total, dtype=np.int8)
+        self.tier_of_gpfn[:fast_pages] = FAST_TIER
+        self.tier_of_gpfn[fast_pages:] = SLOW_TIER
+        # Hooks installed by the policy / kernel wiring.
+        self.on_low_watermark: Optional[Callable[[int], None]] = None
+        self.on_alloc_fail: Optional[Callable[[int, int], int]] = None
+
+    # ------------------------------------------------------------------
+    # Frame addressing
+    # ------------------------------------------------------------------
+    @property
+    def fast(self) -> MemoryNode:
+        return self.nodes[FAST_TIER]
+
+    @property
+    def slow(self) -> MemoryNode:
+        return self.nodes[SLOW_TIER]
+
+    @property
+    def total_pages(self) -> int:
+        return sum(node.nr_pages for node in self.nodes)
+
+    @property
+    def total_free(self) -> int:
+        return sum(node.nr_free for node in self.nodes)
+
+    def gpfn(self, frame: Frame) -> int:
+        """Global frame number of a frame."""
+        return self._base[frame.node_id] + frame.pfn
+
+    def frame(self, gpfn: int) -> Frame:
+        """Frame for a global frame number."""
+        if gpfn < 0 or gpfn >= self.total_pages:
+            raise IndexError(f"gpfn {gpfn} out of range")
+        tier = int(self.tier_of_gpfn[gpfn])
+        return self.nodes[tier].frame(gpfn - self._base[tier])
+
+    def tier_of(self, gpfn: int) -> int:
+        return int(self.tier_of_gpfn[gpfn])
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def alloc_on(self, tier: int) -> Optional[Frame]:
+        """Allocate strictly on ``tier``; None if it has no free frame.
+
+        Fires the low-watermark hook so background reclaim keeps pace.
+        """
+        node = self.nodes[tier]
+        frame = node.alloc()
+        if node.below_low() and self.on_low_watermark is not None:
+            self.on_low_watermark(tier)
+        return frame
+
+    def alloc_page(self, preferred: int = FAST_TIER) -> Frame:
+        """Allocate with the paper's default placement policy.
+
+        Tries the preferred tier, falls back to the other tier, then
+        invokes the allocation-failure hook before declaring OOM.
+        """
+        order = (preferred, SLOW_TIER if preferred == FAST_TIER else FAST_TIER)
+        for tier in order:
+            frame = self.alloc_on(tier)
+            if frame is not None:
+                return frame
+        if self.on_alloc_fail is not None:
+            freed = self.on_alloc_fail(preferred, 1)
+            if freed > 0:
+                for tier in order:
+                    frame = self.alloc_on(tier)
+                    if frame is not None:
+                        return frame
+        raise OutOfMemoryError(
+            f"no frames available (fast free={self.fast.nr_free}, "
+            f"slow free={self.slow.nr_free})"
+        )
+
+    def free_page(self, frame: Frame) -> None:
+        self.nodes[frame.node_id].free(frame)
+
+    # ------------------------------------------------------------------
+    def usage(self) -> dict:
+        """Snapshot for robustness experiments (Table 3)."""
+        return {
+            "fast_used": self.fast.nr_used,
+            "fast_free": self.fast.nr_free,
+            "slow_used": self.slow.nr_used,
+            "slow_free": self.slow.nr_free,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TieredMemory fast={self.fast!r} slow={self.slow!r}>"

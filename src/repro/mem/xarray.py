@@ -1,0 +1,256 @@
+"""XArray: a radix-tree key-value store modelled on the Linux ``xarray``.
+
+Nomad indexes shadow pages with an XArray mapping the physical address of
+a fast-tier master page to the physical address of its shadow copy on the
+slow tier (Section 3.2, "Indexing shadow pages"). We reproduce the data
+structure itself -- a 64-way radix tree with per-slot search marks --
+rather than substituting a plain dict, because the reclamation path uses
+marked iteration (find all reclaimable shadows) just like the kernel
+uses ``xas_for_each_marked``.
+
+Keys are non-negative integers; values are arbitrary non-None objects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+__all__ = ["XArray", "XA_MARK_0", "XA_MARK_1", "XA_MARK_2"]
+
+XA_CHUNK_SHIFT = 6
+XA_CHUNK_SIZE = 1 << XA_CHUNK_SHIFT  # 64 slots per node
+XA_CHUNK_MASK = XA_CHUNK_SIZE - 1
+
+XA_MARK_0 = 0
+XA_MARK_1 = 1
+XA_MARK_2 = 2
+_NR_MARKS = 3
+
+
+class _Node:
+    """Internal radix-tree node."""
+
+    __slots__ = ("shift", "slots", "marks", "count", "parent", "offset")
+
+    def __init__(self, shift: int, parent: Optional["_Node"], offset: int) -> None:
+        self.shift = shift
+        self.slots: List[Any] = [None] * XA_CHUNK_SIZE
+        # marks[m] is a bitmap over slots.
+        self.marks = [0] * _NR_MARKS
+        self.count = 0
+        self.parent = parent
+        self.offset = offset  # slot index within the parent
+
+    def mark_set(self, offset: int, mark: int) -> None:
+        self.marks[mark] |= 1 << offset
+
+    def mark_clear(self, offset: int, mark: int) -> None:
+        self.marks[mark] &= ~(1 << offset)
+
+    def mark_test(self, offset: int, mark: int) -> bool:
+        return bool(self.marks[mark] & (1 << offset))
+
+    def any_marked(self, mark: int) -> bool:
+        return self.marks[mark] != 0
+
+
+class XArray:
+    """A sparse array of pointers with search marks."""
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Basic operations
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, index: int) -> bool:
+        return self.load(index) is not None
+
+    def load(self, index: int) -> Any:
+        """Return the entry at ``index`` or None."""
+        self._check_index(index)
+        node = self._root
+        while node is not None:
+            offset = (index >> node.shift) & XA_CHUNK_MASK
+            if index >> (node.shift + XA_CHUNK_SHIFT):
+                # Index exceeds this subtree's span.
+                if node is self._root:
+                    return None
+                raise AssertionError("descent below root cannot overflow")
+            entry = node.slots[offset]
+            if not isinstance(entry, _Node):
+                return entry
+            node = entry
+            index &= (1 << node.shift + XA_CHUNK_SHIFT) - 1
+        return None
+
+    def store(self, index: int, value: Any) -> Any:
+        """Store ``value`` at ``index``; returns the previous entry.
+
+        Storing None erases, matching the kernel convention.
+        """
+        self._check_index(index)
+        if value is None:
+            return self.erase(index)
+        node = self._ensure_height(index)
+        # Descend, creating interior nodes.
+        while node.shift > 0:
+            offset = (index >> node.shift) & XA_CHUNK_MASK
+            child = node.slots[offset]
+            if child is None:
+                child = _Node(node.shift - XA_CHUNK_SHIFT, node, offset)
+                node.slots[offset] = child
+                node.count += 1
+            node = child
+        offset = index & XA_CHUNK_MASK
+        old = node.slots[offset]
+        node.slots[offset] = value
+        if old is None:
+            node.count += 1
+            self._size += 1
+        return old
+
+    def erase(self, index: int) -> Any:
+        """Remove and return the entry at ``index`` (None if absent)."""
+        self._check_index(index)
+        path = self._descend(index)
+        if path is None:
+            return None
+        node, offset = path
+        old = node.slots[offset]
+        if old is None:
+            return None
+        node.slots[offset] = None
+        node.count -= 1
+        self._size -= 1
+        for mark in range(_NR_MARKS):
+            self._propagate_mark_clear(node, offset, mark)
+        self._prune(node)
+        return old
+
+    # ------------------------------------------------------------------
+    # Marks
+    # ------------------------------------------------------------------
+    def set_mark(self, index: int, mark: int) -> None:
+        path = self._descend(index)
+        if path is None or path[0].slots[path[1]] is None:
+            raise KeyError(f"cannot mark absent index {index}")
+        node, offset = path
+        while True:
+            node.mark_set(offset, mark)
+            if node.parent is None:
+                break
+            offset = node.offset
+            node = node.parent
+
+    def clear_mark(self, index: int, mark: int) -> None:
+        path = self._descend(index)
+        if path is None:
+            return
+        node, offset = path
+        node.mark_clear(offset, mark)
+        self._propagate_mark_clear(node, offset, mark, force=True)
+
+    def get_mark(self, index: int, mark: int) -> bool:
+        path = self._descend(index)
+        if path is None:
+            return False
+        node, offset = path
+        return node.slots[offset] is not None and node.mark_test(offset, mark)
+
+    # ------------------------------------------------------------------
+    # Iteration
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """Iterate (index, entry) in ascending index order."""
+        yield from self._iter_node(self._root, 0, None)
+
+    def marked_items(self, mark: int) -> Iterator[Tuple[int, Any]]:
+        """Iterate entries carrying ``mark`` in ascending index order."""
+        yield from self._iter_node(self._root, 0, mark)
+
+    def first_marked(self, mark: int) -> Optional[Tuple[int, Any]]:
+        for pair in self.marked_items(mark):
+            return pair
+        return None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_index(index: int) -> None:
+        if not isinstance(index, int) or index < 0:
+            raise ValueError(f"XArray index must be a non-negative int: {index!r}")
+
+    def _ensure_height(self, index: int) -> _Node:
+        """Grow the tree until ``index`` fits under the root."""
+        if self._root is None:
+            self._root = _Node(0, None, 0)
+        while index >> (self._root.shift + XA_CHUNK_SHIFT):
+            old_root = self._root
+            new_root = _Node(old_root.shift + XA_CHUNK_SHIFT, None, 0)
+            if old_root.count:
+                new_root.slots[0] = old_root
+                new_root.count = 1
+                old_root.parent = new_root
+                old_root.offset = 0
+                for mark in range(_NR_MARKS):
+                    if old_root.any_marked(mark):
+                        new_root.mark_set(0, mark)
+            self._root = new_root
+        return self._root
+
+    def _descend(self, index: int) -> Optional[Tuple[_Node, int]]:
+        """Find the leaf node and offset for ``index`` without creating."""
+        node = self._root
+        if node is None or index >> (node.shift + XA_CHUNK_SHIFT):
+            return None
+        while node.shift > 0:
+            offset = (index >> node.shift) & XA_CHUNK_MASK
+            child = node.slots[offset]
+            if not isinstance(child, _Node):
+                return None
+            node = child
+        return node, index & XA_CHUNK_MASK
+
+    def _propagate_mark_clear(
+        self, node: _Node, offset: int, mark: int, force: bool = False
+    ) -> None:
+        """Clear a slot mark and un-mark ancestors whose subtree is clean."""
+        node.mark_clear(offset, mark)
+        while node.parent is not None and not node.any_marked(mark):
+            node.parent.mark_clear(node.offset, mark)
+            node = node.parent
+
+    def _prune(self, node: _Node) -> None:
+        """Remove empty nodes bottom-up."""
+        while node.parent is not None and node.count == 0:
+            parent = node.parent
+            parent.slots[node.offset] = None
+            parent.count -= 1
+            for mark in range(_NR_MARKS):
+                self._propagate_mark_clear(parent, node.offset, mark)
+            node = parent
+        if node is self._root and node.count == 0:
+            self._root = None
+
+    def _iter_node(
+        self, node: Optional[_Node], base: int, mark: Optional[int]
+    ) -> Iterator[Tuple[int, Any]]:
+        if node is None:
+            return
+        for offset in range(XA_CHUNK_SIZE):
+            entry = node.slots[offset]
+            if entry is None:
+                continue
+            if mark is not None and not node.mark_test(offset, mark):
+                continue
+            index = base + (offset << node.shift)
+            if isinstance(entry, _Node):
+                yield from self._iter_node(entry, index, mark)
+            else:
+                yield index, entry

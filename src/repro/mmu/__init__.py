@@ -1,0 +1,36 @@
+"""Virtual memory: PTEs, page tables, TLBs, address spaces, faults."""
+
+from .access import AccessEngine, ChunkResult
+from .address_space import AddressSpace, Vma
+from .faults import Fault, FaultType, UnhandledFault
+from .page_table import PageTable
+from .pte import (
+    PTE_ACCESSED,
+    PTE_DIRTY,
+    PTE_PRESENT,
+    PTE_PROT_NONE,
+    PTE_SOFT_SHADOW_RW,
+    PTE_WRITE,
+    describe_flags,
+)
+from .tlb import Tlb, TlbDirectory
+
+__all__ = [
+    "AccessEngine",
+    "ChunkResult",
+    "AddressSpace",
+    "Vma",
+    "Fault",
+    "FaultType",
+    "UnhandledFault",
+    "PageTable",
+    "Tlb",
+    "TlbDirectory",
+    "PTE_PRESENT",
+    "PTE_WRITE",
+    "PTE_ACCESSED",
+    "PTE_DIRTY",
+    "PTE_PROT_NONE",
+    "PTE_SOFT_SHADOW_RW",
+    "describe_flags",
+]

@@ -1,0 +1,201 @@
+"""The memory-access execution path.
+
+Applications present their access trace in chunks (numpy arrays of
+virtual page numbers plus a write mask). The engine executes each chunk
+against the page table:
+
+* accesses through valid, sufficiently-permissive PTEs are executed
+  vectorized -- latency is priced per access by the tier of the backing
+  frame, accessed/dirty bits are set, and every store is timestamped
+  (the observation channel for TPM's dirty-during-copy race);
+* the first access that needs the kernel (not-present, prot-none hint,
+  or write-protect) stops the vector scan, takes a simulated trap, and
+  is dispatched to the fault handler, after which the scan resumes.
+
+Interleaving note (documented in DESIGN.md): a chunk executes atomically
+from the event engine's perspective, so background daemons observe page
+state at chunk granularity. Chunks default to 256 accesses (~100k
+cycles), far below daemon wakeup periods.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..sim.stats import NR_LATENCY_BINS, latency_histogram
+from .faults import Fault, FaultType, UnhandledFault
+from .pte import (
+    PTE_ACCESSED,
+    PTE_DIRTY,
+    PTE_PRESENT,
+    PTE_PROT_NONE,
+    PTE_WRITE,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.cpu import Cpu
+    from .address_space import AddressSpace
+
+__all__ = ["AccessEngine", "ChunkResult", "ChunkObserver"]
+
+# A chunk observer receives (space, vpns, writes, completion_times) for
+# each vectorized segment; Memtis's PEBS-style sampler hooks in here.
+ChunkObserver = Callable[["AddressSpace", np.ndarray, np.ndarray, np.ndarray], None]
+
+_MAX_FAULT_RETRIES = 8
+
+
+@dataclass
+class ChunkResult:
+    cycles: float
+    reads: int
+    writes: int
+    read_cycles: float
+    write_cycles: float
+    faults: int
+    fault_cycles: float
+    # Per-access latency histogram (repro.sim.stats.LATENCY_BIN_EDGES);
+    # a faulting access is recorded at its full fault-inclusive latency.
+    latency_hist: Optional[np.ndarray] = None
+
+
+class AccessEngine:
+    """Executes access chunks against a machine's page tables."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        self._observers = []
+
+    def add_observer(self, observer: ChunkObserver) -> None:
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: ChunkObserver) -> None:
+        self._observers.remove(observer)
+
+    # ------------------------------------------------------------------
+    def run_chunk(
+        self,
+        space: "AddressSpace",
+        cpu: "Cpu",
+        vpns: np.ndarray,
+        writes: np.ndarray,
+    ) -> ChunkResult:
+        """Execute one chunk starting at the engine's current time."""
+        m = self.machine
+        pt = space.page_table
+        costs = m.costs
+        tier_of = m.tiers.tier_of_gpfn
+        rlat = np.asarray(costs.read_latency)
+        wlat = np.asarray(costs.write_latency)
+
+        t0 = m.engine.now + cpu.drain_stall()
+        elapsed = t0 - m.engine.now
+        reads = 0
+        nwrites = 0
+        read_cycles = 0.0
+        write_cycles = 0.0
+        faults = 0
+        fault_cycles = 0.0
+        hist = np.zeros(NR_LATENCY_BINS, dtype=np.int64)
+
+        n = len(vpns)
+        pos = 0
+        retries = 0
+        last_fault_vpn = -1
+        while pos < n:
+            seg_vpns = vpns[pos:]
+            seg_w = writes[pos:]
+            f = pt.flags[seg_vpns]
+            ok = (f & PTE_PRESENT).astype(bool)
+            ok &= (f & PTE_PROT_NONE) == 0
+            ok &= ~seg_w | ((f & PTE_WRITE) != 0)
+            bad = ~ok
+            k = int(bad.argmax()) if bad.any() else len(seg_vpns)
+
+            if k > 0:
+                seg = seg_vpns[:k]
+                w = seg_w[:k]
+                g = pt.gpfn[seg]
+                t = tier_of[g]
+                lat = np.where(w, wlat[t], rlat[t])
+                ts = t0 + elapsed + np.cumsum(lat)
+                # Architectural bit updates (idempotent OR is safe with
+                # duplicate indices under fancy indexing).
+                pt.flags[seg] |= np.uint32(PTE_ACCESSED)
+                wr = seg[w]
+                if len(wr):
+                    pt.flags[wr] |= np.uint32(PTE_DIRTY)
+                    np.maximum.at(pt.last_write, wr, ts[w])
+                np.maximum.at(pt.last_access, seg, ts)
+                m.tlb_directory.note_chunk(cpu.name, space.asid, np.unique(seg))
+                for observer in self._observers:
+                    observer(space, seg, w, ts)
+                hist += latency_histogram(lat)
+                seg_cycles = float(lat.sum())
+                wc = float(lat[w].sum())
+                write_cycles += wc
+                read_cycles += seg_cycles - wc
+                nwrites += int(w.sum())
+                reads += k - int(w.sum())
+                elapsed += seg_cycles
+                pos += k
+                retries = 0
+                continue
+
+            # Fault at position `pos`.
+            vpn = int(seg_vpns[0])
+            write = bool(seg_w[0])
+            if vpn == last_fault_vpn:
+                retries += 1
+                if retries > _MAX_FAULT_RETRIES:
+                    raise UnhandledFault(
+                        Fault(space, vpn, write, self._classify(pt, vpn), cpu.name),
+                        f"fault handler made no progress after {retries} tries",
+                    )
+            else:
+                retries = 0
+                last_fault_vpn = vpn
+            kind = self._classify(pt, vpn)
+            fault = Fault(space, vpn, write, kind, cpu.name)
+            handled_cycles = m.handle_fault(fault, cpu)
+            faults += 1
+            fault_cycles += handled_cycles
+            elapsed += handled_cycles
+            hist += latency_histogram(np.array([handled_cycles]))
+
+        cpu.account("user", read_cycles + write_cycles)
+        return ChunkResult(
+            cycles=elapsed,
+            reads=reads,
+            writes=nwrites,
+            read_cycles=read_cycles,
+            write_cycles=write_cycles,
+            faults=faults,
+            fault_cycles=fault_cycles,
+            latency_hist=hist,
+        )
+
+    # ------------------------------------------------------------------
+    def access_one(
+        self,
+        space: "AddressSpace",
+        cpu: "Cpu",
+        vpn: int,
+        write: bool = False,
+    ) -> ChunkResult:
+        """Single-access convenience wrapper (tests and simple tools)."""
+        vpns = np.array([vpn], dtype=np.int64)
+        writes = np.array([write], dtype=bool)
+        return self.run_chunk(space, cpu, vpns, writes)
+
+    @staticmethod
+    def _classify(pt, vpn: int) -> FaultType:
+        flags = int(pt.flags[vpn])
+        if not flags & PTE_PRESENT:
+            return FaultType.NOT_PRESENT
+        if flags & PTE_PROT_NONE:
+            return FaultType.HINT
+        return FaultType.WRITE_PROTECT

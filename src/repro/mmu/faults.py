@@ -1,0 +1,51 @@
+"""Fault taxonomy.
+
+Three fault classes matter to tiered memory management:
+
+* ``NOT_PRESENT`` -- demand paging (first touch): the kernel allocates a
+  frame with the default placement policy and maps it.
+* ``HINT`` -- a NUMA-hint (``prot_none``) minor fault: the page is
+  resident (usually on the slow tier) but was made inaccessible so the
+  kernel observes the access. TPP promotes synchronously from here;
+  Nomad feeds its promotion-candidate queue.
+* ``WRITE_PROTECT`` -- a store hit a read-only PTE. Under Nomad this is
+  the *shadow page fault* (Section 3.2): restore the true write
+  permission from the shadow r/w soft bit and discard the shadow copy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .address_space import AddressSpace
+
+__all__ = ["FaultType", "Fault", "UnhandledFault"]
+
+
+class FaultType(enum.Enum):
+    NOT_PRESENT = "not_present"
+    HINT = "hint"
+    WRITE_PROTECT = "write_protect"
+
+
+@dataclass
+class Fault:
+    space: "AddressSpace"
+    vpn: int
+    write: bool
+    kind: FaultType
+    cpu_name: str
+
+
+class UnhandledFault(RuntimeError):
+    """A fault the installed policy could not resolve."""
+
+    def __init__(self, fault: Fault, why: str) -> None:
+        super().__init__(
+            f"{fault.kind.value} fault on vpn {fault.vpn} "
+            f"(write={fault.write}) unresolved: {why}"
+        )
+        self.fault = fault

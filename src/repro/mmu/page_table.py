@@ -1,0 +1,134 @@
+"""Array-backed page tables.
+
+One page table per address space. Entries are stored as parallel numpy
+arrays indexed by virtual page number so the hot access path can operate
+on whole chunks of the access trace at once (see
+:mod:`repro.mmu.access`), while individual-entry operations expose the
+atomic primitives the migration protocols rely on
+(:meth:`PageTable.get_and_clear` is Nomad's step-4 atomic).
+
+``last_write`` records the simulated timestamp of the most recent store
+through each entry. It is the vectorized equivalent of observing the
+dirty bit's set *time*: transactional migration aborts iff a store hit
+the page after the transaction cleared the dirty bit.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .pte import (
+    PTE_ACCESSED,
+    PTE_DIRTY,
+    PTE_PRESENT,
+    PTE_PROT_NONE,
+    PTE_WRITE,
+)
+
+__all__ = ["PageTable"]
+
+_NEVER = -np.inf
+
+
+class PageTable:
+    """Flat page table covering ``nr_vpns`` virtual pages."""
+
+    def __init__(self, nr_vpns: int) -> None:
+        if nr_vpns <= 0:
+            raise ValueError(f"page table needs at least one entry: {nr_vpns}")
+        self.nr_vpns = nr_vpns
+        self.flags = np.zeros(nr_vpns, dtype=np.uint32)
+        self.gpfn = np.full(nr_vpns, -1, dtype=np.int64)
+        self.last_write = np.full(nr_vpns, _NEVER, dtype=np.float64)
+        self.last_access = np.full(nr_vpns, _NEVER, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Entry-level primitives
+    # ------------------------------------------------------------------
+    def map(self, vpn: int, gpfn: int, flags: int) -> None:
+        """Install a mapping. The entry must currently be empty."""
+        self._check(vpn)
+        if self.flags[vpn] & PTE_PRESENT:
+            raise RuntimeError(f"vpn {vpn} is already mapped")
+        if gpfn < 0:
+            raise ValueError(f"invalid gpfn {gpfn}")
+        self.gpfn[vpn] = gpfn
+        self.flags[vpn] = np.uint32(flags | PTE_PRESENT)
+
+    def get_and_clear(self, vpn: int) -> Tuple[int, int]:
+        """Atomically read and zero the entry (Nomad TPM step 4).
+
+        Returns ``(flags, gpfn)`` as they were before clearing.
+        """
+        self._check(vpn)
+        flags = int(self.flags[vpn])
+        gpfn = int(self.gpfn[vpn])
+        self.flags[vpn] = 0
+        self.gpfn[vpn] = -1
+        return flags, gpfn
+
+    def restore(self, vpn: int, flags: int, gpfn: int) -> None:
+        """Reinstall an entry captured by :meth:`get_and_clear` (abort path)."""
+        self._check(vpn)
+        if self.flags[vpn] & PTE_PRESENT:
+            raise RuntimeError(f"vpn {vpn} was remapped during the transaction")
+        self.flags[vpn] = np.uint32(flags)
+        self.gpfn[vpn] = gpfn
+
+    def unmap(self, vpn: int) -> Tuple[int, int]:
+        """Remove a mapping, returning its prior (flags, gpfn)."""
+        flags, gpfn = self.get_and_clear(vpn)
+        if not flags & PTE_PRESENT:
+            raise RuntimeError(f"vpn {vpn} was not mapped")
+        return flags, gpfn
+
+    # -- flag manipulation ----------------------------------------------
+    def set_flags(self, vpn: int, flags: int) -> None:
+        self._check(vpn)
+        self.flags[vpn] |= np.uint32(flags)
+
+    def clear_flags(self, vpn: int, flags: int) -> None:
+        self._check(vpn)
+        self.flags[vpn] &= np.uint32(~flags & 0xFFFFFFFF)
+
+    def test_flags(self, vpn: int, flags: int) -> bool:
+        self._check(vpn)
+        return bool(self.flags[vpn] & np.uint32(flags))
+
+    # -- queries ----------------------------------------------------------
+    def is_present(self, vpn: int) -> bool:
+        return self.test_flags(vpn, PTE_PRESENT)
+
+    def is_writable(self, vpn: int) -> bool:
+        return self.test_flags(vpn, PTE_WRITE)
+
+    def is_dirty(self, vpn: int) -> bool:
+        return self.test_flags(vpn, PTE_DIRTY)
+
+    def is_accessed(self, vpn: int) -> bool:
+        return self.test_flags(vpn, PTE_ACCESSED)
+
+    def is_prot_none(self, vpn: int) -> bool:
+        return self.test_flags(vpn, PTE_PROT_NONE)
+
+    def entry(self, vpn: int) -> Tuple[int, int]:
+        self._check(vpn)
+        return int(self.flags[vpn]), int(self.gpfn[vpn])
+
+    def mapped_vpns(self) -> np.ndarray:
+        """All vpns with a present mapping (ascending)."""
+        return np.nonzero(self.flags & PTE_PRESENT)[0]
+
+    def written_since(self, vpn: int, when: float) -> bool:
+        """Was there a store to ``vpn`` at or after ``when``?
+
+        This is the simulator's observation channel for the
+        dirty-during-copy race: the access path timestamps every store.
+        """
+        return bool(self.last_write[vpn] >= when)
+
+    def _check(self, vpn: int) -> None:
+        if not 0 <= vpn < self.nr_vpns:
+            raise IndexError(f"vpn {vpn} outside [0, {self.nr_vpns})")

@@ -1,0 +1,43 @@
+"""Page-table-entry bit layout.
+
+Mirrors the x86/Linux bits the paper's mechanisms manipulate, including
+the *software* bit Nomad repurposes to remember a shadowed master page's
+true write permission ("shadow r/w", Figure 5).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PTE_PRESENT",
+    "PTE_WRITE",
+    "PTE_ACCESSED",
+    "PTE_DIRTY",
+    "PTE_PROT_NONE",
+    "PTE_SOFT_SHADOW_RW",
+    "PTE_PERM_MASK",
+    "describe_flags",
+]
+
+PTE_PRESENT = 1 << 0  # mapping is valid
+PTE_WRITE = 1 << 1  # hardware write permission
+PTE_ACCESSED = 1 << 2  # set by "hardware" on any access
+PTE_DIRTY = 1 << 3  # set by "hardware" on any write
+PTE_PROT_NONE = 1 << 4  # NUMA-hint protection: any access faults
+PTE_SOFT_SHADOW_RW = 1 << 5  # Nomad: original write permission of a master page
+
+PTE_PERM_MASK = PTE_WRITE | PTE_PROT_NONE
+
+_NAMES = {
+    PTE_PRESENT: "P",
+    PTE_WRITE: "W",
+    PTE_ACCESSED: "A",
+    PTE_DIRTY: "D",
+    PTE_PROT_NONE: "N",
+    PTE_SOFT_SHADOW_RW: "S",
+}
+
+
+def describe_flags(flags: int) -> str:
+    """Human-readable flag string, e.g. ``P|W|A``."""
+    parts = [name for bit, name in _NAMES.items() if flags & bit]
+    return "|".join(parts) if parts else "-"

@@ -1,0 +1,83 @@
+"""Per-CPU TLBs and shootdown bookkeeping.
+
+The vectorized access path assumes TLB-coherent PTEs (every shootdown in
+the protocols is modelled as a cost event and an invalidation), but the
+TLB objects themselves track which CPUs may hold a stale translation for
+a page so that migration code can compute *who* must receive an IPI --
+the paper's Section 3.3 overhead argument (multi-mapped pages need
+multiple simultaneous shootdowns) falls out of this bookkeeping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+__all__ = ["Tlb", "TlbDirectory"]
+
+
+class Tlb:
+    """One CPU's TLB: a set of cached (asid, vpn) translations."""
+
+    def __init__(self, cpu_name: str, capacity: int = 1536) -> None:
+        self.cpu_name = cpu_name
+        self.capacity = capacity
+        self._entries: Dict[Tuple[int, int], int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, asid: int, vpn: int) -> bool:
+        key = (asid, vpn)
+        if key in self._entries:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, asid: int, vpn: int) -> None:
+        if len(self._entries) >= self.capacity:
+            # FIFO-ish eviction: drop the oldest insertion.
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[(asid, vpn)] = 1
+
+    def invalidate(self, asid: int, vpn: int) -> None:
+        self._entries.pop((asid, vpn), None)
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class TlbDirectory:
+    """Tracks, per page, the set of CPUs that may cache its translation.
+
+    This is what the kernel's ``mm_cpumask`` approximates; shootdowns are
+    sent to exactly this set ("TPM issues a TLB shootdown to all cores
+    that ever accessed this page", Section 3.1).
+    """
+
+    def __init__(self) -> None:
+        self._cpus_by_page: Dict[Tuple[int, int], Set[str]] = {}
+        self.shootdowns = 0
+        self.ipis_sent = 0
+
+    def note_access(self, cpu_name: str, asid: int, vpn: int) -> None:
+        self._cpus_by_page.setdefault((asid, vpn), set()).add(cpu_name)
+
+    def note_chunk(self, cpu_name: str, asid: int, vpns) -> None:
+        """Bulk version used by the vectorized access path."""
+        by_page = self._cpus_by_page
+        for vpn in vpns:
+            by_page.setdefault((asid, int(vpn)), set()).add(cpu_name)
+
+    def holders(self, asid: int, vpn: int) -> Set[str]:
+        return set(self._cpus_by_page.get((asid, vpn), ()))
+
+    def shootdown(self, asid: int, vpn: int) -> Set[str]:
+        """Invalidate all cached translations of a page; returns the
+        CPUs that had to be interrupted."""
+        cpus = self._cpus_by_page.pop((asid, vpn), set())
+        self.shootdowns += 1
+        self.ipis_sent += len(cpus)
+        return cpus

@@ -1,0 +1,69 @@
+"""Tiering policies: the baselines the paper compares Nomad against."""
+
+from typing import Callable, Dict
+
+from .base import TieringPolicy
+from .memtis import (
+    DEFAULT_COOLING_SAMPLES,
+    QUICKCOOL_COOLING_SAMPLES,
+    MemtisPolicy,
+)
+from .nomigration import NoMigrationPolicy
+from .tpp import TppPolicy
+
+__all__ = [
+    "TieringPolicy",
+    "NoMigrationPolicy",
+    "TppPolicy",
+    "MemtisPolicy",
+    "DEFAULT_COOLING_SAMPLES",
+    "QUICKCOOL_COOLING_SAMPLES",
+    "make_policy",
+    "POLICY_FACTORIES",
+]
+
+
+def _memtis_default(machine, **kwargs):
+    return MemtisPolicy(machine, **kwargs)
+
+
+def _memtis_quickcool(machine, **kwargs):
+    kwargs.setdefault("cooling_samples", QUICKCOOL_COOLING_SAMPLES)
+    # Frequent cooling keeps absolute counts low, which in Memtis lowers
+    # the histogram-derived hot threshold and encourages migration.
+    kwargs.setdefault("min_hot_samples", 1.0)
+    return MemtisPolicy(machine, **kwargs)
+
+
+def _nomad(machine, **kwargs):
+    from ..core.nomad import NomadPolicy
+
+    return NomadPolicy(machine, **kwargs)
+
+
+def _nomad_adaptive(machine, **kwargs):
+    from .adaptive import AdaptiveNomadPolicy
+
+    return AdaptiveNomadPolicy(machine, **kwargs)
+
+
+POLICY_FACTORIES: Dict[str, Callable] = {
+    "no-migration": lambda machine, **kw: NoMigrationPolicy(machine, **kw),
+    "tpp": lambda machine, **kw: TppPolicy(machine, **kw),
+    "memtis": _memtis_default,
+    "memtis-default": _memtis_default,
+    "memtis-quickcool": _memtis_quickcool,
+    "nomad": _nomad,
+    "nomad-adaptive": _nomad_adaptive,
+}
+
+
+def make_policy(name: str, machine, **kwargs) -> TieringPolicy:
+    """Build a policy by name ('tpp', 'memtis-quickcool', 'nomad', ...)."""
+    try:
+        factory = POLICY_FACTORIES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown policy {name!r}; choose from {sorted(POLICY_FACTORIES)}"
+        ) from None
+    return factory(machine, **kwargs)

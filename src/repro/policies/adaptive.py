@@ -1,0 +1,199 @@
+"""Adaptive Nomad: the migration on/off strategy of Section 5.
+
+The paper's key insight is that under severe memory pressure *no*
+migration policy beats leaving pages in place: "the most effective
+strategy is to access pages directly from their initial placement,
+completely disabling page migration. It is straightforward to detect
+memory thrashing, e.g., frequent and equal number of page demotions and
+promotions, and disable page migrations. However, estimating the working
+set size to resume page migration becomes challenging."
+
+This module implements exactly that proposal on top of Nomad:
+
+* a **thrash detector** samples promotion/demotion rates on a fixed
+  period; sustained high and near-balanced rates trip the breaker and
+  *promotion is disabled* (hint faults still unprotect pages, so the
+  application keeps running at slow-tier speed instead of paying
+  migration costs);
+* while tripped, the detector keeps "monitoring page demotions to
+  effectively manage memory pressure" (Section 5): demotion stays
+  enabled so allocation bursts are still absorbed;
+* re-enablement is solved with the paper's suggested unilateral
+  **probing**: after a cool-down, promotion is re-allowed for one probe
+  window; if thrashing resumes immediately the breaker re-trips with an
+  exponentially longer cool-down, otherwise migration stays on.
+
+This policy is evaluated by ``benchmarks/bench_abl_adaptive.py``: it
+must track plain Nomad when the WSS fits and approach the no-migration
+line under severe thrashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..mmu.faults import Fault
+from ..core.nomad import NomadPolicy
+
+__all__ = ["AdaptiveNomadPolicy", "ThrashDetector"]
+
+
+@dataclass
+class ThrashState:
+    """Detector output for one sampling window."""
+
+    promotions: float
+    demotions: float
+    balance: float  # min/max of the two rates
+    volume: float  # promotions + demotions
+    thrashing: bool
+
+
+class ThrashDetector:
+    """Detects sustained, balanced promotion/demotion churn.
+
+    Thrashing means the fast tier cannot hold the hot set: pages are
+    demoted at roughly the rate they are promoted, and the absolute
+    volume is significant relative to capacity.
+    """
+
+    def __init__(
+        self,
+        machine,
+        window_cycles: float = 2_000_000.0,
+        balance_threshold: float = 0.6,
+        volume_fraction: float = 0.05,
+        trip_after_windows: int = 2,
+    ) -> None:
+        self.machine = machine
+        self.window_cycles = window_cycles
+        self.balance_threshold = balance_threshold
+        # Volume threshold: migrations per window, as a fraction of
+        # fast-tier capacity.
+        self.volume_threshold = max(
+            8.0, volume_fraction * machine.tiers.fast.nr_pages
+        )
+        self.trip_after_windows = trip_after_windows
+        self._last_promotions = 0.0
+        self._last_demotions = 0.0
+        self._hot_windows = 0
+
+    def sample(self) -> ThrashState:
+        """Evaluate the window that just ended."""
+        stats = self.machine.stats
+        promotions = stats.get("migrate.promotions")
+        demotions = stats.get("migrate.demotions")
+        dp = promotions - self._last_promotions
+        dd = demotions - self._last_demotions
+        self._last_promotions = promotions
+        self._last_demotions = demotions
+        volume = dp + dd
+        balance = min(dp, dd) / max(dp, dd, 1.0)
+        window_hot = (
+            volume >= self.volume_threshold and balance >= self.balance_threshold
+        )
+        self._hot_windows = self._hot_windows + 1 if window_hot else 0
+        return ThrashState(
+            promotions=dp,
+            demotions=dd,
+            balance=balance,
+            volume=volume,
+            thrashing=self._hot_windows >= self.trip_after_windows,
+        )
+
+    def reset(self) -> None:
+        self._hot_windows = 0
+
+
+class AdaptiveNomadPolicy(NomadPolicy):
+    """Nomad plus the Section-5 migration circuit breaker."""
+
+    name = "nomad-adaptive"
+
+    def __init__(
+        self,
+        machine,
+        window_cycles: float = 2_000_000.0,
+        balance_threshold: float = 0.6,
+        volume_fraction: float = 0.05,
+        cooldown_windows: int = 4,
+        max_cooldown_windows: int = 32,
+        **nomad_kwargs,
+    ) -> None:
+        super().__init__(machine, **nomad_kwargs)
+        self.detector = ThrashDetector(
+            machine,
+            window_cycles=window_cycles,
+            balance_threshold=balance_threshold,
+            volume_fraction=volume_fraction,
+        )
+        self.window_cycles = window_cycles
+        self.cooldown_windows = cooldown_windows
+        self.max_cooldown_windows = max_cooldown_windows
+        self.promotion_enabled = True
+        self._cooldown_remaining = 0
+        self._current_cooldown = cooldown_windows
+        self._probing = False
+
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        super().install()
+        self.machine.engine.spawn(self._governor(), name="nomad_governor")
+
+    def _governor(self):
+        """Periodic thrash sampling and breaker management."""
+        m = self.machine
+        while True:
+            yield self.window_cycles
+            state = self.detector.sample()
+            if self.promotion_enabled:
+                if state.thrashing:
+                    self._trip(probe_failed=self._probing)
+                else:
+                    # A calm window ends a successful probe.
+                    if self._probing:
+                        self._probing = False
+                        self._current_cooldown = self.cooldown_windows
+                        m.stats.bump("adaptive.probe_success")
+            else:
+                self._cooldown_remaining -= 1
+                if self._cooldown_remaining <= 0:
+                    # Unilateral probe: re-enable promotion for a window.
+                    self.promotion_enabled = True
+                    self._probing = True
+                    self.detector.reset()
+                    m.stats.bump("adaptive.probes")
+
+    def _trip(self, probe_failed: bool) -> None:
+        m = self.machine
+        self.promotion_enabled = False
+        self._probing = False
+        if probe_failed:
+            self._current_cooldown = min(
+                self._current_cooldown * 2, self.max_cooldown_windows
+            )
+            m.stats.bump("adaptive.probe_failures")
+        self._cooldown_remaining = self._current_cooldown
+        # Drop queued promotion work: it is thrash traffic by definition.
+        while self.mpq.pop() is not None:
+            pass
+        m.stats.bump("adaptive.breaker_trips")
+
+    # ------------------------------------------------------------------
+    def handle_hint_fault(self, fault: Fault, cpu) -> float:
+        if self.promotion_enabled:
+            return super().handle_hint_fault(fault, cpu)
+        # Breaker open: just unprotect the page -- access proceeds from
+        # its current placement with no queue work at all.
+        m = self.machine
+        from ..mmu.pte import PTE_PROT_NONE
+
+        fault.space.page_table.clear_flags(fault.vpn, PTE_PROT_NONE)
+        m.stats.bump("nomad.hint_faults")
+        m.stats.bump("adaptive.suppressed_faults")
+        return m.costs.pte_update
+
+    def describe(self) -> str:
+        state = "on" if self.promotion_enabled else "off"
+        return f"{self.name} (promotion {state})"

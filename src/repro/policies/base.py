@@ -1,0 +1,86 @@
+"""The tiering-policy interface.
+
+A policy decides *when and how pages move between tiers*. The machine
+gives it four integration points, mirroring where Linux lets tiering
+code hook in:
+
+* fault handlers (hint faults, write-protect faults, demand paging),
+* the kswapd reclaim loop (``reclaim_hint`` + ``demote_page``),
+* the allocation-failure path (``on_alloc_fail``),
+* background daemons it spawns from ``install()``.
+
+All handler methods return the cycles they consumed *in the faulting
+task's context*; work done on other cores is accounted there directly by
+the policy's own daemons.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+from ..mem.frame import Frame
+from ..mem.tiers import FAST_TIER
+from ..mmu.faults import Fault, UnhandledFault
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.cpu import Cpu
+    from ..system import Machine
+
+__all__ = ["TieringPolicy"]
+
+
+class TieringPolicy:
+    """Base class: a policy that never migrates and never faults."""
+
+    name = "base"
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+
+    # -- lifecycle -------------------------------------------------------
+    def install(self) -> None:
+        """Spawn daemons, register observers. Called by set_policy()."""
+
+    # -- placement ---------------------------------------------------------
+    def alloc_preference(self, fault: Fault) -> int:
+        """Preferred tier for demand paging (default: fast first)."""
+        return FAST_TIER
+
+    def on_demand_page(self, fault: Fault, frame: Frame) -> None:
+        """Notification after a first-touch allocation."""
+
+    # -- fault handlers ----------------------------------------------------
+    def handle_hint_fault(self, fault: Fault, cpu: "Cpu") -> float:
+        raise UnhandledFault(fault, f"{self.name} does not arm hint faults")
+
+    def handle_wp_fault(self, fault: Fault, cpu: "Cpu") -> float:
+        raise UnhandledFault(fault, f"{self.name} does not write-protect pages")
+
+    # -- reclaim integration -------------------------------------------------
+    def reclaim_hint(self, node_id: int, target: int, cpu: "Cpu") -> Tuple[int, float]:
+        """Cheap reclaim opportunity before kswapd scans LRU lists.
+
+        Returns (pages freed, cycles consumed).
+        """
+        return 0, 0.0
+
+    def demote_page(self, frame: Frame, cpu: "Cpu") -> Tuple[bool, float]:
+        """kswapd picked ``frame`` as a demotion victim.
+
+        Returns (success, cycles consumed).
+        """
+        return False, 0.0
+
+    def on_alloc_fail(self, tier: int, nr: int) -> int:
+        """Allocation failed everywhere; free pages if possible.
+
+        Returns the number of pages freed.
+        """
+        return 0
+
+    # -- migration bookkeeping -----------------------------------------------
+    def on_frame_replaced(self, old: Frame, new: Frame) -> None:
+        """A migration replaced ``old`` with ``new``."""
+
+    def describe(self) -> str:
+        return self.name

@@ -1,0 +1,28 @@
+"""The "no migration" baseline.
+
+Pages stay wherever the initial placement put them; hot pages on the
+slow tier are accessed directly over the interconnect. The paper uses
+this baseline to show that TPP's in-progress migration can be *worse*
+than not migrating at all (Figure 1), and that for some workloads
+(YCSB's random accesses, PageRank) migration never pays off.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..mem.frame import Frame
+from .base import TieringPolicy
+
+__all__ = ["NoMigrationPolicy"]
+
+
+class NoMigrationPolicy(TieringPolicy):
+    """First-touch placement, no page movement, no reclaim pressure relief."""
+
+    name = "no-migration"
+
+    def demote_page(self, frame: Frame, cpu) -> Tuple[bool, float]:
+        # kswapd finds nothing reclaimable; allocations simply spill to
+        # the slow tier via the allocator's fallback.
+        return False, 0.0

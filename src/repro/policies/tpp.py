@@ -1,0 +1,118 @@
+"""TPP: Transparent Page Placement (Maruf et al., ASPLOS'23).
+
+The state-of-the-art baseline the paper measures against. Mechanisms,
+per Section 2.2 of the Nomad paper:
+
+* slow-tier pages are armed ``prot_none`` (NUMA-hint machinery); every
+  touch takes a minor fault;
+* in the fault handler, if the page sits on the *active* LRU list it is
+  promoted **synchronously** with the stock unmap-copy-remap migration --
+  on the application's critical path, retried up to 10 times;
+* pages not yet on the active list feed ``mark_page_accessed``; because
+  activation requests batch in a 15-entry pagevec, one page may need up
+  to 15 hint faults before it becomes promotable;
+* demotion is asynchronous: ``kswapd`` migrates cold inactive pages to
+  the slow tier when the fast tier falls below its watermarks
+  (allocation and reclamation are decoupled).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..kernel.migrate import MAX_RETRIES, sync_migrate_page
+from ..mem.frame import Frame
+from ..mem.tiers import FAST_TIER, SLOW_TIER
+from ..mmu.faults import Fault
+from ..mmu.pte import PTE_PROT_NONE
+from .base import TieringPolicy
+
+__all__ = ["TppPolicy"]
+
+
+class TppPolicy(TieringPolicy):
+    """Transparent Page Placement."""
+
+    name = "tpp"
+
+    def __init__(
+        self,
+        machine,
+        promotion_enabled: bool = True,
+        hint_fault_latency_cycles: float = 30_000_000.0,
+    ) -> None:
+        super().__init__(machine)
+        self.promotion_enabled = promotion_enabled
+        # The TPP kernel series also promotes on low hint-fault latency:
+        # two hint faults on the same page within this window indicate a
+        # hot page even before LRU activation catches up. Under
+        # thrashing this makes TPP's promotion volume comparable to
+        # Nomad's (Table 2) -- every one of them synchronous.
+        self.hint_fault_latency_cycles = hint_fault_latency_cycles
+        self._last_hint_fault = {}
+
+    def install(self) -> None:
+        self.machine.start_numa_scanner()
+
+    # ------------------------------------------------------------------
+    def handle_hint_fault(self, fault: Fault, cpu) -> float:
+        m = self.machine
+        pt = fault.space.page_table
+        cycles = 0.0
+
+        # Make the page accessible again (the fault unprotects it).
+        pt.clear_flags(fault.vpn, PTE_PROT_NONE)
+        cycles += m.costs.pte_update
+        m.stats.bump("tpp.hint_faults")
+
+        _flags, gpfn = pt.entry(fault.vpn)
+        frame = m.tiers.frame(gpfn)
+        if frame.node_id != SLOW_TIER:
+            return cycles
+
+        # LRU temperature protocol: referenced -> pagevec -> active.
+        m.lru.mark_accessed(frame)
+        cycles += m.costs.lru_op
+
+        now = m.engine.now
+        key = (fault.space.asid, fault.vpn)
+        last = self._last_hint_fault.get(key)
+        self._last_hint_fault[key] = now
+        low_latency = (
+            last is not None and now - last < self.hint_fault_latency_cycles
+        )
+
+        if self.promotion_enabled and (frame.active or low_latency):
+            # Synchronous promotion, on the application's critical path.
+            result = sync_migrate_page(
+                m, frame, FAST_TIER, cpu, category="promotion"
+            )
+            cycles += result.cycles
+            if result.success:
+                m.stats.bump("tpp.promotions")
+            else:
+                m.stats.bump("tpp.promotion_failures")
+                if result.reason == "nomem":
+                    # migrate_pages() loops on allocation failure: each of
+                    # the remaining attempts re-enters setup and the
+                    # allocator before giving up (up to 10 total). These
+                    # are the kernel-time bursts the paper observes when
+                    # the fast tier is saturated (Section 4.2, Figure 16).
+                    retry_cycles = (m.costs.migrate_setup + m.costs.alloc_page) * (
+                        MAX_RETRIES - 1
+                    )
+                    cpu.account("promotion", retry_cycles)
+                    cycles += retry_cycles
+                    m.stats.bump("tpp.promotion_retry_storms")
+        return cycles
+
+    # ------------------------------------------------------------------
+    def demote_page(self, frame: Frame, cpu) -> Tuple[bool, float]:
+        if frame.node_id != FAST_TIER:
+            return False, 0.0
+        result = sync_migrate_page(
+            self.machine, frame, SLOW_TIER, cpu, category="demotion"
+        )
+        if result.success:
+            self.machine.stats.bump("tpp.demotions")
+        return result.success, result.cycles

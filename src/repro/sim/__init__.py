@@ -1,0 +1,43 @@
+"""Simulation substrate: event engine, CPUs, costs, platforms, stats."""
+
+from .costs import CACHELINE, PAGE_SIZE, CostModel
+from .cpu import Cpu, CpuSet
+from .engine import Engine, Event, Process, SimulationError
+from .platform import (
+    PAGES_PER_GB,
+    Platform,
+    gb_to_pages,
+    get_platform,
+    platform_a,
+    platform_b,
+    platform_c,
+    platform_d,
+)
+from .stats import PhaseReport, Stats, WindowSample
+from .trace import DEFAULT_TRACED, TraceEvent, TraceRecorder
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Process",
+    "SimulationError",
+    "Cpu",
+    "CpuSet",
+    "CostModel",
+    "PAGE_SIZE",
+    "CACHELINE",
+    "Platform",
+    "platform_a",
+    "platform_b",
+    "platform_c",
+    "platform_d",
+    "get_platform",
+    "gb_to_pages",
+    "PAGES_PER_GB",
+    "Stats",
+    "PhaseReport",
+    "WindowSample",
+    "TraceRecorder",
+    "TraceEvent",
+    "DEFAULT_TRACED",
+]

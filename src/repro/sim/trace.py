@@ -1,0 +1,157 @@
+"""Event tracing: a timestamped record of page-management activity.
+
+Attach a :class:`TraceRecorder` to a machine to capture migrations,
+faults, transactions, and reclaim events as structured records -- the
+simulator's equivalent of the kernel's tracepoints
+(``trace_mm_migrate_pages`` and friends). Used by debugging tools, the
+trace example, and tests that assert on event *ordering* rather than
+just aggregate counters.
+
+The recorder hooks the statistics sink (every event of interest already
+bumps a counter) rather than instrumenting each code path, so enabling
+it changes no simulated behaviour.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["TraceEvent", "TraceRecorder", "DEFAULT_TRACED"]
+
+# Counter names worth tracing by default, with a short event name.
+DEFAULT_TRACED: Dict[str, str] = {
+    "migrate.promotions": "promotion",
+    "migrate.demotions": "demotion",
+    "nomad.tpm_commits": "tpm_commit",
+    "nomad.tpm_aborts": "tpm_abort",
+    "nomad.remap_demotions": "remap_demotion",
+    "nomad.shadow_faults": "shadow_fault",
+    "nomad.shadows_reclaimed": "shadow_reclaim",
+    "fault.hint": "hint_fault",
+    "fault.not_present": "demand_page",
+    "kswapd.passes": "reclaim_pass",
+    "memtis.coolings": "cooling",
+    "tpp.promotion_retry_storms": "retry_storm",
+}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced occurrence."""
+
+    time: float  # cycles
+    event: str
+    amount: float
+
+    def as_row(self) -> Tuple[float, str, float]:
+        return (self.time, self.event, self.amount)
+
+
+class TraceRecorder:
+    """Streams counter bumps into a timestamped event list."""
+
+    def __init__(
+        self,
+        machine,
+        traced: Optional[Dict[str, str]] = None,
+        capacity: int = 100_000,
+    ) -> None:
+        self.machine = machine
+        self.traced = dict(DEFAULT_TRACED if traced is None else traced)
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        self._attached = False
+        self._original_bump: Optional[Callable] = None
+
+    # ------------------------------------------------------------------
+    def attach(self) -> "TraceRecorder":
+        """Start recording (idempotent)."""
+        if self._attached:
+            return self
+        stats = self.machine.stats
+        self._original_bump = stats.bump
+        recorder = self
+
+        def traced_bump(name: str, amount: float = 1.0) -> None:
+            recorder._original_bump(name, amount)
+            event = recorder.traced.get(name)
+            if event is not None:
+                recorder._record(event, amount)
+
+        stats.bump = traced_bump
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self._attached:
+            self.machine.stats.bump = self._original_bump
+            self._attached = False
+
+    def __enter__(self) -> "TraceRecorder":
+        return self.attach()
+
+    def __exit__(self, *exc) -> None:
+        self.detach()
+
+    # ------------------------------------------------------------------
+    def _record(self, event: str, amount: float) -> None:
+        if len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(time=self.machine.engine.now, event=event, amount=amount)
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def select(self, event: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.event == event]
+
+    def counts(self) -> Counter:
+        counter: Counter = Counter()
+        for e in self.events:
+            counter[e.event] += 1
+        return counter
+
+    def between(self, start: float, end: float) -> List[TraceEvent]:
+        return [e for e in self.events if start <= e.time < end]
+
+    def rate_per_mcycle(self, event: str, bucket_cycles: float = 1e6):
+        """Histogram of event occurrences per time bucket."""
+        buckets: Dict[int, int] = {}
+        for e in self.events:
+            if e.event == event:
+                buckets[int(e.time // bucket_cycles)] = (
+                    buckets.get(int(e.time // bucket_cycles), 0) + 1
+                )
+        return dict(sorted(buckets.items()))
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_csv(self) -> str:
+        """Render the trace as CSV (time_cycles,event,amount)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(("time_cycles", "event", "amount"))
+        for e in self.events:
+            writer.writerow(e.as_row())
+        return buf.getvalue()
+
+    def summary(self) -> Dict[str, float]:
+        """Event totals plus trace span, for quick inspection."""
+        counts = self.counts()
+        out: Dict[str, float] = dict(counts)
+        if self.events:
+            out["_span_cycles"] = self.events[-1].time - self.events[0].time
+        out["_dropped"] = self.dropped
+        return out

@@ -1,0 +1,423 @@
+"""The simulated machine: engine + tiers + MMU + kernel daemons + policy.
+
+``Machine`` is the composition root. A typical experiment builds one,
+installs a tiering policy, binds one or more workloads, and runs:
+
+    from repro import Machine, platform_a
+    from repro.core import NomadPolicy
+    from repro.workloads import ZipfianMicrobench
+
+    machine = Machine(platform_a())
+    machine.set_policy(NomadPolicy(machine))
+    wl = ZipfianMicrobench(machine, wss_gb=10, rss_gb=20)
+    report = machine.run_workload(wl, total_accesses=400_000)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .kernel.lru import LruManager
+from .kernel.numa_fault import NumaHintScanner
+from .kernel.reclaim import Kswapd
+from .mem.frame import Frame, FrameFlags
+from .mem.tiers import FAST_TIER, SLOW_TIER, TieredMemory
+from .mmu.access import AccessEngine
+from .mmu.address_space import AddressSpace
+from .mmu.faults import Fault, FaultType, UnhandledFault
+from .mmu.pte import (
+    PTE_ACCESSED,
+    PTE_DIRTY,
+    PTE_PRESENT,
+    PTE_PROT_NONE,
+    PTE_WRITE,
+)
+from .mmu.tlb import TlbDirectory
+from .sim.cpu import Cpu, CpuSet
+from .sim.engine import Engine
+from .sim.platform import Platform, gb_to_pages
+from .sim.stats import Stats, WindowSample
+
+__all__ = ["Machine", "MachineConfig", "RunReport"]
+
+
+@dataclass
+class MachineConfig:
+    """Tunables that are not part of a platform's hardware description."""
+
+    chunk_size: int = 256
+    watermark_scale: float = 0.02
+    numa_scan_period: float = 400_000.0
+    numa_pages_per_scan: int = 512
+    address_space_pages: int = 1 << 16
+    transient_frac: float = 0.25
+    stable_frac: float = 0.25
+
+
+@dataclass
+class RunReport:
+    """What :meth:`Machine.run_workload` returns."""
+
+    transient: "object"
+    stable: "object"
+    overall: "object"
+    counters: Dict[str, float]
+    cycles: float
+    breakdowns: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+class Machine:
+    """A two-tier machine instance."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        config: Optional[MachineConfig] = None,
+    ) -> None:
+        self.platform = platform
+        self.config = config or MachineConfig()
+        self.engine = Engine()
+        self.costs = platform.cost_model()
+        self.stats = Stats(freq_ghz=platform.freq_ghz)
+        self.cpus = CpuSet(self.engine, self.stats)
+        self.tiers = TieredMemory(
+            platform.fast_pages,
+            platform.slow_pages,
+            watermark_scale=self.config.watermark_scale,
+        )
+        self.lru = LruManager(self.tiers, self.stats)
+        self.tlb_directory = TlbDirectory()
+        self.access = AccessEngine(self)
+        self.spaces: List[AddressSpace] = []
+        self.policy = None
+        self.kswapd = [Kswapd(self, FAST_TIER), Kswapd(self, SLOW_TIER)]
+        for daemon in self.kswapd:
+            daemon.start()
+        self.tiers.on_low_watermark = self._on_low_watermark
+        self.tiers.on_alloc_fail = self._on_alloc_fail
+        self.scanner: Optional[NumaHintScanner] = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def set_policy(self, policy) -> None:
+        if self.policy is not None:
+            raise RuntimeError("policy already installed")
+        self.policy = policy
+        policy.install()
+
+    def start_numa_scanner(self, task_cpu_name: str = "app0") -> None:
+        """Policies that rely on hint faults call this from install()."""
+        if self.scanner is None:
+            self.scanner = NumaHintScanner(
+                self,
+                scan_period=self.config.numa_scan_period,
+                pages_per_scan=self.config.numa_pages_per_scan,
+                task_cpu_name=task_cpu_name,
+            )
+            self.scanner.start()
+
+    def create_space(self, name: str = "") -> AddressSpace:
+        space = AddressSpace(self.config.address_space_pages, name)
+        self.spaces.append(space)
+        return space
+
+    def _on_low_watermark(self, tier: int) -> None:
+        self.kswapd[tier].wake()
+
+    def _on_alloc_fail(self, tier: int, nr: int) -> int:
+        if self.policy is None:
+            return 0
+        return self.policy.on_alloc_fail(tier, nr)
+
+    def on_frame_replaced(self, old: Frame, new: Frame) -> None:
+        """Notify the policy that a migration replaced `old` with `new`."""
+        if self.policy is not None:
+            self.policy.on_frame_replaced(old, new)
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+    def handle_fault(self, fault: Fault, cpu: Cpu) -> float:
+        """Dispatch a fault; returns cycles spent (already accounted)."""
+        costs = self.costs
+        if fault.kind is FaultType.WRITE_PROTECT:
+            # The shadow page fault is a short protection fix-up: flag
+            # check, soft-bit restore, shadow free -- no rmap walk or
+            # allocation, so only the trap itself is charged here.
+            cycles = costs.fault_trap
+        else:
+            cycles = costs.fault_trap + costs.fault_handle
+        cpu.account("fault", cycles)
+        self.stats.bump("fault.total")
+        self.stats.bump(f"fault.{fault.kind.value}")
+
+        if fault.kind is FaultType.NOT_PRESENT:
+            cycles += self._demand_page(fault, cpu)
+        elif fault.kind is FaultType.HINT:
+            if self.policy is None:
+                raise UnhandledFault(fault, "hint fault with no policy")
+            cycles += self.policy.handle_hint_fault(fault, cpu)
+        else:  # WRITE_PROTECT
+            if self.policy is None:
+                raise UnhandledFault(fault, "write-protect fault with no policy")
+            cycles += self.policy.handle_wp_fault(fault, cpu)
+        return cycles
+
+    def _demand_page(self, fault: Fault, cpu: Cpu) -> float:
+        """First-touch allocation with the default placement policy."""
+        preferred = FAST_TIER
+        if self.policy is not None:
+            preferred = self.policy.alloc_preference(fault)
+        frame = self.tiers.alloc_page(preferred)
+        gpfn = self.tiers.gpfn(frame)
+        flags = PTE_WRITE | PTE_ACCESSED
+        if fault.write:
+            flags |= PTE_DIRTY
+        fault.space.page_table.map(fault.vpn, gpfn, flags)
+        frame.add_rmap(fault.space, fault.vpn)
+        self.lru.add_new_page(frame)
+        self.stats.bump("fault.demand_paged")
+        cycles = self.costs.alloc_page + self.costs.pte_update + self.costs.lru_op
+        cpu.account("fault", cycles)
+        if self.policy is not None:
+            self.policy.on_demand_page(fault, frame)
+        return cycles
+
+    # ------------------------------------------------------------------
+    # TLB shootdown
+    # ------------------------------------------------------------------
+    def tlb_shootdown(self, space: AddressSpace, vpn: int, initiator: Cpu) -> float:
+        """Invalidate all cached translations of (space, vpn).
+
+        Returns the initiator-side cost; remote CPUs receive IPI stalls.
+        """
+        holders = self.tlb_directory.shootdown(space.asid, vpn)
+        holders.discard(initiator.name)
+        remote = [self.cpus.get(name) for name in holders]
+        self.cpus.broadcast_ipi(initiator, remote)
+        cost = self.costs.shootdown_cycles(len(remote))
+        self.stats.bump("tlb.shootdowns")
+        self.stats.bump("tlb.shootdown_ipis", len(remote))
+        return cost
+
+    # ------------------------------------------------------------------
+    # Setup-time page placement (no simulated cost)
+    # ------------------------------------------------------------------
+    def populate(
+        self,
+        space: AddressSpace,
+        vpns,
+        tier: int,
+        writable: bool = True,
+    ) -> int:
+        """Map frames for ``vpns`` on ``tier`` (best effort, spills to the
+        other tier when full). Models the paper's initial placement step.
+        Returns how many pages landed on the requested tier."""
+        on_tier = 0
+        flags = PTE_WRITE if writable else 0
+        for vpn in vpns:
+            vpn = int(vpn)
+            if space.page_table.is_present(vpn):
+                continue
+            frame = self.tiers.alloc_on(tier)
+            if frame is None:
+                frame = self.tiers.alloc_page(tier)
+            else:
+                on_tier += 1
+            space.page_table.map(vpn, self.tiers.gpfn(frame), flags)
+            frame.add_rmap(space, vpn)
+            self.lru.add_new_page(frame)
+        return on_tier
+
+    def demote_all(self, space: AddressSpace) -> int:
+        """Move every fast-tier page of ``space`` to the slow tier.
+
+        Models the paper's "customized tool to demote all memory pages to
+        the slow tier before starting the experiment" (Section 4.2).
+        Setup-time only: no cycles are charged. Returns pages moved.
+        """
+        moved = 0
+        pt = space.page_table
+        for vpn in pt.mapped_vpns():
+            vpn = int(vpn)
+            gpfn = int(pt.gpfn[vpn])
+            if self.tiers.tier_of(gpfn) != FAST_TIER:
+                continue
+            frame = self.tiers.frame(gpfn)
+            if frame.mapcount != 1 or frame.locked:
+                continue
+            new = self.tiers.alloc_on(SLOW_TIER)
+            if new is None:
+                break
+            flags, _ = pt.unmap(vpn)
+            pt.map(vpn, self.tiers.gpfn(new), flags & ~PTE_PRESENT)
+            new.add_rmap(space, vpn)
+            frame.remove_rmap(space, vpn)
+            self.lru.transfer(frame, new)
+            frame.flags &= FrameFlags.LRU  # clear stray flags
+            self.tiers.free_page(frame)
+            moved += 1
+        return moved
+
+    # ------------------------------------------------------------------
+    # Running workloads
+    # ------------------------------------------------------------------
+    def run_workload(
+        self,
+        workload,
+        app_cpu: str = "app0",
+        run_cycles: Optional[float] = None,
+        threads: int = 1,
+    ) -> RunReport:
+        """Bind and execute ``workload`` to completion (or ``run_cycles``).
+
+        With ``threads > 1`` the workload runs as several application
+        threads sharing one address space, each on its own core pulling
+        chunks from the same access stream -- pages become visible to
+        multiple TLBs, so migrations pay multi-CPU shootdowns (the
+        Section 3.3 cost the paper analyses).
+
+        Returns a :class:`RunReport` with transient/stable phase
+        summaries, counter deltas, and per-CPU time breakdowns.
+        """
+        if threads < 1:
+            raise ValueError("need at least one thread")
+        workload.bind(self)
+        procs = []
+        if threads == 1:
+            cpu = self.cpus.get(app_cpu)
+            procs.append(
+                self.engine.spawn(
+                    self._app_proc(workload, cpu), name=f"app:{workload.name}"
+                )
+            )
+        else:
+            shared_chunks = workload.chunks()
+            for t in range(threads):
+                cpu = self.cpus.get(f"app{t}")
+                procs.append(
+                    self.engine.spawn(
+                        self._thread_proc(workload, cpu, shared_chunks),
+                        name=f"app:{workload.name}:t{t}",
+                    )
+                )
+        start_counters = self.stats.snapshot()
+        # Daemons keep the event queue populated forever; run until the
+        # application processes complete (or the cycle budget expires).
+        for proc in procs:
+            if proc.alive:
+                self.engine.run(until=run_cycles, until_event=proc.done_event)
+        if threads > 1 and all(not p.alive for p in procs):
+            workload.on_finish()
+        if run_cycles is None and any(p.alive for p in procs):
+            raise RuntimeError("engine drained but the workload did not finish")
+        cfg = self.config
+        counters = {
+            k: self.stats.counters[k] - start_counters.get(k, 0.0)
+            for k in self.stats.counters
+        }
+        report = RunReport(
+            transient=self.stats.phase_report("transient", 0.0, cfg.transient_frac),
+            stable=self.stats.phase_report("stable", 1.0 - cfg.stable_frac, 1.0),
+            overall=self.stats.phase_report("overall", 0.0, 1.0),
+            counters=counters,
+            cycles=self.engine.now,
+            breakdowns={
+                name: self.stats.breakdown(name) for name in self.cpus.names()
+            },
+        )
+        return report
+
+    def run_workloads(
+        self,
+        workloads,
+        app_cpus: Optional[List[str]] = None,
+        run_cycles: Optional[float] = None,
+    ) -> List[RunReport]:
+        """Co-run several workloads, one application core each.
+
+        Models multi-tenant pressure on the fast tier: every workload
+        allocates from, and migrates within, the same tiered memory.
+        Returns one report per workload, with per-workload phase metrics
+        and the shared (machine-global) counters.
+        """
+        if not workloads:
+            raise ValueError("need at least one workload")
+        if app_cpus is None:
+            app_cpus = [f"app{i}" for i in range(len(workloads))]
+        if len(app_cpus) != len(workloads):
+            raise ValueError("need one CPU per workload")
+        start_counters = self.stats.snapshot()
+        private_windows: List[List[WindowSample]] = [[] for _ in workloads]
+        procs = []
+        for workload, cpu_name, windows in zip(workloads, app_cpus, private_windows):
+            cpu = self.cpus.get(cpu_name)
+            procs.append(
+                self.engine.spawn(
+                    self._app_proc(workload, cpu, sink=windows.append),
+                    name=f"app:{workload.name}",
+                )
+            )
+        deadline = run_cycles
+        for proc in procs:
+            if proc.alive:
+                self.engine.run(until=deadline, until_event=proc.done_event)
+        counters = {
+            k: self.stats.counters[k] - start_counters.get(k, 0.0)
+            for k in self.stats.counters
+        }
+        cfg = self.config
+        reports = []
+        for workload, windows in zip(workloads, private_windows):
+            scratch = Stats(freq_ghz=self.platform.freq_ghz)
+            scratch.windows = windows
+            reports.append(
+                RunReport(
+                    transient=scratch.phase_report(
+                        "transient", 0.0, cfg.transient_frac
+                    ),
+                    stable=scratch.phase_report("stable", 1.0 - cfg.stable_frac, 1.0),
+                    overall=scratch.phase_report("overall", 0.0, 1.0),
+                    counters=counters,
+                    cycles=self.engine.now,
+                    breakdowns={
+                        name: self.stats.breakdown(name)
+                        for name in self.cpus.names()
+                    },
+                )
+            )
+        return reports
+
+    def _app_proc(self, workload, cpu: Cpu, sink=None):
+        workload.bind(self)
+        yield from self._thread_proc(workload, cpu, workload.chunks(), sink)
+        workload.on_finish()
+
+    def _thread_proc(self, workload, cpu: Cpu, chunks, sink=None):
+        """One application thread draining (part of) an access stream."""
+        compute = workload.compute_cycles_per_access
+        for vpns, writes in chunks:
+            start = self.engine.now
+            result = self.access.run_chunk(workload.space, cpu, vpns, writes)
+            cycles = result.cycles
+            if compute:
+                extra = compute * len(vpns)
+                cpu.account("compute", extra)
+                cycles += extra
+            sample = WindowSample(
+                start=start,
+                end=start + cycles,
+                reads=result.reads,
+                writes=result.writes,
+                read_cycles=result.read_cycles,
+                write_cycles=result.write_cycles,
+                latency_hist=result.latency_hist,
+            )
+            self.stats.record_window(sample)
+            if sink is not None:
+                sink(sample)
+            yield cycles

@@ -1,0 +1,27 @@
+"""Workloads: the paper's micro-benchmarks and application models."""
+
+from .base import Workload, ZipfGenerator
+from .kvstore import KvStoreLayout
+from .liblinear import LiblinearWorkload
+from .pagerank import PageRankWorkload
+from .pointer_chase import PointerChase
+from .seqscan import SeqScanWorkload
+from .trace_file import TraceWorkload, record_trace
+from .ycsb import YCSB_CASES, YcsbWorkload
+from .zipfian import SCENARIOS, ZipfianMicrobench
+
+__all__ = [
+    "Workload",
+    "ZipfGenerator",
+    "ZipfianMicrobench",
+    "SCENARIOS",
+    "PointerChase",
+    "KvStoreLayout",
+    "YcsbWorkload",
+    "YCSB_CASES",
+    "PageRankWorkload",
+    "LiblinearWorkload",
+    "SeqScanWorkload",
+    "TraceWorkload",
+    "record_trace",
+]

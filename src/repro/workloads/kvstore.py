@@ -1,0 +1,78 @@
+"""An in-simulator Redis-like key-value store memory model.
+
+The paper drives Redis with YCSB; what the tiering layer sees is the KV
+store's *page-level* footprint:
+
+* a hash-table index (pointer array touched on every operation),
+* a value heap where each record's data lives.
+
+We model both regions explicitly. An operation touches the index page
+for the key's bucket plus the value page(s) holding the record. Records
+are packed ``records_per_page`` to a page, so key skew translates to
+page skew exactly as in a real allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..sim.costs import PAGE_SIZE
+from ..sim.platform import gb_to_pages
+
+__all__ = ["KvStoreLayout"]
+
+
+@dataclass
+class KvStoreLayout:
+    """Page-level geometry of the store."""
+
+    nr_records: int
+    records_per_page: int = 2
+    index_entries_per_page: int = PAGE_SIZE // 8  # 8-byte bucket pointers
+
+    def __post_init__(self) -> None:
+        if self.nr_records <= 0:
+            raise ValueError("store needs at least one record")
+        if self.records_per_page <= 0:
+            raise ValueError("records_per_page must be positive")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_rss_gb(cls, rss_gb: float, records_per_page: int = 2) -> "KvStoreLayout":
+        """Size a store so index + values occupy ~``rss_gb``."""
+        total_pages = gb_to_pages(rss_gb)
+        entries_per_page = PAGE_SIZE // 8
+        # value_pages = records / rpp ; index_pages = records / epp
+        # total = records * (1/rpp + 1/epp)
+        per_record = 1.0 / records_per_page + 1.0 / entries_per_page
+        nr_records = max(1, int(total_pages / per_record))
+        return cls(nr_records=nr_records, records_per_page=records_per_page)
+
+    @property
+    def value_pages(self) -> int:
+        return -(-self.nr_records // self.records_per_page)
+
+    @property
+    def index_pages(self) -> int:
+        return -(-self.nr_records // self.index_entries_per_page)
+
+    @property
+    def total_pages(self) -> int:
+        return self.value_pages + self.index_pages
+
+    # ------------------------------------------------------------------
+    def pages_for_keys(
+        self, keys: np.ndarray, index_start: int, value_start: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Map record keys to (index page vpns, value page vpns).
+
+        The bucket for a key is a multiplicative hash so index traffic is
+        spread uniformly regardless of key skew.
+        """
+        hashed = (keys * np.int64(2654435761)) % np.int64(self.nr_records)
+        index_vpns = index_start + (hashed // self.index_entries_per_page)
+        value_vpns = value_start + (keys // self.records_per_page)
+        return index_vpns.astype(np.int64), value_vpns.astype(np.int64)

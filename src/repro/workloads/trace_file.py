@@ -1,0 +1,144 @@
+"""Replayable access traces: record, save, load, and replay.
+
+Lets users bring their own page-access traces (e.g. converted from a
+real application's memory profile) and evaluate the tiering policies on
+them, or capture a synthetic workload's trace once and replay it
+bit-identically against several policies.
+
+The on-disk format is a compressed ``.npz`` holding the vpn array, the
+write mask, the page-count of the trace's footprint, and the initial
+fast-tier fraction.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..mem.tiers import FAST_TIER, SLOW_TIER
+from .base import Workload
+
+__all__ = ["TraceWorkload", "record_trace"]
+
+_FORMAT_VERSION = 1
+
+
+class TraceWorkload(Workload):
+    """Replays a fixed (vpns, writes) trace over a two-tier layout.
+
+    ``vpns`` are trace-relative page numbers in ``[0, nr_pages)``; the
+    workload maps them into its own address space at bind time. The
+    first ``fast_fraction`` of the footprint is initially placed on the
+    fast tier (spilling if full), the rest on the slow tier.
+    """
+
+    name = "trace-replay"
+
+    def __init__(
+        self,
+        vpns: np.ndarray,
+        writes: np.ndarray,
+        nr_pages: Optional[int] = None,
+        fast_fraction: float = 1.0,
+        chunk_size=None,
+        seed: int = 0,
+    ) -> None:
+        vpns = np.asarray(vpns, dtype=np.int64)
+        writes = np.asarray(writes, dtype=bool)
+        if len(vpns) == 0:
+            raise ValueError("trace must contain at least one access")
+        if len(vpns) != len(writes):
+            raise ValueError("vpns and writes must have equal length")
+        if vpns.min() < 0:
+            raise ValueError("trace vpns must be non-negative")
+        super().__init__(total_accesses=len(vpns), chunk_size=chunk_size, seed=seed)
+        self.trace_vpns = vpns
+        self.trace_writes = writes
+        self.nr_pages = int(nr_pages if nr_pages is not None else vpns.max() + 1)
+        if self.nr_pages <= int(vpns.max()):
+            raise ValueError("nr_pages smaller than the trace footprint")
+        if not 0.0 <= fast_fraction <= 1.0:
+            raise ValueError("fast_fraction must be in [0, 1]")
+        self.fast_fraction = fast_fraction
+        self._pos = 0
+        self._start = 0
+
+    # ------------------------------------------------------------------
+    def setup(self) -> None:
+        vma = self.space.mmap(self.nr_pages, name="trace")
+        self._start = vma.start
+        vpns = np.asarray(list(vma.vpns()))
+        split = int(self.nr_pages * self.fast_fraction)
+        self._populate(vpns[:split], FAST_TIER)
+        self._populate(vpns[split:], SLOW_TIER)
+
+    def generate(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        chunk = slice(self._pos, self._pos + n)
+        self._pos += n
+        return (
+            self._start + self.trace_vpns[chunk],
+            self.trace_writes[chunk].copy(),
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace as a compressed .npz file."""
+        np.savez_compressed(
+            Path(path),
+            version=np.int64(_FORMAT_VERSION),
+            vpns=self.trace_vpns,
+            writes=self.trace_writes,
+            nr_pages=np.int64(self.nr_pages),
+            fast_fraction=np.float64(self.fast_fraction),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path], **kwargs) -> "TraceWorkload":
+        """Load a trace written by :meth:`save`."""
+        with np.load(Path(path)) as data:
+            version = int(data["version"])
+            if version != _FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported trace format version {version} "
+                    f"(expected {_FORMAT_VERSION})"
+                )
+            return cls(
+                vpns=data["vpns"],
+                writes=data["writes"],
+                nr_pages=int(data["nr_pages"]),
+                fast_fraction=float(data["fast_fraction"]),
+                **kwargs,
+            )
+
+
+def record_trace(
+    workload: Workload,
+    machine,
+    fast_fraction: float = 1.0,
+) -> TraceWorkload:
+    """Capture another workload's access stream into a TraceWorkload.
+
+    Binds ``workload`` to ``machine`` (for layout) and drains its chunk
+    generator *without executing any accesses*; the result replays the
+    identical stream. The captured vpns are rebased to be trace-relative.
+    """
+    workload.bind(machine)
+    parts_v = []
+    parts_w = []
+    for vpns, writes in workload.chunks():
+        parts_v.append(np.asarray(vpns, dtype=np.int64))
+        parts_w.append(np.asarray(writes, dtype=bool))
+    vpns = np.concatenate(parts_v)
+    writes = np.concatenate(parts_w)
+    base = int(vpns.min())
+    footprint = int(vpns.max()) - base + 1
+    return TraceWorkload(
+        vpns=vpns - base,
+        writes=writes,
+        nr_pages=footprint,
+        fast_fraction=fast_fraction,
+    )

@@ -1,0 +1,114 @@
+"""Derived-metric analysis helpers."""
+
+import pytest
+
+from repro.bench.analysis import (
+    fault_overhead_per_access,
+    migration_profile,
+    stability_point,
+    thrash_index,
+    tier_hit_estimate,
+)
+from repro.bench.runner import run_experiment
+from repro.workloads import ZipfianMicrobench
+
+from ..conftest import tiny_platform
+
+
+def test_thrash_index_extremes():
+    assert thrash_index(0, 0) == 0.0
+    assert thrash_index(100, 0) == 0.0
+    assert thrash_index(100, 100) == 1.0
+    assert thrash_index(100, 50) == 0.5
+
+
+def test_migration_profile_from_counters():
+    counters = {
+        "migrate.promotions": 100.0,
+        "migrate.demotions": 80.0,
+        "nomad.tpm_commits": 90.0,
+        "nomad.tpm_aborts": 10.0,
+        "nomad.remap_demotions": 40.0,
+        "nomad.shadow_faults": 25.0,
+        "fault.hint": 200.0,
+    }
+    profile = migration_profile(counters)
+    assert profile.abort_rate == pytest.approx(0.1)
+    assert profile.remap_share == pytest.approx(0.5)
+    assert profile.faults_per_promotion == pytest.approx(2.0)
+    assert profile.thrash_index == pytest.approx(0.8)
+    assert profile.as_dict()["promotions"] == 100.0
+
+
+def test_migration_profile_handles_zeros():
+    profile = migration_profile({})
+    assert profile.abort_rate == 0.0
+    assert profile.remap_share == 0.0
+    assert profile.faults_per_promotion == 0.0
+
+
+def run_small(policy="nomad", wss_gb=1.5, rss_gb=2.5, accesses=30_000):
+    return run_experiment(
+        tiny_platform(fast_gb=2.0, slow_gb=2.0),
+        policy,
+        lambda: ZipfianMicrobench(
+            wss_gb=wss_gb, rss_gb=rss_gb, total_accesses=accesses
+        ),
+    )
+
+
+def test_fault_overhead_on_real_run():
+    nomig = run_small("no-migration")
+    tpp = run_small("tpp")
+    # TPP's synchronous path costs more per access than no-migration's
+    # (which has no hint faults at all).
+    assert fault_overhead_per_access(tpp.report) > fault_overhead_per_access(
+        nomig.report
+    )
+    assert fault_overhead_per_access(nomig.report) == 0.0
+
+
+def test_stability_point_detects_convergence():
+    result = run_small("nomad", accesses=60_000)
+    point = stability_point(result.machine.stats)
+    # Small WSS converges: stability reached before the end of the run.
+    assert point is not None
+    assert 0.0 <= point < 0.9
+
+
+def test_stability_point_none_for_thrash():
+    result = run_small("nomad", wss_gb=3.0, rss_gb=3.0, accesses=60_000)
+    point = stability_point(result.machine.stats)
+    assert point is None or point > 0.5
+
+
+def test_stability_point_short_run():
+    result = run_small("no-migration", accesses=100)
+    assert stability_point(result.machine.stats) in (None, 0.0)
+
+
+def test_tier_hit_estimate_bounds():
+    result = run_small("nomad", accesses=40_000)
+    fast, slow = result.machine.platform.read_latency_cycles
+    frac = tier_hit_estimate(result.report, fast, slow)
+    assert 0.0 <= frac <= 1.0
+    # Small fitting WSS after convergence: mostly fast-tier hits.
+    assert frac > 0.5
+
+
+def test_tier_hit_estimate_degenerate_latencies():
+    result = run_small("no-migration", accesses=1000)
+    assert tier_hit_estimate(result.report, 300.0, 300.0) == 1.0
+
+
+def test_calibration_matches_specification():
+    from repro.bench.calibration import calibrate
+    from repro.sim.platform import platform_b
+
+    cal = calibrate(platform_b())
+    spec = platform_b()
+    assert cal.fast_read_cycles == spec.read_latency_cycles[0]
+    assert cal.slow_read_cycles == spec.read_latency_cycles[1]
+    assert cal.promote_copy_cycles >= cal.demote_copy_cycles
+    assert cal.hint_fault_cycles > 0
+    assert cal.as_row()["platform"] == "B"

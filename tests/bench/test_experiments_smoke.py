@@ -1,0 +1,108 @@
+"""Smoke tests: every experiment function runs at tiny scale and returns
+well-formed rows. (The shape assertions live in benchmarks/.)"""
+
+import pytest
+
+from repro.bench import experiments as E
+
+TINY = 20_000
+
+
+def test_fig1_rows():
+    rows = E.fig1_tpp_motivation(accesses=TINY)
+    assert len(rows) == 4
+    for row in rows:
+        assert row["tpp_in_progress_gbps"] > 0
+        assert row["no_migration_gbps"] > 0
+
+
+def test_fig2_breakdown_structure():
+    out = E.fig2_time_breakdown(accesses=TINY)
+    assert set(out) == {"app_core", "demotion_core", "total_cycles"}
+    assert out["total_cycles"]["total"] > 0
+    assert out["app_core"]["user"] > 0
+
+
+def test_micro_grid_cells():
+    rows = E.micro_benchmark_grid(
+        "A", policies=("tpp", "nomad"), scenarios=("small",), accesses=TINY
+    )
+    assert len(rows) == 4  # 1 scenario x 2 modes x 2 policies
+    assert {r["policy"] for r in rows} == {"tpp", "nomad"}
+
+
+def test_micro_grid_excludes_memtis_on_d():
+    rows = E.micro_benchmark_grid("D", scenarios=("small",), accesses=TINY)
+    assert not any(r["policy"].startswith("memtis") for r in rows)
+
+
+def test_tab2_rows():
+    rows = E.tab2_migration_counts("A", policies=("nomad",), accesses=TINY)
+    assert len(rows) == 6  # 3 scenarios x 2 modes
+    for row in rows:
+        assert row["inprogress_promotions"] >= 0
+
+
+def test_fig10_rows():
+    rows = E.fig10_pointer_chase(
+        "C", wss_blocks=(4,), policies=("tpp",), accesses=TINY
+    )
+    assert rows[0]["avg_latency_cycles"] > 0
+
+
+def test_tab3_rows():
+    rows = E.tab3_shadow_size(rss_gbs=(20.0,), accesses=TINY)
+    assert rows[0]["shadow_pages"] >= 0
+    assert not rows[0]["oom"]
+
+
+def test_fig11_rows():
+    rows = E.fig11_redis_ycsb(
+        cases=("case1",), policies=("nomad",), accesses=TINY
+    )
+    assert rows[0]["ops_per_sec"] > 0
+
+
+def test_fig12_rows():
+    rows = E.fig12_pagerank(policies=("no-migration",), accesses=TINY)
+    assert rows[0]["throughput_gbps"] > 0
+
+
+def test_fig13_rows():
+    rows = E.fig13_liblinear(policies=("nomad",), accesses=TINY)
+    assert rows[0]["throughput_gbps"] > 0
+
+
+def test_fig14_rows():
+    rows = E.fig14_redis_large(platforms=("C",), policies=("nomad",), accesses=TINY)
+    assert len(rows) == 2  # thrashing + normal
+
+
+def test_fig15_rows():
+    rows = E.fig15_pagerank_large(
+        platforms=("D",), policies=("tpp",), accesses=TINY
+    )
+    assert rows[0]["platform"] == "D"
+
+
+def test_fig16_rows():
+    rows = E.fig16_liblinear_large(
+        platforms=("C",), policies=("nomad",), accesses=TINY
+    )
+    assert rows[0]["throughput_gbps"] > 0
+
+
+def test_tab4_rows():
+    rows = E.tab4_success_rate(platforms=("C",), accesses=TINY)
+    assert {r["workload"] for r in rows} == {"liblinear", "redis"}
+
+
+def test_ablation_variants_rows():
+    rows = E.ablation_nomad_variants(accesses=TINY)
+    names = {r["variant"] for r in rows}
+    assert "nomad-full" in names and "tpp-baseline" in names
+
+
+def test_ablation_reclaim_factor_rows():
+    rows = E.ablation_shadow_reclaim_factor(factors=(1, 10), accesses=TINY)
+    assert [r["factor"] for r in rows] == [1, 10]

@@ -1,0 +1,79 @@
+"""The experiment runner and reporting helpers."""
+
+import pytest
+
+from repro.bench.reporting import format_table, normalize, speedup
+from repro.bench.runner import build_machine, policy_available, run_experiment
+from repro.workloads import SeqScanWorkload
+
+from ..conftest import tiny_platform
+
+
+def test_policy_availability_matrix():
+    assert policy_available("tpp", "D")
+    assert policy_available("nomad", "D")
+    assert not policy_available("memtis-default", "D")
+    assert policy_available("memtis-default", "C")
+    assert policy_available("memtis-quickcool", "a")
+
+
+def test_build_machine_installs_policy():
+    machine = build_machine(tiny_platform(), "tpp")
+    assert machine.policy is not None
+    assert machine.policy.name == "tpp"
+
+
+def test_build_machine_by_platform_name():
+    machine = build_machine("A", "no-migration")
+    assert machine.platform.name == "A"
+
+
+def test_memtis_gets_cxl_blindness_on_platform_a():
+    machine = build_machine("A", "memtis-default")
+    assert machine.policy.cxl_reads_invisible is True
+    machine_c = build_machine("C", "memtis-default")
+    assert machine_c.policy.cxl_reads_invisible is False
+
+
+def test_run_experiment_returns_result():
+    result = run_experiment(
+        tiny_platform(),
+        "tpp",
+        lambda: SeqScanWorkload(rss_gb=0.5, total_accesses=2000),
+    )
+    assert result.policy == "tpp"
+    assert result.overall.accesses == 2000
+    assert result.report.cycles > 0
+    assert result.counter("nonexistent") == 0.0
+
+
+def test_run_experiment_rejects_unavailable_policy():
+    with pytest.raises(ValueError):
+        run_experiment(
+            "D",
+            "memtis-default",
+            lambda: SeqScanWorkload(rss_gb=0.5, total_accesses=100),
+        )
+
+
+def test_format_table_alignment():
+    text = format_table("T", ["a", "bb"], [[1.0, "x"], [2.5, "long"]])
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "1.000" in text and "long" in text
+    # All data rows share the same width.
+    assert len(lines[3]) == len(lines[4])
+
+
+def test_normalize_to_lowest():
+    assert normalize([2.0, 4.0, 1.0]) == [2.0, 4.0, 1.0]
+
+
+def test_normalize_handles_zeros():
+    out = normalize([0.0, 2.0])
+    assert out[1] == 1.0
+
+
+def test_speedup_guards_zero():
+    assert speedup(4.0, 2.0) == 2.0
+    assert speedup(1.0, 0.0) == float("inf")

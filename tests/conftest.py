@@ -1,0 +1,44 @@
+"""Shared fixtures: small machines, tiny platforms, policy factories."""
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.sim.platform import Platform
+
+
+def tiny_platform(fast_gb=1.0, slow_gb=1.0, name="T"):
+    """A small platform for fast unit tests (256 pages per tier-GB)."""
+    return Platform(
+        name=name,
+        description="tiny test platform",
+        freq_ghz=2.0,
+        cpu_count=4,
+        read_latency_cycles=(300.0, 900.0),
+        read_gbps=(12.0, 4.0),
+        write_gbps=(20.0, 20.0),
+        fast_gb=fast_gb,
+        slow_gb=slow_gb,
+    )
+
+
+@pytest.fixture
+def platform():
+    return tiny_platform()
+
+
+@pytest.fixture
+def machine():
+    return Machine(tiny_platform(), MachineConfig(chunk_size=64))
+
+
+def make_machine(fast_gb=1.0, slow_gb=1.0, **config_kwargs):
+    config_kwargs.setdefault("chunk_size", 64)
+    return Machine(
+        tiny_platform(fast_gb=fast_gb, slow_gb=slow_gb),
+        MachineConfig(**config_kwargs),
+    )
+
+
+@pytest.fixture
+def make_machine_fixture():
+    return make_machine

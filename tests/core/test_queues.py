@@ -1,0 +1,142 @@
+"""PCQ and MPQ semantics."""
+
+import pytest
+
+from repro.core.queues import (
+    MigrationPendingQueue,
+    MigrationRequest,
+    PromotionCandidateQueue,
+)
+from repro.mem.frame import Frame
+from repro.mmu.address_space import AddressSpace
+
+
+def request(pfn=0, vpn=0):
+    frame = Frame(pfn, 1)
+    space = AddressSpace(16)
+    frame.add_rmap(space, vpn)
+    return MigrationRequest(frame, space, vpn, frame.generation)
+
+
+def test_pcq_push_and_membership():
+    pcq = PromotionCandidateQueue(4)
+    req = request()
+    pcq.push(req)
+    assert len(pcq) == 1
+    assert req.frame in pcq
+
+
+def test_pcq_duplicate_push_ignored():
+    pcq = PromotionCandidateQueue(4)
+    req = request()
+    pcq.push(req)
+    pcq.push(MigrationRequest(req.frame, req.space, req.vpn, req.generation))
+    assert len(pcq) == 1
+
+
+def test_pcq_capacity_evicts_oldest():
+    pcq = PromotionCandidateQueue(2)
+    reqs = [request(pfn=i) for i in range(3)]
+    for req in reqs:
+        pcq.push(req)
+    assert len(pcq) == 2
+    assert reqs[0].frame not in pcq
+    assert reqs[2].frame in pcq
+
+
+def test_pcq_scan_hot_pops_hot_keeps_cold():
+    pcq = PromotionCandidateQueue(8)
+    hot_req = request(pfn=1)
+    cold_req = request(pfn=2)
+    pcq.push(hot_req)
+    pcq.push(cold_req)
+    hot = pcq.scan_hot(lambda r: r is hot_req, limit=8)
+    assert hot == [hot_req]
+    assert len(pcq) == 1
+    assert cold_req.frame in pcq
+
+
+def test_pcq_scan_respects_limit():
+    pcq = PromotionCandidateQueue(16)
+    reqs = [request(pfn=i) for i in range(10)]
+    for req in reqs:
+        pcq.push(req)
+    hot = pcq.scan_hot(lambda r: True, limit=3)
+    assert len(hot) == 3
+    assert len(pcq) == 7
+
+
+def test_pcq_scan_drops_stale_requests():
+    pcq = PromotionCandidateQueue(8)
+    req = request()
+    pcq.push(req)
+    req.frame.remove_rmap(req.space, req.vpn)  # freed concurrently
+    hot = pcq.scan_hot(lambda r: True, limit=8)
+    assert hot == []
+    assert len(pcq) == 0
+
+
+def test_pcq_scan_drops_reallocated_frames():
+    pcq = PromotionCandidateQueue(8)
+    req = request()
+    pcq.push(req)
+    req.frame.remove_rmap(req.space, req.vpn)
+    req.frame.reset()  # generation bump
+    req.frame.add_rmap(req.space, req.vpn)
+    hot = pcq.scan_hot(lambda r: True, limit=8)
+    assert hot == []
+
+
+def test_pcq_discard():
+    pcq = PromotionCandidateQueue(8)
+    req = request()
+    pcq.push(req)
+    pcq.discard(req.frame)
+    assert len(pcq) == 0
+    pcq.discard(req.frame)  # idempotent
+
+
+def test_pcq_invalid_capacity():
+    with pytest.raises(ValueError):
+        PromotionCandidateQueue(0)
+
+
+def test_mpq_fifo():
+    mpq = MigrationPendingQueue()
+    reqs = [request(pfn=i) for i in range(3)]
+    for req in reqs:
+        assert mpq.push(req)
+    assert mpq.pop() is reqs[0]
+    assert mpq.pop() is reqs[1]
+    assert len(mpq) == 1
+
+
+def test_mpq_duplicate_rejected():
+    mpq = MigrationPendingQueue()
+    req = request()
+    assert mpq.push(req)
+    assert not mpq.push(req)
+
+
+def test_mpq_capacity():
+    mpq = MigrationPendingQueue(capacity=2)
+    for i in range(3):
+        mpq.push(request(pfn=i))
+    assert len(mpq) == 2
+    assert mpq.dropped == 1
+
+
+def test_mpq_pop_empty():
+    assert MigrationPendingQueue().pop() is None
+
+
+def test_mpq_retry_bounded():
+    mpq = MigrationPendingQueue(max_attempts=3)
+    req = request()
+    assert mpq.retry(req)  # attempt 1
+    mpq.pop()
+    assert mpq.retry(req)  # attempt 2
+    mpq.pop()
+    assert not mpq.retry(req)  # attempt 3 -> dropped
+    assert mpq.dropped == 1
+    assert len(mpq) == 0

@@ -1,0 +1,78 @@
+"""Whole-machine invariants checked after arbitrary simulation runs."""
+
+from repro.mem.frame import FrameFlags
+from repro.mmu.pte import (
+    PTE_PRESENT,
+    PTE_SOFT_SHADOW_RW,
+    PTE_WRITE,
+)
+
+__all__ = ["check_invariants"]
+
+
+def check_invariants(machine) -> None:
+    _check_frame_accounting(machine)
+    _check_lru_consistency(machine)
+    _check_shadow_invariants(machine)
+
+
+def _check_frame_accounting(machine) -> None:
+    """Every present PTE points at a frame that maps it back, and no
+    free frame is mapped or on an LRU list."""
+    for space in machine.spaces:
+        pt = space.page_table
+        for vpn in pt.mapped_vpns():
+            vpn = int(vpn)
+            gpfn = int(pt.gpfn[vpn])
+            assert gpfn >= 0, f"present vpn {vpn} with invalid gpfn"
+            frame = machine.tiers.frame(gpfn)
+            assert (space, vpn) in frame.rmap, (
+                f"vpn {vpn} -> gpfn {gpfn} missing rmap entry"
+            )
+    for node in machine.tiers.nodes:
+        free = set(node._free)
+        for pfn in free:
+            frame = node.frames[pfn]
+            assert not frame.mapped, f"free pfn {pfn} is mapped"
+            assert not frame.on_lru, f"free pfn {pfn} on LRU"
+            assert not frame.is_shadow, f"free pfn {pfn} is a shadow"
+        assert len(free) == node.nr_free, "free-list duplication"
+
+
+def _check_lru_consistency(machine) -> None:
+    """LRU flag state matches list membership, one list per frame."""
+    lru = machine.lru
+    for node in machine.tiers.nodes:
+        nid = node.node_id
+        active = set(map(id, lru.active[nid]))
+        inactive = set(map(id, lru.inactive[nid]))
+        assert not active & inactive, "frame on both LRU lists"
+        for frame in lru.active[nid]:
+            assert frame.on_lru and frame.active
+            assert frame.node_id == nid
+        for frame in lru.inactive[nid]:
+            assert frame.on_lru and not frame.active
+            assert frame.node_id == nid
+
+
+def _check_shadow_invariants(machine) -> None:
+    """Section 3.2's correctness conditions for the shadow index."""
+    policy = machine.policy
+    index = getattr(policy, "shadow_index", None)
+    if index is None:
+        return
+    for gpfn, shadow in index.xarray.items():
+        master = machine.tiers.frame(gpfn)
+        assert master.shadowed, f"indexed master {gpfn} lost SHADOWED flag"
+        assert shadow.is_shadow, f"shadow of {gpfn} lost IS_SHADOW flag"
+        assert not shadow.mapped, "shadow page is mapped"
+        assert not shadow.on_lru, "shadow page on LRU"
+        assert shadow.node_id == 1, "shadow page not on the slow tier"
+        # A live shadow implies a clean, write-protected master: stores
+        # would have taken the shadow fault and discarded the shadow.
+        for space, vpn in master.rmap:
+            flags = int(space.page_table.flags[vpn])
+            if flags & PTE_SOFT_SHADOW_RW:
+                assert not flags & PTE_WRITE, (
+                    "shadowed master writable while shadow is live"
+                )

@@ -1,0 +1,116 @@
+"""End-to-end runs on small machines: every policy, key cross-checks,
+robustness, determinism."""
+
+import pytest
+
+from repro import Machine, MachineConfig, OutOfMemoryError
+from repro.policies import make_policy
+from repro.workloads import SeqScanWorkload, ZipfianMicrobench
+
+from ..conftest import tiny_platform
+from .invariants import check_invariants
+
+POLICIES = ["no-migration", "tpp", "memtis-default", "memtis-quickcool", "nomad"]
+
+
+def run(policy, wss_gb=1.5, rss_gb=2.5, write_ratio=0.2, accesses=30_000, seed=1,
+        fast_gb=2.0, slow_gb=2.0):
+    # Defaults give a small-WSS geometry with genuine spill: 1 GB of
+    # prefill leaves 1 GB of fast room for a 1.5 GB WSS.
+    machine = Machine(
+        tiny_platform(fast_gb=fast_gb, slow_gb=slow_gb),
+        MachineConfig(chunk_size=64),
+    )
+    machine.set_policy(make_policy(policy, machine))
+    workload = ZipfianMicrobench(
+        wss_gb=wss_gb,
+        rss_gb=rss_gb,
+        write_ratio=write_ratio,
+        total_accesses=accesses,
+        seed=seed,
+    )
+    report = machine.run_workload(workload)
+    return machine, report
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_policy_completes_and_preserves_invariants(policy):
+    machine, report = run(policy)
+    assert report.overall.accesses == 30_000
+    assert report.overall.bandwidth_gbps > 0
+    check_invariants(machine)
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_policy_invariants_under_memory_pressure(policy):
+    # WSS exceeds the fast tier: continuous migration pressure.
+    machine, report = run(policy, wss_gb=3.0, rss_gb=3.0, write_ratio=0.5)
+    check_invariants(machine)
+    assert report.overall.accesses == 30_000
+
+
+def test_migrating_policies_beat_no_migration_when_wss_fits():
+    _, nomig = run("no-migration", write_ratio=0.0, accesses=60_000)
+    _, nomad = run("nomad", write_ratio=0.0, accesses=60_000)
+    assert nomad.stable.bandwidth_gbps > nomig.stable.bandwidth_gbps
+
+
+def test_nomad_transient_beats_tpp_transient():
+    """Asynchronous migration keeps the critical path clear."""
+    _, tpp = run("tpp", accesses=60_000, write_ratio=0.0)
+    _, nomad = run("nomad", accesses=60_000, write_ratio=0.0)
+    assert nomad.transient.bandwidth_gbps > 0.95 * tpp.transient.bandwidth_gbps
+
+
+def test_nomad_survives_near_capacity_rss():
+    """Shadow reclamation prevents OOM when the RSS nearly fills the
+    machine (Table 3's robustness claim)."""
+    machine = Machine(tiny_platform(fast_gb=2.0, slow_gb=2.0), MachineConfig(chunk_size=64))
+    machine.set_policy(make_policy("nomad", machine))
+    workload = SeqScanWorkload(rss_gb=3.7, write_ratio=0.0, total_accesses=60_000)
+    report = machine.run_workload(workload)  # must not raise OutOfMemoryError
+    check_invariants(machine)
+    assert report.overall.accesses == 60_000
+
+
+def test_determinism_same_seed_same_counters():
+    _, r1 = run("nomad", seed=5)
+    _, r2 = run("nomad", seed=5)
+    assert r1.counters == r2.counters
+    assert r1.cycles == r2.cycles
+
+
+def test_different_seeds_differ():
+    _, r1 = run("nomad", seed=5)
+    _, r2 = run("nomad", seed=6)
+    assert r1.cycles != r2.cycles
+
+
+def test_shadow_faults_only_under_nomad_writes():
+    machine, report = run("nomad", write_ratio=1.0)
+    assert report.counters.get("nomad.shadow_faults", 0) > 0
+    machine2, report2 = run("tpp", write_ratio=1.0)
+    assert report2.counters.get("nomad.shadow_faults", 0) == 0
+
+
+def test_remap_demotions_happen_under_pressure_reads():
+    machine, report = run("nomad", wss_gb=3.0, rss_gb=3.0, write_ratio=0.0,
+                          accesses=60_000)
+    assert report.counters.get("nomad.remap_demotions", 0) > 0
+
+
+def test_run_report_breakdowns_cover_cpus():
+    machine, report = run("nomad")
+    assert "app0" in report.breakdowns
+    assert "kpromote" in report.breakdowns
+
+
+def test_run_cycles_cap_stops_early():
+    machine = Machine(tiny_platform(), MachineConfig(chunk_size=64))
+    machine.set_policy(make_policy("no-migration", machine))
+    workload = ZipfianMicrobench(
+        wss_gb=1.0, rss_gb=1.0, total_accesses=10_000_000
+    )
+    report = machine.run_workload(workload, run_cycles=1_000_000)
+    assert report.cycles <= 1_000_001
+    assert report.overall.accesses < 10_000_000

@@ -1,0 +1,105 @@
+"""Co-scheduled workloads sharing one tiered memory."""
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.policies import make_policy
+from repro.workloads import SeqScanWorkload, ZipfianMicrobench
+
+from ..conftest import tiny_platform
+from .invariants import check_invariants
+
+
+def build(policy="nomad", fast_gb=2.0, slow_gb=4.0):
+    machine = Machine(
+        tiny_platform(fast_gb=fast_gb, slow_gb=slow_gb),
+        MachineConfig(chunk_size=64),
+    )
+    machine.set_policy(make_policy(policy, machine))
+    return machine
+
+
+def test_two_workloads_complete():
+    machine = build()
+    hot = ZipfianMicrobench(wss_gb=1.0, rss_gb=1.0, total_accesses=20_000, seed=1)
+    scan = SeqScanWorkload(rss_gb=2.0, total_accesses=20_000, seed=2)
+    reports = machine.run_workloads([hot, scan])
+    assert len(reports) == 2
+    assert reports[0].overall.accesses == 20_000
+    assert reports[1].overall.accesses == 20_000
+    assert hot.finished and scan.finished
+    check_invariants(machine)
+
+
+def test_each_workload_gets_its_own_core():
+    machine = build()
+    a = ZipfianMicrobench(wss_gb=0.5, rss_gb=0.5, total_accesses=5_000, seed=1)
+    b = ZipfianMicrobench(wss_gb=0.5, rss_gb=0.5, total_accesses=5_000, seed=2)
+    machine.run_workloads([a, b])
+    assert machine.stats.breakdown("app0").get("user", 0) > 0
+    assert machine.stats.breakdown("app1").get("user", 0) > 0
+
+
+def test_reports_are_per_workload():
+    machine = build()
+    # One memory-bound, one compute-heavy workload: very different
+    # per-access times must show up in their separate reports.
+    fast_wl = ZipfianMicrobench(wss_gb=0.5, rss_gb=0.5, total_accesses=10_000, seed=1)
+    slow_wl = SeqScanWorkload(rss_gb=3.0, total_accesses=10_000, seed=2)
+    reports = machine.run_workloads([fast_wl, slow_wl])
+    assert (
+        reports[0].overall.avg_access_cycles < reports[1].overall.avg_access_cycles
+    )
+
+
+def test_tenants_contend_for_fast_tier():
+    """A co-runner that floods the fast tier slows the victim down
+    relative to running alone."""
+    solo = build()
+    victim_alone = ZipfianMicrobench(
+        wss_gb=1.0, rss_gb=1.0, total_accesses=30_000, seed=1
+    )
+    solo_report = solo.run_workload(victim_alone)
+
+    shared = build()
+    victim = ZipfianMicrobench(wss_gb=1.0, rss_gb=1.0, total_accesses=30_000, seed=1)
+    bully = SeqScanWorkload(rss_gb=3.5, total_accesses=30_000, seed=2)
+    victim_report, _ = shared.run_workloads([victim, bully])
+    # Contention cannot make the victim faster.
+    assert (
+        victim_report.overall.bandwidth_gbps
+        <= solo_report.overall.bandwidth_gbps * 1.05
+    )
+    check_invariants(shared)
+
+
+def test_custom_cpu_names():
+    machine = build()
+    a = SeqScanWorkload(rss_gb=0.5, total_accesses=2_000, seed=1)
+    b = SeqScanWorkload(rss_gb=0.5, total_accesses=2_000, seed=2)
+    machine.run_workloads([a, b], app_cpus=["tenant-a", "tenant-b"])
+    assert "tenant-a" in machine.cpus.names()
+    assert "tenant-b" in machine.cpus.names()
+
+
+def test_validation():
+    machine = build()
+    with pytest.raises(ValueError):
+        machine.run_workloads([])
+    with pytest.raises(ValueError):
+        machine.run_workloads(
+            [SeqScanWorkload(rss_gb=0.5, total_accesses=100)],
+            app_cpus=["a", "b"],
+        )
+
+
+@pytest.mark.parametrize("policy", ["tpp", "nomad", "memtis-default"])
+def test_invariants_with_three_tenants(policy):
+    machine = build(policy)
+    tenants = [
+        ZipfianMicrobench(wss_gb=0.8, rss_gb=0.8, total_accesses=10_000, seed=i)
+        for i in range(3)
+    ]
+    reports = machine.run_workloads(tenants)
+    assert all(r.overall.accesses == 10_000 for r in reports)
+    check_invariants(machine)

@@ -1,0 +1,87 @@
+"""Multi-threaded applications: one address space, many cores."""
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.policies import make_policy
+from repro.workloads import ZipfianMicrobench
+
+from ..conftest import tiny_platform
+from .invariants import check_invariants
+
+
+def build(policy="nomad"):
+    machine = Machine(
+        tiny_platform(fast_gb=2.0, slow_gb=2.0), MachineConfig(chunk_size=64)
+    )
+    machine.set_policy(make_policy(policy, machine))
+    return machine
+
+
+def test_threads_split_the_access_stream():
+    machine = build()
+    wl = ZipfianMicrobench(wss_gb=1.5, rss_gb=2.5, total_accesses=20_000)
+    report = machine.run_workload(wl, threads=4)
+    assert wl.finished
+    assert report.overall.accesses == 20_000
+    # All four cores did user work.
+    for t in range(4):
+        assert machine.stats.breakdown(f"app{t}").get("user", 0) > 0
+    check_invariants(machine)
+
+
+def test_single_thread_path_unchanged():
+    machine = build()
+    wl = ZipfianMicrobench(wss_gb=1.0, rss_gb=1.0, total_accesses=5_000)
+    report = machine.run_workload(wl, threads=1)
+    assert report.overall.accesses == 5_000
+    assert machine.stats.breakdown("app0").get("user", 0) > 0
+
+
+def test_threads_trigger_multi_cpu_shootdowns():
+    """Pages touched by several cores need IPIs on migration -- the
+    Section 3.3 overhead."""
+    machine = build()
+    wl = ZipfianMicrobench(
+        wss_gb=1.5, rss_gb=2.5, total_accesses=40_000, seed=3
+    )
+    machine.run_workload(wl, threads=4)
+    assert machine.stats.get("tlb.shootdown_ipis") > 0
+    # At least some shootdowns hit more than one remote CPU.
+    assert (
+        machine.stats.get("tlb.shootdown_ipis")
+        > machine.stats.get("tlb.shootdowns") * 0.2
+    )
+
+
+def test_threads_increase_aggregate_bandwidth():
+    def run(threads):
+        machine = build("no-migration")
+        wl = ZipfianMicrobench(
+            wss_gb=1.0, rss_gb=1.0, total_accesses=20_000, seed=1
+        )
+        return machine.run_workload(wl, threads=threads)
+
+    one = run(1)
+    four = run(4)
+    # Four cores drain the same stream in ~1/4 the wall time.
+    assert four.cycles < 0.5 * one.cycles
+    assert four.overall.bandwidth_gbps > 2.0 * one.overall.bandwidth_gbps
+
+
+@pytest.mark.parametrize("policy", ["tpp", "nomad"])
+def test_multithreaded_invariants_under_pressure(policy):
+    machine = build(policy)
+    wl = ZipfianMicrobench(
+        wss_gb=3.0, rss_gb=3.0, total_accesses=30_000, write_ratio=0.3
+    )
+    report = machine.run_workload(wl, threads=3)
+    assert report.overall.accesses == 30_000
+    check_invariants(machine)
+
+
+def test_invalid_thread_count():
+    machine = build()
+    wl = ZipfianMicrobench(wss_gb=1.0, rss_gb=1.0, total_accesses=100)
+    with pytest.raises(ValueError):
+        machine.run_workload(wl, threads=0)

@@ -1,0 +1,125 @@
+"""Model-based property test for the LRU manager.
+
+The model: two ordered lists per node plus the referenced/active bits,
+with the 15-entry pagevec applied exactly as Linux does. Any operation
+sequence must keep the real structure and the model in lockstep.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel.lru import PAGEVEC_SIZE, LruManager
+from repro.mem.tiers import TieredMemory
+from repro.mmu.address_space import AddressSpace
+
+N_FRAMES = 12
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove", "access", "deactivate", "rotate", "drain"]),
+        st.integers(min_value=0, max_value=N_FRAMES - 1),
+    ),
+    max_size=120,
+)
+
+
+class Model:
+    """Reference implementation with plain Python lists."""
+
+    def __init__(self):
+        self.inactive = []
+        self.active = []
+        self.referenced = set()
+        self.pagevec = []
+
+    def on_lru(self, f):
+        return f in self.inactive or f in self.active
+
+    def add(self, f):
+        self.inactive.append(f)
+
+    def remove(self, f):
+        if f in self.inactive:
+            self.inactive.remove(f)
+        else:
+            self.active.remove(f)
+
+    def access(self, f):
+        if f not in self.referenced:
+            self.referenced.add(f)
+            return
+        if f in self.active:
+            return
+        self.pagevec.append(f)
+        if len(self.pagevec) >= PAGEVEC_SIZE:
+            self.drain()
+
+    def drain(self):
+        for f in self.pagevec:
+            if f in self.inactive:
+                self.inactive.remove(f)
+                self.active.append(f)
+                self.referenced.discard(f)
+        self.pagevec.clear()
+
+    def deactivate(self, f):
+        if f in self.active:
+            self.active.remove(f)
+            self.referenced.discard(f)
+            self.inactive.append(f)
+
+    def rotate(self, f):
+        lst = self.active if f in self.active else self.inactive
+        lst.remove(f)
+        lst.append(f)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops)
+def test_lru_matches_model(operations):
+    tiers = TieredMemory(N_FRAMES + 2, 4)
+    lru = LruManager(tiers)
+    space = AddressSpace(N_FRAMES)
+    frames = []
+    for i in range(N_FRAMES):
+        frame = tiers.alloc_on(0)
+        frame.add_rmap(space, i)
+        frames.append(frame)
+    model = Model()
+
+    for op, idx in operations:
+        frame = frames[idx]
+        if op == "add":
+            if not model.on_lru(idx):
+                lru.add_new_page(frame)
+                model.add(idx)
+        elif op == "remove":
+            if model.on_lru(idx):
+                lru.remove(frame)
+                model.remove(idx)
+                # Removal does not clear temperature bits in either
+                # implementation; keep referenced state as-is.
+        elif op == "access":
+            if model.on_lru(idx):
+                lru.mark_accessed(frame)
+                model.access(idx)
+        elif op == "deactivate":
+            if model.on_lru(idx):
+                lru.deactivate(frame)
+                model.deactivate(idx)
+        elif op == "rotate":
+            if model.on_lru(idx):
+                lru.rotate(frame)
+                model.rotate(idx)
+        else:  # drain
+            lru.drain_pagevec()
+            model.drain()
+
+        # Continuous equivalence of list orders and flags.
+        got_inactive = [frames.index(f) for f in lru.inactive[0]]
+        got_active = [frames.index(f) for f in lru.active[0]]
+        assert got_inactive == model.inactive
+        assert got_active == model.active
+        for i, frame in enumerate(frames):
+            assert frame.on_lru == model.on_lru(i)
+            assert frame.active == (i in model.active)

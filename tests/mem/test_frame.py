@@ -1,0 +1,81 @@
+"""Frame flags and reverse mappings."""
+
+import pytest
+
+from repro.mem.frame import Frame, FrameFlags
+from repro.mmu.address_space import AddressSpace
+
+
+@pytest.fixture
+def frame():
+    return Frame(pfn=7, node_id=0)
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(64, "t")
+
+
+def test_initial_state(frame):
+    assert frame.flags == 0
+    assert not frame.mapped
+    assert frame.mapcount == 0
+    assert frame.generation == 0
+
+
+def test_flag_set_clear_test(frame):
+    frame.set_flag(FrameFlags.ACTIVE)
+    assert frame.active
+    frame.set_flag(FrameFlags.REFERENCED)
+    assert frame.referenced and frame.active
+    frame.clear_flag(FrameFlags.ACTIVE)
+    assert not frame.active and frame.referenced
+
+
+def test_named_flag_properties(frame):
+    for flag, prop in [
+        (FrameFlags.LOCKED, "locked"),
+        (FrameFlags.LRU, "on_lru"),
+        (FrameFlags.SHADOWED, "shadowed"),
+        (FrameFlags.IS_SHADOW, "is_shadow"),
+    ]:
+        frame.set_flag(flag)
+        assert getattr(frame, prop)
+        frame.clear_flag(flag)
+        assert not getattr(frame, prop)
+
+
+def test_rmap_add_remove(frame, space):
+    frame.add_rmap(space, 3)
+    assert frame.mapped
+    assert frame.mapcount == 1
+    assert frame.sole_mapping() == (space, 3)
+    frame.remove_rmap(space, 3)
+    assert not frame.mapped
+
+
+def test_rmap_remove_missing_raises(frame, space):
+    with pytest.raises(RuntimeError):
+        frame.remove_rmap(space, 3)
+
+
+def test_sole_mapping_none_for_multi(frame, space):
+    other = AddressSpace(64, "o")
+    frame.add_rmap(space, 1)
+    frame.add_rmap(other, 2)
+    assert frame.mapcount == 2
+    assert frame.sole_mapping() is None
+
+
+def test_reset_bumps_generation(frame):
+    frame.set_flag(FrameFlags.ACTIVE)
+    gen = frame.generation
+    frame.reset()
+    assert frame.flags == 0
+    assert frame.generation == gen + 1
+
+
+def test_reset_with_live_rmap_raises(frame, space):
+    frame.add_rmap(space, 0)
+    with pytest.raises(RuntimeError):
+        frame.reset()

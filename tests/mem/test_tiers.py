@@ -1,0 +1,115 @@
+"""Tiered memory: global frame numbers, fallback allocation, hooks."""
+
+import pytest
+
+from repro.mem.node import OutOfMemoryError
+from repro.mem.tiers import FAST_TIER, SLOW_TIER, TieredMemory
+
+
+@pytest.fixture
+def tiers():
+    return TieredMemory(fast_pages=50, slow_pages=70)
+
+
+def test_layout(tiers):
+    assert tiers.fast.nr_pages == 50
+    assert tiers.slow.nr_pages == 70
+    assert tiers.total_pages == 120
+    assert tiers.total_free == 120
+
+
+def test_gpfn_roundtrip(tiers):
+    fast = tiers.alloc_on(FAST_TIER)
+    slow = tiers.alloc_on(SLOW_TIER)
+    assert tiers.tier_of(tiers.gpfn(fast)) == FAST_TIER
+    assert tiers.tier_of(tiers.gpfn(slow)) == SLOW_TIER
+    assert tiers.frame(tiers.gpfn(fast)) is fast
+    assert tiers.frame(tiers.gpfn(slow)) is slow
+    # Slow gpfns are offset past the fast node.
+    assert tiers.gpfn(slow) >= 50
+
+
+def test_gpfn_bounds(tiers):
+    with pytest.raises(IndexError):
+        tiers.frame(-1)
+    with pytest.raises(IndexError):
+        tiers.frame(120)
+
+
+def test_alloc_page_prefers_fast(tiers):
+    frame = tiers.alloc_page()
+    assert frame.node_id == FAST_TIER
+
+
+def test_alloc_page_falls_back_to_slow(tiers):
+    while tiers.fast.nr_free:
+        tiers.alloc_on(FAST_TIER)
+    frame = tiers.alloc_page(FAST_TIER)
+    assert frame.node_id == SLOW_TIER
+
+
+def test_alloc_page_slow_preference_falls_back_to_fast(tiers):
+    while tiers.slow.nr_free:
+        tiers.alloc_on(SLOW_TIER)
+    frame = tiers.alloc_page(SLOW_TIER)
+    assert frame.node_id == FAST_TIER
+
+
+def test_oom_when_everything_full(tiers):
+    while tiers.total_free:
+        tiers.alloc_page()
+    with pytest.raises(OutOfMemoryError):
+        tiers.alloc_page()
+
+
+def test_low_watermark_hook_fires(tiers):
+    woken = []
+    tiers.on_low_watermark = woken.append
+    while tiers.fast.nr_free > tiers.fast.wmark_low - 1:
+        tiers.alloc_on(FAST_TIER)
+    assert FAST_TIER in woken
+
+
+def test_alloc_fail_hook_enables_recovery(tiers):
+    stash = []
+    while tiers.total_free:
+        stash.append(tiers.alloc_page())
+
+    def reclaim(tier, nr):
+        freed = 0
+        for _ in range(min(nr * 2, len(stash))):
+            tiers.free_page(stash.pop())
+            freed += 1
+        return freed
+
+    tiers.on_alloc_fail = reclaim
+    frame = tiers.alloc_page()
+    assert frame is not None
+
+
+def test_alloc_fail_hook_returning_zero_ooms(tiers):
+    while tiers.total_free:
+        tiers.alloc_page()
+    tiers.on_alloc_fail = lambda tier, nr: 0
+    with pytest.raises(OutOfMemoryError):
+        tiers.alloc_page()
+
+
+def test_free_page_roundtrip(tiers):
+    frame = tiers.alloc_on(SLOW_TIER)
+    tiers.free_page(frame)
+    assert tiers.slow.nr_free == 70
+
+
+def test_usage_snapshot(tiers):
+    tiers.alloc_on(FAST_TIER)
+    tiers.alloc_on(SLOW_TIER)
+    usage = tiers.usage()
+    assert usage["fast_used"] == 1
+    assert usage["slow_used"] == 1
+    assert usage["fast_free"] == 49
+
+
+def test_tier_of_gpfn_array(tiers):
+    assert tiers.tier_of_gpfn[:50].sum() == 0
+    assert (tiers.tier_of_gpfn[50:] == 1).all()

@@ -1,0 +1,183 @@
+"""XArray: radix-tree store, marks, iteration -- plus a model-based
+property test against a plain dict."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.xarray import XA_MARK_0, XA_MARK_1, XArray
+
+
+def test_empty():
+    xa = XArray()
+    assert len(xa) == 0
+    assert xa.load(0) is None
+    assert 5 not in xa
+
+
+def test_store_load_roundtrip():
+    xa = XArray()
+    assert xa.store(10, "a") is None
+    assert xa.load(10) == "a"
+    assert 10 in xa
+    assert len(xa) == 1
+
+
+def test_store_overwrites_and_returns_old():
+    xa = XArray()
+    xa.store(3, "old")
+    assert xa.store(3, "new") == "old"
+    assert xa.load(3) == "new"
+    assert len(xa) == 1
+
+
+def test_store_none_erases():
+    xa = XArray()
+    xa.store(3, "x")
+    assert xa.store(3, None) == "x"
+    assert len(xa) == 0
+
+
+def test_erase_returns_entry():
+    xa = XArray()
+    xa.store(99, "v")
+    assert xa.erase(99) == "v"
+    assert xa.erase(99) is None
+    assert len(xa) == 0
+
+
+def test_large_indices_grow_tree():
+    xa = XArray()
+    xa.store(0, "zero")
+    xa.store(1 << 30, "big")
+    xa.store(12345678, "mid")
+    assert xa.load(0) == "zero"
+    assert xa.load(1 << 30) == "big"
+    assert xa.load(12345678) == "mid"
+    assert len(xa) == 3
+
+
+def test_negative_index_rejected():
+    xa = XArray()
+    with pytest.raises(ValueError):
+        xa.store(-1, "x")
+    with pytest.raises(ValueError):
+        xa.load(-1)
+
+
+def test_items_sorted():
+    xa = XArray()
+    for i in (700, 3, 64, 65, 1 << 20):
+        xa.store(i, i * 2)
+    assert list(xa.items()) == [
+        (3, 6),
+        (64, 128),
+        (65, 130),
+        (700, 1400),
+        (1 << 20, 2 << 20),
+    ]
+
+
+def test_marks_basic():
+    xa = XArray()
+    xa.store(5, "a")
+    xa.store(6, "b")
+    assert not xa.get_mark(5, XA_MARK_0)
+    xa.set_mark(5, XA_MARK_0)
+    assert xa.get_mark(5, XA_MARK_0)
+    assert not xa.get_mark(6, XA_MARK_0)
+    assert not xa.get_mark(5, XA_MARK_1)
+
+
+def test_mark_absent_entry_raises():
+    xa = XArray()
+    with pytest.raises(KeyError):
+        xa.set_mark(9, XA_MARK_0)
+
+
+def test_clear_mark():
+    xa = XArray()
+    xa.store(5, "a")
+    xa.set_mark(5, XA_MARK_0)
+    xa.clear_mark(5, XA_MARK_0)
+    assert not xa.get_mark(5, XA_MARK_0)
+
+
+def test_erase_clears_marks():
+    xa = XArray()
+    xa.store(70, "a")
+    xa.set_mark(70, XA_MARK_0)
+    xa.erase(70)
+    xa.store(70, "b")
+    assert not xa.get_mark(70, XA_MARK_0)
+
+
+def test_marked_items_and_first_marked():
+    xa = XArray()
+    for i in range(0, 300, 7):
+        xa.store(i, i)
+    for i in (7, 140, 287):
+        xa.set_mark(i, XA_MARK_1)
+    assert [i for i, _ in xa.marked_items(XA_MARK_1)] == [7, 140, 287]
+    assert xa.first_marked(XA_MARK_1) == (7, 7)
+    assert xa.first_marked(XA_MARK_0) is None
+
+
+def test_mark_propagation_across_levels():
+    xa = XArray()
+    big = (1 << 18) + 3
+    xa.store(big, "x")
+    xa.store(2, "y")
+    xa.set_mark(big, XA_MARK_0)
+    assert xa.first_marked(XA_MARK_0) == (big, "x")
+    xa.clear_mark(big, XA_MARK_0)
+    assert xa.first_marked(XA_MARK_0) is None
+
+
+def test_prune_empties_tree():
+    xa = XArray()
+    for i in range(200):
+        xa.store(i * 1000, i)
+    for i in range(200):
+        xa.erase(i * 1000)
+    assert len(xa) == 0
+    assert xa._root is None
+    assert list(xa.items()) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["store", "erase", "mark", "unmark"]),
+            st.integers(min_value=0, max_value=1 << 20),
+        ),
+        max_size=200,
+    )
+)
+def test_model_based_against_dict(ops):
+    """The XArray behaves exactly like a dict + mark set."""
+    xa = XArray()
+    model = {}
+    marks = set()
+    counter = 0
+    for op, idx in ops:
+        if op == "store":
+            counter += 1
+            xa.store(idx, counter)
+            model[idx] = counter
+        elif op == "erase":
+            got = xa.erase(idx)
+            expected = model.pop(idx, None)
+            marks.discard(idx)
+            assert got == expected
+        elif op == "mark":
+            if idx in model:
+                xa.set_mark(idx, XA_MARK_0)
+                marks.add(idx)
+        else:  # unmark
+            xa.clear_mark(idx, XA_MARK_0)
+            marks.discard(idx)
+    assert len(xa) == len(model)
+    assert dict(xa.items()) == model
+    assert {i for i, _ in xa.marked_items(XA_MARK_0)} == marks

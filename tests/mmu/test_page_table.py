@@ -1,0 +1,122 @@
+"""Page table primitives: map/unmap/get_and_clear/restore, flag ops."""
+
+import numpy as np
+import pytest
+
+from repro.mmu.page_table import PageTable
+from repro.mmu.pte import (
+    PTE_ACCESSED,
+    PTE_DIRTY,
+    PTE_PRESENT,
+    PTE_PROT_NONE,
+    PTE_WRITE,
+)
+
+
+@pytest.fixture
+def pt():
+    return PageTable(128)
+
+
+def test_initially_empty(pt):
+    assert not pt.is_present(0)
+    assert len(pt.mapped_vpns()) == 0
+
+
+def test_map_sets_present(pt):
+    pt.map(5, 42, PTE_WRITE)
+    assert pt.is_present(5)
+    assert pt.is_writable(5)
+    flags, gpfn = pt.entry(5)
+    assert gpfn == 42
+    assert flags & PTE_PRESENT
+
+
+def test_map_over_existing_raises(pt):
+    pt.map(5, 42, 0)
+    with pytest.raises(RuntimeError):
+        pt.map(5, 43, 0)
+
+
+def test_map_invalid_gpfn(pt):
+    with pytest.raises(ValueError):
+        pt.map(5, -1, 0)
+
+
+def test_unmap_returns_state(pt):
+    pt.map(5, 42, PTE_WRITE | PTE_DIRTY)
+    flags, gpfn = pt.unmap(5)
+    assert gpfn == 42
+    assert flags & PTE_DIRTY
+    assert not pt.is_present(5)
+
+
+def test_unmap_unmapped_raises(pt):
+    with pytest.raises(RuntimeError):
+        pt.unmap(5)
+
+
+def test_get_and_clear_then_restore(pt):
+    pt.map(9, 7, PTE_WRITE | PTE_ACCESSED)
+    flags, gpfn = pt.get_and_clear(9)
+    assert not pt.is_present(9)
+    pt.restore(9, flags, gpfn)
+    assert pt.is_present(9)
+    assert pt.is_writable(9)
+    assert pt.entry(9) == (flags, 7)
+
+
+def test_restore_over_live_mapping_raises(pt):
+    pt.map(9, 7, 0)
+    flags, gpfn = pt.get_and_clear(9)
+    pt.map(9, 8, 0)
+    with pytest.raises(RuntimeError):
+        pt.restore(9, flags, gpfn)
+
+
+def test_flag_set_clear_test(pt):
+    pt.map(1, 2, 0)
+    pt.set_flags(1, PTE_PROT_NONE)
+    assert pt.is_prot_none(1)
+    pt.clear_flags(1, PTE_PROT_NONE)
+    assert not pt.is_prot_none(1)
+
+
+def test_accessed_dirty_queries(pt):
+    pt.map(1, 2, PTE_ACCESSED | PTE_DIRTY)
+    assert pt.is_accessed(1)
+    assert pt.is_dirty(1)
+
+
+def test_mapped_vpns_sorted(pt):
+    for vpn in (100, 3, 77):
+        pt.map(vpn, vpn, 0)
+    assert list(pt.mapped_vpns()) == [3, 77, 100]
+
+
+def test_written_since(pt):
+    pt.map(4, 4, PTE_WRITE)
+    assert not pt.written_since(4, 0.0)
+    pt.last_write[4] = 500.0
+    assert pt.written_since(4, 400.0)
+    assert pt.written_since(4, 500.0)
+    assert not pt.written_since(4, 500.1)
+
+
+def test_bounds_checking(pt):
+    with pytest.raises(IndexError):
+        pt.map(128, 0, 0)
+    with pytest.raises(IndexError):
+        pt.entry(-1)
+
+
+def test_invalid_size():
+    with pytest.raises(ValueError):
+        PageTable(0)
+
+
+def test_flags_dtype_stays_uint32(pt):
+    pt.map(0, 1, PTE_WRITE)
+    pt.set_flags(0, PTE_ACCESSED)
+    pt.clear_flags(0, PTE_WRITE)
+    assert pt.flags.dtype == np.uint32

@@ -1,0 +1,102 @@
+"""Model-based property test: the page table behaves like a dict of
+(flags, gpfn) under arbitrary operation sequences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mmu.page_table import PageTable
+from repro.mmu.pte import (
+    PTE_ACCESSED,
+    PTE_DIRTY,
+    PTE_PRESENT,
+    PTE_PROT_NONE,
+    PTE_WRITE,
+)
+
+N_VPNS = 32
+FLAG_BITS = [PTE_WRITE, PTE_ACCESSED, PTE_DIRTY, PTE_PROT_NONE]
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["map", "unmap", "set", "clear", "gac_restore"]),
+        st.integers(min_value=0, max_value=N_VPNS - 1),
+        st.integers(min_value=0, max_value=200),
+        st.sampled_from(FLAG_BITS),
+    ),
+    max_size=150,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops)
+def test_page_table_matches_dict_model(operations):
+    pt = PageTable(N_VPNS)
+    model = {}  # vpn -> (flags, gpfn)
+
+    for op, vpn, gpfn, flag in operations:
+        if op == "map":
+            if vpn in model:
+                with pytest.raises(RuntimeError):
+                    pt.map(vpn, gpfn, flag)
+            else:
+                pt.map(vpn, gpfn, flag)
+                model[vpn] = (flag | PTE_PRESENT, gpfn)
+        elif op == "unmap":
+            if vpn in model:
+                flags, got_gpfn = pt.unmap(vpn)
+                assert (flags, got_gpfn) == model.pop(vpn)
+            else:
+                with pytest.raises(RuntimeError):
+                    pt.unmap(vpn)
+        elif op == "set":
+            pt.set_flags(vpn, flag)
+            if vpn in model:
+                f, g = model[vpn]
+                model[vpn] = (f | flag, g)
+            else:
+                model_entry = pt.entry(vpn)
+                # Unmapped entries can carry stray flags in both the
+                # model-free world and reality; clear to keep the model
+                # simple.
+                pt.clear_flags(vpn, flag)
+        elif op == "clear":
+            pt.clear_flags(vpn, flag)
+            if vpn in model:
+                f, g = model[vpn]
+                model[vpn] = (f & ~flag, g)
+        else:  # get_and_clear then restore: a no-op transaction
+            if vpn in model:
+                flags, got = pt.get_and_clear(vpn)
+                assert not pt.is_present(vpn)
+                pt.restore(vpn, flags, got)
+                assert pt.entry(vpn) == model[vpn]
+
+    # Final state equivalence.
+    mapped = set(int(v) for v in pt.mapped_vpns())
+    assert mapped == set(model)
+    for vpn, (flags, gpfn) in model.items():
+        assert pt.entry(vpn) == (flags, gpfn)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=N_VPNS - 1),
+            st.floats(min_value=0.0, max_value=1e9),
+        ),
+        max_size=60,
+    )
+)
+def test_written_since_matches_max_timestamp(writes):
+    pt = PageTable(N_VPNS)
+    latest = {}
+    for vpn, t in writes:
+        pt.last_write[vpn] = max(pt.last_write[vpn], t)
+        latest[vpn] = max(latest.get(vpn, -np.inf), t)
+    for vpn in range(N_VPNS):
+        when = 0.5e9
+        expected = latest.get(vpn, -np.inf) >= when
+        assert pt.written_since(vpn, when) == expected

@@ -1,0 +1,39 @@
+"""PTE bit layout sanity."""
+
+from repro.mmu.pte import (
+    PTE_ACCESSED,
+    PTE_DIRTY,
+    PTE_PRESENT,
+    PTE_PROT_NONE,
+    PTE_SOFT_SHADOW_RW,
+    PTE_WRITE,
+    describe_flags,
+)
+
+
+def test_bits_distinct():
+    bits = [
+        PTE_PRESENT,
+        PTE_WRITE,
+        PTE_ACCESSED,
+        PTE_DIRTY,
+        PTE_PROT_NONE,
+        PTE_SOFT_SHADOW_RW,
+    ]
+    assert len(set(bits)) == len(bits)
+    for a in bits:
+        for b in bits:
+            if a is not b:
+                assert a & b == 0
+
+
+def test_describe_flags():
+    assert describe_flags(0) == "-"
+    assert describe_flags(PTE_PRESENT) == "P"
+    s = describe_flags(PTE_PRESENT | PTE_WRITE | PTE_ACCESSED)
+    assert s == "P|W|A"
+
+
+def test_describe_soft_bit():
+    assert "S" in describe_flags(PTE_SOFT_SHADOW_RW)
+    assert "N" in describe_flags(PTE_PROT_NONE)

@@ -1,0 +1,59 @@
+"""The policy factory registry."""
+
+import pytest
+
+from repro.core.nomad import NomadPolicy
+from repro.policies import (
+    DEFAULT_COOLING_SAMPLES,
+    QUICKCOOL_COOLING_SAMPLES,
+    MemtisPolicy,
+    NoMigrationPolicy,
+    TppPolicy,
+    make_policy,
+)
+
+from ..conftest import make_machine
+
+
+@pytest.mark.parametrize(
+    "name,cls",
+    [
+        ("no-migration", NoMigrationPolicy),
+        ("tpp", TppPolicy),
+        ("memtis", MemtisPolicy),
+        ("memtis-default", MemtisPolicy),
+        ("memtis-quickcool", MemtisPolicy),
+        ("nomad", NomadPolicy),
+    ],
+)
+def test_factory_builds(name, cls):
+    m = make_machine()
+    assert isinstance(make_policy(name, m), cls)
+
+
+def test_factory_case_insensitive():
+    m = make_machine()
+    assert isinstance(make_policy("TPP", m), TppPolicy)
+
+
+def test_factory_unknown():
+    m = make_machine()
+    with pytest.raises(KeyError):
+        make_policy("lru-magic", m)
+
+
+def test_quickcool_differs_from_default():
+    m1 = make_machine()
+    default = make_policy("memtis-default", m1)
+    m2 = make_machine()
+    quick = make_policy("memtis-quickcool", m2)
+    assert default.cooling_samples == DEFAULT_COOLING_SAMPLES
+    assert quick.cooling_samples == QUICKCOOL_COOLING_SAMPLES
+    assert quick.cooling_samples < default.cooling_samples
+
+
+def test_factory_forwards_kwargs():
+    m = make_machine()
+    policy = make_policy("nomad", m, shadowing=False, throttle=True)
+    assert policy.shadowing is False
+    assert policy.kpromote.throttle_enabled is True

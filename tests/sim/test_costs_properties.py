@@ -1,0 +1,76 @@
+"""Property tests on the cost model: monotonicity and unit sanity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.costs import PAGE_SIZE, CostModel, build_copy_matrix
+
+positive_gbps = st.floats(min_value=0.5, max_value=500.0)
+freq = st.floats(min_value=1.0, max_value=5.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    freq_ghz=freq,
+    fast_read=positive_gbps,
+    slow_read=positive_gbps,
+    fast_write=positive_gbps,
+    slow_write=positive_gbps,
+)
+def test_copy_matrix_is_bounded_by_both_endpoints(
+    freq_ghz, fast_read, slow_read, fast_write, slow_write
+):
+    matrix = build_copy_matrix(
+        freq_ghz, (fast_read, slow_read), (fast_write, slow_write)
+    )
+    reads = (fast_read / freq_ghz, slow_read / freq_ghz)
+    writes = (fast_write / freq_ghz, slow_write / freq_ghz)
+    for src in (0, 1):
+        for dst in (0, 1):
+            rate = matrix[src][dst]
+            # The combined rate is below either phase alone (harmonic)
+            # but above half the slower phase.
+            assert rate < min(reads[src], writes[dst]) + 1e-9
+            assert rate > 0.5 * min(reads[src], writes[dst]) - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    freq_ghz=freq,
+    fast_read=positive_gbps,
+    slow_factor=st.floats(min_value=1.1, max_value=10.0),
+    fast_write=positive_gbps,
+    slow_write=positive_gbps,
+)
+def test_slower_source_reads_mean_slower_promotion(
+    freq_ghz, fast_read, slow_factor, fast_write, slow_write
+):
+    """Degrading slow-tier read bandwidth can only hurt promotion."""
+    slow_read = fast_read / slow_factor
+    base = build_copy_matrix(
+        freq_ghz, (fast_read, fast_read), (fast_write, slow_write)
+    )
+    degraded = build_copy_matrix(
+        freq_ghz, (fast_read, slow_read), (fast_write, slow_write)
+    )
+    assert degraded[1][0] <= base[1][0] + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    fast_lat=st.floats(min_value=50, max_value=2000),
+    gap=st.floats(min_value=1.0, max_value=2000),
+    n=st.integers(min_value=0, max_value=64),
+)
+def test_shootdown_cost_monotone_in_remote_cpus(fast_lat, gap, n):
+    costs = CostModel(
+        freq_ghz=2.0,
+        read_latency=(fast_lat, fast_lat + gap),
+        write_latency=(fast_lat, fast_lat + gap),
+        copy_bytes_per_cycle=build_copy_matrix(2.0, (10, 5), (10, 5)),
+    )
+    assert costs.shootdown_cycles(n + 1) > costs.shootdown_cycles(n) or n == 0
+    assert costs.shootdown_cycles(0) == costs.tlb_flush_local
+    # Page copies are never free and scale with PAGE_SIZE.
+    assert costs.page_copy_cycles(1, 0) > 0
+    assert costs.page_copy_cycles(1, 0) == PAGE_SIZE / costs.copy_bytes_per_cycle[1][0]

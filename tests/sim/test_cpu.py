@@ -1,0 +1,60 @@
+"""CPU accounting and IPI delivery."""
+
+from repro.sim.cpu import Cpu, CpuSet
+from repro.sim.engine import Engine
+from repro.sim.stats import Stats
+
+
+def make_set():
+    engine = Engine()
+    stats = Stats()
+    return CpuSet(engine, stats), stats
+
+
+def test_get_creates_and_caches():
+    cpus, _ = make_set()
+    a = cpus.get("app0")
+    assert cpus.get("app0") is a
+    assert cpus.names() == ["app0"]
+
+
+def test_account_returns_cycles():
+    cpus, stats = make_set()
+    cpu = cpus.get("c")
+    assert cpu.account("user", 123.0) == 123.0
+    assert stats.breakdown("c") == {"user": 123.0}
+
+
+def test_ipi_delivery_stalls_target():
+    cpus, stats = make_set()
+    target = cpus.get("app0")
+    target.deliver_ipi(300.0)
+    assert target.pending_stall == 300.0
+    assert stats.breakdown("app0")["ipi_receive"] == 300.0
+
+
+def test_drain_stall_resets():
+    cpus, _ = make_set()
+    cpu = cpus.get("c")
+    cpu.deliver_ipi(100.0)
+    cpu.deliver_ipi(50.0)
+    assert cpu.drain_stall() == 150.0
+    assert cpu.drain_stall() == 0.0
+
+
+def test_broadcast_skips_initiator():
+    cpus, _ = make_set()
+    initiator = cpus.get("a")
+    other = cpus.get("b")
+    n = cpus.broadcast_ipi(initiator, [initiator, other])
+    assert n == 1
+    assert initiator.pending_stall == 0.0
+    assert other.pending_stall == CpuSet.IPI_RECEIVE_COST
+
+
+def test_broadcast_accepts_names():
+    cpus, _ = make_set()
+    initiator = cpus.get("a")
+    n = cpus.broadcast_ipi(initiator, ["b", "c"])
+    assert n == 2
+    assert cpus.get("b").pending_stall == CpuSet.IPI_RECEIVE_COST

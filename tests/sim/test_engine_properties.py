@@ -1,0 +1,123 @@
+"""Property-based tests for the event engine's scheduling semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.floats(min_value=0.0, max_value=1000.0), min_size=1, max_size=10),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_events_fire_in_global_time_order(sleep_lists):
+    """Regardless of how processes interleave, observed wake-ups are
+    globally sorted by time."""
+    engine = Engine()
+    observed = []
+
+    def proc(tag, sleeps):
+        for s in sleeps:
+            yield s
+            observed.append((engine.now, tag))
+
+    for tag, sleeps in enumerate(sleep_lists):
+        engine.spawn(proc(tag, sleeps), f"p{tag}")
+    engine.run()
+    times = [t for t, _ in observed]
+    assert times == sorted(times)
+    assert len(observed) == sum(len(s) for s in sleep_lists)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=500.0), min_size=1, max_size=20)
+)
+def test_single_process_clock_is_sum_of_sleeps(sleeps):
+    engine = Engine()
+
+    def proc():
+        for s in sleeps:
+            yield s
+
+    engine.spawn(proc(), "p")
+    final = engine.run()
+    assert abs(final - sum(sleeps)) < 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=10),
+    st.floats(min_value=0.0, max_value=500.0),
+)
+def test_until_never_overshoots(sleeps, until):
+    engine = Engine()
+
+    def proc():
+        while True:
+            for s in sleeps:
+                yield s
+            if sum(sleeps) == 0:
+                return  # avoid a zero-time livelock
+
+    engine.spawn(proc(), "p")
+    engine.run(until=until, max_events=10_000)
+    assert engine.now <= until + max(sleeps) + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=20))
+def test_event_broadcast_wakes_every_waiter_once(n_waiters):
+    engine = Engine()
+    woken = []
+    ev = engine.event()
+
+    def waiter(i):
+        yield ev
+        woken.append(i)
+
+    def trigger():
+        yield 10
+        ev.succeed()
+
+    for i in range(n_waiters):
+        engine.spawn(waiter(i), f"w{i}")
+    engine.spawn(trigger(), "t")
+    engine.run()
+    assert sorted(woken) == list(range(n_waiters))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=50.0),
+            st.floats(min_value=0.0, max_value=50.0),
+        ),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_determinism_of_schedules(pairs):
+    """Two engines fed identical processes produce identical histories."""
+
+    def history():
+        engine = Engine()
+        log = []
+
+        def proc(tag, a, b):
+            yield a
+            log.append((engine.now, tag, "a"))
+            yield b
+            log.append((engine.now, tag, "b"))
+
+        for tag, (a, b) in enumerate(pairs):
+            engine.spawn(proc(tag, a, b), f"p{tag}")
+        engine.run()
+        return log
+
+    assert history() == history()

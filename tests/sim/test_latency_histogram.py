@@ -1,0 +1,91 @@
+"""Per-access latency histograms and tail percentiles."""
+
+import numpy as np
+import pytest
+
+from repro.policies import make_policy
+from repro.sim.stats import (
+    LATENCY_BIN_EDGES,
+    NR_LATENCY_BINS,
+    histogram_percentile,
+    latency_histogram,
+)
+from repro.workloads import ZipfianMicrobench
+
+from ..conftest import make_machine
+
+
+def test_histogram_counts_everything():
+    lats = np.array([10.0, 100.0, 5000.0, 2_000_000.0])
+    hist = latency_histogram(lats)
+    assert hist.sum() == 4
+    assert hist.shape == (NR_LATENCY_BINS,)
+    # Below the first edge and beyond the last edge both land in buckets.
+    assert hist[0] == 1
+    assert hist[-1] == 1
+
+
+def test_percentile_single_bucket():
+    hist = latency_histogram(np.full(100, 300.0))
+    p50 = histogram_percentile(hist, 50.0)
+    # Bucket upper edge containing 300 cycles.
+    idx = int(np.searchsorted(LATENCY_BIN_EDGES, 300.0, side="right"))
+    assert p50 == pytest.approx(LATENCY_BIN_EDGES[idx])
+
+
+def test_percentile_orders():
+    lats = np.concatenate([np.full(95, 300.0), np.full(5, 50_000.0)])
+    hist = latency_histogram(lats)
+    p50 = histogram_percentile(hist, 50.0)
+    p99 = histogram_percentile(hist, 99.0)
+    assert p99 > 10 * p50
+
+
+def test_percentile_empty():
+    assert histogram_percentile(np.zeros(NR_LATENCY_BINS, dtype=np.int64), 99) == 0.0
+
+
+def run(policy, accesses=40_000, write_ratio=0.0):
+    m = make_machine(fast_gb=2.0, slow_gb=2.0)
+    m.set_policy(make_policy(policy, m))
+    wl = ZipfianMicrobench(
+        wss_gb=1.5, rss_gb=2.5, total_accesses=accesses, write_ratio=write_ratio
+    )
+    return m.run_workload(wl)
+
+
+def test_phase_report_has_percentiles():
+    report = run("no-migration")
+    stable = report.stable
+    assert stable.p50_access_cycles > 0
+    assert stable.p50_access_cycles <= stable.p95_access_cycles <= (
+        stable.p99_access_cycles
+    )
+
+
+def test_no_migration_p99_is_tight():
+    """Without faults, the latency distribution is just the two tiers."""
+    report = run("no-migration")
+    # p99 within the slow-tier bucket (900 cycles on the tiny platform).
+    assert report.overall.p99_access_cycles < 1200
+
+
+def run_thrash(policy, accesses=60_000):
+    m = make_machine(fast_gb=2.0, slow_gb=2.0)
+    m.set_policy(make_policy(policy, m))
+    wl = ZipfianMicrobench(
+        wss_gb=3.0, rss_gb=3.0, total_accesses=accesses, seed=2
+    )
+    return m.run_workload(wl)
+
+
+def test_tpp_sync_migration_inflates_tail_latency():
+    """The paper's critical-path argument, visible in the tail: under
+    migration pressure a TPP hint fault can contain a whole synchronous
+    copy, while Nomad's faults only do queue work."""
+    tpp = run_thrash("tpp")
+    nomad = run_thrash("nomad")
+    assert tpp.overall.p99_access_cycles > nomad.overall.p99_access_cycles
+    # Both policies' typical access remains tier-priced.
+    assert tpp.overall.p50_access_cycles < 1200
+    assert nomad.overall.p50_access_cycles < 1200

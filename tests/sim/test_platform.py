@@ -1,0 +1,84 @@
+"""Platforms: Table 1 fidelity and helpers."""
+
+import pytest
+
+from repro.sim.platform import (
+    PAGES_PER_GB,
+    PLATFORMS,
+    gb_to_pages,
+    get_platform,
+    platform_a,
+    platform_b,
+    platform_c,
+    platform_d,
+)
+
+
+def test_gb_to_pages_scale():
+    assert PAGES_PER_GB == 256
+    assert gb_to_pages(1.0) == 256
+    assert gb_to_pages(16.0) == 4096
+    assert gb_to_pages(13.5) == 3456
+
+
+def test_all_four_platforms_exist():
+    assert set(PLATFORMS) == {"A", "B", "C", "D"}
+
+
+def test_get_platform_case_insensitive():
+    assert get_platform("a").name == "A"
+    assert get_platform("D").name == "D"
+
+
+def test_get_platform_unknown():
+    with pytest.raises(KeyError):
+        get_platform("Z")
+
+
+@pytest.mark.parametrize(
+    "factory,freq,fast_lat,slow_lat",
+    [
+        (platform_a, 2.1, 316.0, 854.0),
+        (platform_b, 3.5, 226.0, 737.0),
+        (platform_c, 3.9, 249.0, 1077.0),
+        (platform_d, 3.7, 391.0, 712.0),
+    ],
+)
+def test_table1_latencies(factory, freq, fast_lat, slow_lat):
+    plat = factory()
+    assert plat.freq_ghz == freq
+    assert plat.read_latency_cycles == (fast_lat, slow_lat)
+    # The capacity tier is always slower than the performance tier.
+    assert slow_lat > fast_lat
+
+
+def test_default_tier_sizes_are_16gb():
+    for factory in (platform_a, platform_b, platform_c, platform_d):
+        plat = factory()
+        assert plat.fast_gb == 16.0
+        assert plat.slow_gb == 16.0
+        assert plat.fast_pages == 4096
+
+
+def test_with_capacity_overrides_sizes_only():
+    plat = platform_c().with_capacity(16.0, 64.0)
+    assert plat.slow_pages == 64 * 256
+    assert plat.read_latency_cycles == platform_c().read_latency_cycles
+    assert plat.name == "C"
+
+
+def test_cost_model_derivation():
+    plat = platform_a()
+    costs = plat.cost_model()
+    assert costs.read_latency == (316.0, 854.0)
+    # Copy rates positive and promotion (slow read) slower than
+    # fast->fast copy.
+    assert 0 < costs.copy_bytes_per_cycle[1][0] < costs.copy_bytes_per_cycle[0][0]
+
+
+def test_platform_d_has_narrower_gap_than_c():
+    # The paper: platform D's ASIC CXL narrows the fast:slow gap.
+    d = platform_d()
+    c = platform_c()
+    gap = lambda p: p.read_latency_cycles[1] / p.read_latency_cycles[0]
+    assert gap(d) < gap(c)

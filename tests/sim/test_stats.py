@@ -1,0 +1,137 @@
+"""Stats: counters, CPU accounting, windows, phase reports."""
+
+import pytest
+
+from repro.sim.stats import Stats, WindowSample
+
+
+def make_window(start, end, reads=10, writes=0):
+    return WindowSample(
+        start=start,
+        end=end,
+        reads=reads,
+        writes=writes,
+        read_cycles=(end - start) * reads / max(1, reads + writes),
+        write_cycles=(end - start) * writes / max(1, reads + writes),
+    )
+
+
+def test_bump_and_get():
+    stats = Stats()
+    stats.bump("x")
+    stats.bump("x", 2.5)
+    assert stats.get("x") == 3.5
+    assert stats.get("missing") == 0.0
+
+
+def test_account_accumulates_per_cpu_and_category():
+    stats = Stats()
+    stats.account("cpu0", "user", 100)
+    stats.account("cpu0", "user", 50)
+    stats.account("cpu0", "fault", 10)
+    stats.account("cpu1", "user", 1)
+    assert stats.breakdown("cpu0") == {"user": 150, "fault": 10}
+    assert stats.breakdown("cpu1") == {"user": 1}
+
+
+def test_account_rejects_negative():
+    stats = Stats()
+    with pytest.raises(ValueError):
+        stats.account("cpu0", "user", -1)
+
+
+def test_breakdown_fractions():
+    stats = Stats()
+    stats.account("c", "a", 75)
+    stats.account("c", "b", 25)
+    fracs = stats.breakdown_fractions("c")
+    assert fracs == {"a": 0.75, "b": 0.25}
+
+
+def test_breakdown_fractions_with_total():
+    stats = Stats()
+    stats.account("c", "a", 50)
+    fracs = stats.breakdown_fractions("c", total=200)
+    assert fracs == {"a": 0.25}
+
+
+def test_bandwidth_math():
+    stats = Stats(freq_ghz=1.0)  # 1 cycle == 1 ns
+    stats.record_window(make_window(0, 1000, reads=100))
+    report = stats.phase_report("all", 0.0, 1.0)
+    # 100 accesses * 64 B in 1000 ns = 6.4 GB/s
+    assert report.bandwidth_gbps == pytest.approx(6.4)
+    assert report.avg_access_cycles == pytest.approx(10.0)
+
+
+def test_phase_report_slices_by_window_index():
+    stats = Stats(freq_ghz=1.0)
+    for i in range(10):
+        stats.record_window(make_window(i * 100, (i + 1) * 100, reads=10))
+    first = stats.phase_report("first", 0.0, 0.2)
+    last = stats.phase_report("last", 0.8, 1.0)
+    assert first.accesses == 20
+    assert last.accesses == 20
+    assert first.cycles == pytest.approx(200.0)
+    assert last.cycles == pytest.approx(200.0)
+
+
+def test_phase_report_empty():
+    report = Stats().phase_report("none", 0.0, 1.0)
+    assert report.accesses == 0
+    assert report.bandwidth_gbps == 0.0
+
+
+def test_phase_report_read_write_split():
+    stats = Stats(freq_ghz=1.0)
+    stats.record_window(make_window(0, 1000, reads=50, writes=50))
+    report = stats.phase_report("rw", 0.0, 1.0)
+    assert report.reads == 50
+    assert report.writes == 50
+    assert report.read_bandwidth_gbps > 0
+    assert report.write_bandwidth_gbps > 0
+
+
+def test_window_marks_track_counters():
+    stats = Stats()
+    stats.bump("migrate.promotions", 5)
+    stats.record_window(make_window(0, 100))
+    stats.bump("migrate.promotions", 7)
+    stats.record_window(make_window(100, 200))
+    assert stats.phase_counter_delta("migrate.promotions", 0.0, 0.5) == 5
+    assert stats.phase_counter_delta("migrate.promotions", 0.5, 1.0) == 7
+
+
+def test_phase_counter_delta_no_windows():
+    assert Stats().phase_counter_delta("migrate.promotions", 0.0, 1.0) == 0.0
+
+
+def test_marks_and_counters_since():
+    stats = Stats()
+    stats.bump("a", 1)
+    stats.mark("m", now=10.0)
+    stats.bump("a", 2)
+    stats.bump("b", 5)
+    since = stats.counters_since("m")
+    assert since["a"] == 2
+    assert since["b"] == 5
+
+
+def test_counters_since_unknown_mark():
+    with pytest.raises(KeyError):
+        Stats().counters_since("nope")
+
+
+def test_snapshot_is_a_copy():
+    stats = Stats()
+    stats.bump("a")
+    snap = stats.snapshot()
+    stats.bump("a")
+    assert snap["a"] == 1
+    assert stats.get("a") == 2
+
+
+def test_window_sample_properties():
+    w = make_window(0, 100, reads=3, writes=7)
+    assert w.accesses == 10
+    assert w.cycles == 100

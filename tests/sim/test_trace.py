@@ -1,0 +1,91 @@
+"""The event-trace recorder."""
+
+import numpy as np
+
+from repro.mem.tiers import SLOW_TIER
+from repro.policies import make_policy
+from repro.sim.trace import TraceRecorder
+from repro.workloads import ZipfianMicrobench
+
+from ..conftest import make_machine
+
+
+def run_traced(policy="nomad", accesses=20_000, **trace_kwargs):
+    machine = make_machine(fast_gb=2.0, slow_gb=2.0)
+    machine.set_policy(make_policy(policy, machine))
+    recorder = TraceRecorder(machine, **trace_kwargs)
+    workload = ZipfianMicrobench(
+        wss_gb=1.5, rss_gb=2.5, total_accesses=accesses, write_ratio=0.3
+    )
+    with recorder:
+        machine.run_workload(workload)
+    return machine, recorder
+
+
+def test_records_events_with_timestamps():
+    machine, recorder = run_traced()
+    assert len(recorder) > 0
+    times = [e.time for e in recorder.events]
+    assert times == sorted(times)
+    assert all(t >= 0 for t in times)
+
+
+def test_counts_match_counters():
+    machine, recorder = run_traced()
+    counts = recorder.counts()
+    assert counts.get("tpm_commit", 0) == machine.stats.get("nomad.tpm_commits")
+    assert counts.get("hint_fault", 0) == machine.stats.get("fault.hint")
+
+
+def test_detach_stops_recording():
+    machine, recorder = run_traced()
+    n = len(recorder)
+    machine.stats.bump("migrate.promotions")  # after detach
+    assert len(recorder) == n
+
+
+def test_select_and_between():
+    _, recorder = run_traced()
+    commits = recorder.select("tpm_commit")
+    assert all(e.event == "tpm_commit" for e in commits)
+    if commits:
+        window = recorder.between(commits[0].time, commits[0].time + 1)
+        assert any(e.event == "tpm_commit" for e in window)
+
+
+def test_capacity_bound_drops_not_grows():
+    _, recorder = run_traced(capacity=10)
+    assert len(recorder) == 10
+    assert recorder.dropped > 0
+    assert recorder.summary()["_dropped"] == recorder.dropped
+
+
+def test_custom_event_map():
+    _, recorder = run_traced(traced={"fault.hint": "hf"})
+    assert set(recorder.counts()) <= {"hf"}
+    assert recorder.counts().get("hf", 0) > 0
+
+
+def test_csv_export():
+    _, recorder = run_traced()
+    csv_text = recorder.to_csv()
+    lines = csv_text.strip().splitlines()
+    assert lines[0] == "time_cycles,event,amount"
+    assert len(lines) == len(recorder) + 1
+
+
+def test_rate_histogram():
+    _, recorder = run_traced()
+    rates = recorder.rate_per_mcycle("hint_fault")
+    assert sum(rates.values()) == recorder.counts().get("hint_fault", 0)
+
+
+def test_tracing_does_not_change_behaviour():
+    machine_a, _ = run_traced(policy="tpp", accesses=15_000)
+    machine_b = make_machine(fast_gb=2.0, slow_gb=2.0)
+    machine_b.set_policy(make_policy("tpp", machine_b))
+    workload = ZipfianMicrobench(
+        wss_gb=1.5, rss_gb=2.5, total_accesses=15_000, write_ratio=0.3
+    )
+    machine_b.run_workload(workload)
+    assert machine_a.stats.snapshot() == machine_b.stats.snapshot()

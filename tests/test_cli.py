@@ -1,0 +1,100 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig1", "fig7", "tab3", "tab4", "abl-variants"):
+        assert name in out
+
+
+def test_experiments_cover_all_figures_and_tables():
+    expected = {
+        "tab1", "fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11",
+        "fig12", "fig13", "fig14", "fig15", "fig16", "tab2", "tab3", "tab4",
+        "abl-variants", "abl-reclaim",
+    }
+    assert expected == set(EXPERIMENTS)
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_small_experiment(capsys):
+    assert main(["run", "tab3", "--accesses", "20000"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+    assert "rss_gb" in out
+
+
+def test_run_with_platform_override(capsys):
+    assert main(["run", "fig2", "--accesses", "20000", "--platform", "B"]) == 0
+    assert "Figure 2" in capsys.readouterr().out
+
+
+def test_micro_command(capsys):
+    assert (
+        main(
+            [
+                "micro",
+                "--policy",
+                "tpp",
+                "--scenario",
+                "small",
+                "--accesses",
+                "20000",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "transient" in out and "stable" in out
+    assert "Counters" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_trace_command_stdout(capsys):
+    assert (
+        main(
+            [
+                "trace",
+                "--policy",
+                "nomad",
+                "--scenario",
+                "small",
+                "--accesses",
+                "15000",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert out.startswith("time_cycles,event,amount")
+
+
+def test_trace_command_file(tmp_path, capsys):
+    path = tmp_path / "trace.csv"
+    assert (
+        main(
+            [
+                "trace",
+                "--accesses",
+                "15000",
+                "--output",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    assert path.read_text().startswith("time_cycles,event,amount")
+    assert "Event trace written" in capsys.readouterr().out

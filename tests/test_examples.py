@@ -1,0 +1,38 @@
+"""Every example script runs end-to-end (tiny access counts)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+# (script, extra argv) -- kept tiny so the whole file stays fast.
+CASES = [
+    ("quickstart.py", ["--accesses", "20000"]),
+    ("memory_pressure_sweep.py", ["--accesses", "8000"]),
+    ("kv_store_tiering.py", ["--accesses", "15000", "--case", "case1"]),
+    ("shadow_robustness.py", ["--accesses", "15000"]),
+    ("transactional_migration_anatomy.py", []),
+    ("tail_latency.py", ["--accesses", "20000"]),
+    ("multi_tenant_interference.py", ["--accesses", "10000"]),
+    ("thread_scaling.py", ["--accesses", "10000"]),
+]
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == {name for name, _ in CASES}
+
+
+@pytest.mark.parametrize("script,argv", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, argv):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *argv],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"

@@ -1,0 +1,116 @@
+"""Trace record/replay workloads."""
+
+import numpy as np
+import pytest
+
+from repro.mem.tiers import FAST_TIER, SLOW_TIER
+from repro.policies import make_policy
+from repro.workloads import TraceWorkload, ZipfianMicrobench, record_trace
+
+from ..conftest import make_machine
+
+
+def simple_trace(n=500, pages=32, seed=0):
+    rng = np.random.default_rng(seed)
+    vpns = rng.integers(0, pages, n)
+    writes = rng.random(n) < 0.3
+    return vpns, writes
+
+
+def test_replay_matches_input():
+    vpns, writes = simple_trace()
+    wl = TraceWorkload(vpns, writes, nr_pages=32, chunk_size=64)
+    m = make_machine()
+    wl.bind(m)
+    replayed_v, replayed_w = [], []
+    for v, w in wl.chunks():
+        replayed_v.append(v - wl._start)
+        replayed_w.append(w)
+    assert np.array_equal(np.concatenate(replayed_v), vpns)
+    assert np.array_equal(np.concatenate(replayed_w), writes)
+
+
+def test_fast_fraction_placement():
+    vpns, writes = simple_trace(pages=100)
+    wl = TraceWorkload(vpns, writes, nr_pages=100, fast_fraction=0.5)
+    m = make_machine()
+    wl.bind(m)
+    pt = wl.space.page_table
+    tiers = m.tiers.tier_of_gpfn[pt.gpfn[np.arange(wl._start, wl._start + 100)]]
+    assert (tiers[:50] == FAST_TIER).all()
+    assert (tiers[50:] == SLOW_TIER).all()
+
+
+def test_save_load_roundtrip(tmp_path):
+    vpns, writes = simple_trace()
+    wl = TraceWorkload(vpns, writes, nr_pages=40, fast_fraction=0.25)
+    path = tmp_path / "trace.npz"
+    wl.save(path)
+    loaded = TraceWorkload.load(path)
+    assert np.array_equal(loaded.trace_vpns, vpns)
+    assert np.array_equal(loaded.trace_writes, writes)
+    assert loaded.nr_pages == 40
+    assert loaded.fast_fraction == 0.25
+
+
+def test_load_rejects_future_version(tmp_path):
+    vpns, writes = simple_trace()
+    path = tmp_path / "trace.npz"
+    np.savez_compressed(
+        path,
+        version=np.int64(99),
+        vpns=vpns,
+        writes=writes,
+        nr_pages=np.int64(32),
+        fast_fraction=np.float64(1.0),
+    )
+    with pytest.raises(ValueError, match="version"):
+        TraceWorkload.load(path)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TraceWorkload(np.array([]), np.array([]))
+    with pytest.raises(ValueError):
+        TraceWorkload(np.array([1, 2]), np.array([True]))
+    with pytest.raises(ValueError):
+        TraceWorkload(np.array([-1]), np.array([True]))
+    with pytest.raises(ValueError):
+        TraceWorkload(np.array([5]), np.array([True]), nr_pages=3)
+    with pytest.raises(ValueError):
+        TraceWorkload(np.array([0]), np.array([True]), fast_fraction=2.0)
+
+
+def test_record_trace_from_synthetic_workload():
+    m = make_machine()
+    source = ZipfianMicrobench(
+        wss_gb=0.5, rss_gb=0.5, total_accesses=1000, seed=9
+    )
+    captured = record_trace(source, m)
+    assert captured.total_accesses == 1000
+    assert captured.nr_pages <= 128  # 0.5 GB = 128 pages footprint
+
+
+def test_replay_is_policy_comparable():
+    """The same trace replays identically under two machines, making
+    cross-policy comparisons exact."""
+    vpns, writes = simple_trace(n=2000, pages=600, seed=4)
+
+    def run(policy):
+        m = make_machine(fast_gb=1.0, slow_gb=2.0)
+        m.set_policy(make_policy(policy, m))
+        wl = TraceWorkload(vpns, writes, nr_pages=600, fast_fraction=0.3)
+        return m.run_workload(wl)
+
+    a = run("no-migration")
+    b = run("nomad")
+    assert a.overall.accesses == b.overall.accesses == 2000
+
+
+def test_trace_runs_to_completion_under_nomad():
+    vpns, writes = simple_trace(n=3000, pages=400, seed=5)
+    m = make_machine(fast_gb=1.0, slow_gb=2.0)
+    m.set_policy(make_policy("nomad", m))
+    wl = TraceWorkload(vpns, writes, nr_pages=400, fast_fraction=0.5)
+    report = m.run_workload(wl)
+    assert report.overall.accesses == 3000
