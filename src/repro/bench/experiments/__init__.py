@@ -1,0 +1,53 @@
+"""One entry point per paper figure/table, organised by family.
+
+Each submodule implements one figure/table family and registers its
+experiments in :data:`REGISTRY` (see :mod:`.registry`), which the CLI
+uses to list and run experiments by name. This package re-exports every
+experiment function, so ``from repro.bench import experiments as E``
+keeps working unchanged.
+
+Access-count defaults are sized so a full figure regenerates in seconds;
+pass a larger ``accesses`` for tighter phase separation.
+"""
+
+from .registry import DEFAULT_ACCESSES, REGISTRY, ExperimentSpec, register
+from .motivation import fig1_tpp_motivation, fig2_time_breakdown
+from .micro import (
+    MICRO_POLICIES,
+    micro_benchmark_grid,
+    tab2_migration_counts,
+    zipf_factory,
+)
+from .robustness import fig10_pointer_chase, tab3_shadow_size, tab4_success_rate
+from .ycsb import fig11_redis_ycsb, fig14_redis_large
+from .analytics import (
+    fig12_pagerank,
+    fig13_liblinear,
+    fig15_pagerank_large,
+    fig16_liblinear_large,
+)
+from .ablations import ablation_nomad_variants, ablation_shadow_reclaim_factor
+
+__all__ = [
+    "REGISTRY",
+    "ExperimentSpec",
+    "register",
+    "DEFAULT_ACCESSES",
+    "MICRO_POLICIES",
+    "zipf_factory",
+    "fig1_tpp_motivation",
+    "fig2_time_breakdown",
+    "micro_benchmark_grid",
+    "tab2_migration_counts",
+    "fig10_pointer_chase",
+    "tab3_shadow_size",
+    "fig11_redis_ycsb",
+    "fig12_pagerank",
+    "fig13_liblinear",
+    "fig14_redis_large",
+    "fig15_pagerank_large",
+    "fig16_liblinear_large",
+    "tab4_success_rate",
+    "ablation_nomad_variants",
+    "ablation_shadow_reclaim_factor",
+]

@@ -1,0 +1,93 @@
+"""Ablations (DESIGN.md section 3): Nomad variants and reclaim factor."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ...workloads import SeqScanWorkload, ZipfianMicrobench
+from ..runner import run_experiment
+from .registry import DEFAULT_ACCESSES, register, rows_printer
+
+__all__ = ["ablation_nomad_variants", "ablation_shadow_reclaim_factor"]
+
+
+def ablation_nomad_variants(
+    platform: str = "A",
+    scenario: str = "large",
+    write_ratio: float = 0.2,
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """Isolate TPM and shadowing: full Nomad vs TPM-only (exclusive) vs
+    shadowing-only (sync promote) vs throttled Nomad vs TPP."""
+    variants = [
+        ("nomad-full", {"shadowing": True, "tpm": True}),
+        ("nomad-tpm-only", {"shadowing": False, "tpm": True}),
+        ("nomad-shadow-only", {"shadowing": True, "tpm": False}),
+        ("nomad-throttled", {"shadowing": True, "tpm": True, "throttle": True}),
+    ]
+    rows = []
+    factory = lambda: ZipfianMicrobench.scenario(
+        scenario, write_ratio=write_ratio, total_accesses=accesses
+    )
+    for label, kwargs in variants:
+        result = run_experiment(platform, "nomad", factory, policy_kwargs=kwargs)
+        rows.append(
+            {
+                "variant": label,
+                "transient_gbps": result.transient.bandwidth_gbps,
+                "stable_gbps": result.stable.bandwidth_gbps,
+                "promotions": result.counter("migrate.promotions"),
+                "remap_demotions": result.counter("nomad.remap_demotions"),
+                "tpm_aborts": result.counter("nomad.tpm_aborts"),
+            }
+        )
+    tpp = run_experiment(platform, "tpp", factory)
+    rows.append(
+        {
+            "variant": "tpp-baseline",
+            "transient_gbps": tpp.transient.bandwidth_gbps,
+            "stable_gbps": tpp.stable.bandwidth_gbps,
+            "promotions": tpp.counter("migrate.promotions"),
+            "remap_demotions": 0.0,
+            "tpm_aborts": 0.0,
+        }
+    )
+    return rows
+
+
+def ablation_shadow_reclaim_factor(
+    platform: str = "B",
+    factors: Sequence[int] = (1, 5, 10, 20),
+    rss_gb: float = 27.0,
+    accesses: int = 100_000,
+) -> List[Dict]:
+    """Vary the 10x allocation-failure reclaim multiplier (Section 3.2)."""
+    rows = []
+    for factor in factors:
+        factory = lambda: SeqScanWorkload(rss_gb=rss_gb, total_accesses=accesses)
+        result = run_experiment(
+            platform, "nomad", factory, policy_kwargs={"alloc_fail_factor": factor}
+        )
+        rows.append(
+            {
+                "factor": factor,
+                "throughput_gbps": result.overall.bandwidth_gbps,
+                "shadows_reclaimed": result.counter("nomad.shadows_reclaimed"),
+                "alloc_fail_reclaims": result.counter("nomad.alloc_fail_reclaims"),
+            }
+        )
+    return rows
+
+
+register(
+    "abl-variants",
+    "TPM-only / shadow-only / throttled Nomad",
+    lambda accesses, platform: ablation_nomad_variants(accesses=accesses),
+    rows_printer("Ablation: Nomad variants"),
+)
+register(
+    "abl-reclaim",
+    "Sweep of the 10x allocation-failure reclaim factor",
+    lambda accesses, platform: ablation_shadow_reclaim_factor(accesses=accesses),
+    rows_printer("Ablation: shadow reclaim factor"),
+)

@@ -1,0 +1,136 @@
+"""Micro-benchmark grid experiments: Figures 7/8/9 and Table 2."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ...workloads import ZipfianMicrobench
+from ..runner import policy_available, run_experiment
+from .registry import DEFAULT_ACCESSES, register, rows_printer
+
+__all__ = [
+    "MICRO_POLICIES",
+    "zipf_factory",
+    "micro_benchmark_grid",
+    "tab2_migration_counts",
+]
+
+MICRO_POLICIES = ("tpp", "memtis-default", "memtis-quickcool", "nomad")
+
+
+def zipf_factory(**kwargs):
+    return lambda: ZipfianMicrobench(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Figures 7/8/9 -- the micro-benchmark grid per platform
+# ----------------------------------------------------------------------
+def micro_benchmark_grid(
+    platform: str,
+    policies: Optional[Sequence[str]] = None,
+    scenarios: Sequence[str] = ("small", "medium", "large"),
+    write_ratios: Sequence[float] = (0.0, 1.0),
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """Transient and stable bandwidth for every (scenario, r/w, policy)
+    cell of Figures 7 (platform A), 8 (C), and 9 (D)."""
+    if policies is None:
+        policies = [p for p in MICRO_POLICIES if policy_available(p, platform)]
+    rows = []
+    for scenario in scenarios:
+        for write_ratio in write_ratios:
+            for policy in policies:
+                factory = lambda s=scenario, w=write_ratio: ZipfianMicrobench.scenario(
+                    s, write_ratio=w, total_accesses=accesses
+                )
+                result = run_experiment(platform, policy, factory)
+                rows.append(
+                    {
+                        "scenario": scenario,
+                        "mode": "write" if write_ratio >= 0.5 else "read",
+                        "policy": policy,
+                        "transient_gbps": result.transient.bandwidth_gbps,
+                        "stable_gbps": result.stable.bandwidth_gbps,
+                        "promotions": result.counter("migrate.promotions"),
+                        "demotions": result.counter("migrate.demotions"),
+                    }
+                )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 2 -- migration counts per phase
+# ----------------------------------------------------------------------
+def tab2_migration_counts(
+    platform: str = "A",
+    policies: Optional[Sequence[str]] = None,
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """Promotions/demotions during the in-progress and steady phases for
+    read and write runs of each WSS scenario (Table 2's cells)."""
+    if policies is None:
+        policies = ["tpp", "memtis-default", "nomad"]
+    rows = []
+    for scenario in ("small", "medium", "large"):
+        for write_ratio, mode in ((0.0, "read"), (1.0, "write")):
+            for policy in policies:
+                if not policy_available(policy, platform):
+                    continue
+                factory = lambda s=scenario, w=write_ratio: ZipfianMicrobench.scenario(
+                    s, write_ratio=w, total_accesses=accesses
+                )
+                result = run_experiment(platform, policy, factory)
+                stats = result.machine.stats
+                cfg = result.machine.config
+                t0, t1 = 0.0, cfg.transient_frac
+                s0, s1 = 1.0 - cfg.stable_frac, 1.0
+                rows.append(
+                    {
+                        "scenario": scenario,
+                        "mode": mode,
+                        "policy": policy,
+                        "inprogress_promotions": stats.phase_counter_delta(
+                            "migrate.promotions", t0, t1
+                        ),
+                        "inprogress_demotions": stats.phase_counter_delta(
+                            "migrate.demotions", t0, t1
+                        ),
+                        "steady_promotions": stats.phase_counter_delta(
+                            "migrate.promotions", s0, s1
+                        ),
+                        "steady_demotions": stats.phase_counter_delta(
+                            "migrate.demotions", s0, s1
+                        ),
+                    }
+                )
+    return rows
+
+
+register(
+    "fig7",
+    "Micro-benchmark bandwidth grid (platform A by default)",
+    lambda accesses, platform: micro_benchmark_grid(platform or "A", accesses=accesses),
+    rows_printer("Figures 7/8/9: micro-benchmark grid"),
+    platform_arg=True,
+)
+register(
+    "fig8",
+    "Micro-benchmark grid on platform C",
+    lambda accesses, platform: micro_benchmark_grid(platform or "C", accesses=accesses),
+    rows_printer("Figure 8: micro-benchmark grid, platform C"),
+    platform_arg=True,
+)
+register(
+    "fig9",
+    "Micro-benchmark grid on platform D",
+    lambda accesses, platform: micro_benchmark_grid(platform or "D", accesses=accesses),
+    rows_printer("Figure 9: micro-benchmark grid, platform D"),
+    platform_arg=True,
+)
+register(
+    "tab2",
+    "Promotions/demotions per phase",
+    lambda accesses, platform: tab2_migration_counts(platform or "A", accesses=accesses),
+    rows_printer("Table 2: migration counts by phase"),
+    platform_arg=True,
+)

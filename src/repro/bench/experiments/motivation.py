@@ -1,0 +1,128 @@
+"""Motivation experiments: Table 1 calibration, Figures 1 and 2."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...sim.platform import get_platform
+from ..runner import run_experiment
+from .micro import zipf_factory
+from .registry import (
+    DEFAULT_ACCESSES,
+    breakdown_printer,
+    register,
+    rows_printer,
+)
+
+__all__ = ["fig1_tpp_motivation", "fig2_time_breakdown"]
+
+
+# ----------------------------------------------------------------------
+# Table 1 -- measured platform primitives (substrate self-test)
+# ----------------------------------------------------------------------
+def _run_tab1(accesses, platform):
+    from ...sim.platform import PLATFORMS
+    from ..calibration import calibrate
+
+    if platform:
+        targets = [get_platform(platform)]
+    else:
+        targets = [factory() for factory in PLATFORMS.values()]
+    return [calibrate(p).as_row() for p in targets]
+
+
+# ----------------------------------------------------------------------
+# Figure 1 -- TPP motivation: in-progress vs stable vs no-migration
+# ----------------------------------------------------------------------
+def fig1_tpp_motivation(
+    platform: str = "A",
+    accesses: int = DEFAULT_ACCESSES,
+    prefill_gb: float = 10.0,
+) -> List[Dict]:
+    """Bandwidth of TPP (in progress / stable) vs the no-migration
+    baseline, for a fitting (10 GB) and an over-committed (24 GB) WSS
+    under Frequency-opt and Random initial placement."""
+    plat = get_platform(platform)
+    total_gb = plat.fast_gb + plat.slow_gb
+    rows = []
+    for wss_gb in (10.0, 24.0):
+        # Cap the prefill so RSS fits in tiered memory with headroom for
+        # the watermark reserve (the paper's testbed kept ~1.3 GB back).
+        prefill = min(prefill_gb, max(0.0, total_gb - wss_gb - 2.0))
+        for placement in ("frequency-opt", "random"):
+            factory = zipf_factory(
+                wss_gb=wss_gb,
+                rss_gb=wss_gb + prefill,
+                placement=placement,
+                total_accesses=accesses,
+            )
+            tpp = run_experiment(platform, "tpp", factory)
+            nomig = run_experiment(platform, "no-migration", factory)
+            rows.append(
+                {
+                    "wss_gb": wss_gb,
+                    "placement": placement,
+                    "tpp_in_progress_gbps": tpp.transient.bandwidth_gbps,
+                    "tpp_stable_gbps": tpp.stable.bandwidth_gbps,
+                    "no_migration_gbps": nomig.overall.bandwidth_gbps,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 2 -- runtime breakdown of TPP in progress
+# ----------------------------------------------------------------------
+def fig2_time_breakdown(
+    platform: str = "A", accesses: int = 60_000
+) -> Dict[str, Dict[str, float]]:
+    """Where the cycles go while TPP actively migrates: the application
+    core is consumed by fault handling + synchronous promotion while the
+    demotion (kswapd) core stays mostly idle."""
+    factory = zipf_factory(wss_gb=13.5, rss_gb=27.0, total_accesses=accesses)
+    result = run_experiment(platform, "tpp", factory)
+    total_cycles = result.report.cycles
+    app = result.machine.stats.breakdown("app0")
+    kswapd = result.machine.stats.breakdown("kswapd0")
+    app_total = sum(app.values())
+    out = {
+        "app_core": {
+            "user": app.get("user", 0.0),
+            "fault_handling": app.get("fault", 0.0),
+            "promotion_copy": app.get("promotion", 0.0),
+            "numa_scan": app.get("numa_scan", 0.0),
+            "other": max(0.0, total_cycles - app_total),
+        },
+        "demotion_core": {
+            "demotion": kswapd.get("demotion", 0.0),
+            "reclaim_scan": kswapd.get("reclaim", 0.0),
+            "idle": max(0.0, total_cycles - sum(kswapd.values())),
+        },
+        "total_cycles": {"total": total_cycles},
+    }
+    return out
+
+
+register(
+    "tab1",
+    "Measured platform characteristics (substrate self-test)",
+    _run_tab1,
+    rows_printer("Table 1 (measured): platform primitives"),
+    platform_arg=True,
+)
+register(
+    "fig1",
+    "TPP motivation bandwidth comparison",
+    lambda accesses, platform: fig1_tpp_motivation(platform or "A", accesses=accesses),
+    rows_printer("Figure 1: TPP in-progress vs stable vs no-migration"),
+    platform_arg=True,
+)
+register(
+    "fig2",
+    "Runtime breakdown of TPP while migrating",
+    lambda accesses, platform: fig2_time_breakdown(
+        platform or "A", accesses=min(accesses, 80_000)
+    ),
+    breakdown_printer("Figure 2: TPP-in-progress time breakdown"),
+    platform_arg=True,
+)

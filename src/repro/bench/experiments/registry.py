@@ -1,0 +1,94 @@
+"""Experiment registry: names the CLI can list and run.
+
+Every module in this package defines the experiment functions for one
+figure/table family and registers them as :class:`ExperimentSpec` rows.
+The CLI's ``list``/``run`` subcommands read :data:`REGISTRY`; nothing
+outside this package needs to know which module implements which
+figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..reporting import print_table
+
+__all__ = [
+    "DEFAULT_ACCESSES",
+    "ExperimentSpec",
+    "REGISTRY",
+    "register",
+    "rows_printer",
+    "breakdown_printer",
+]
+
+DEFAULT_ACCESSES = 150_000
+
+# Runner signature: (accesses, platform_override_or_None) -> result.
+Runner = Callable[[int, Optional[str]], Any]
+Printer = Callable[[Any], None]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One CLI-runnable experiment (a figure, table, or ablation)."""
+
+    name: str
+    description: str
+    runner: Runner = field(repr=False)
+    printer: Printer = field(repr=False)
+    platform_arg: bool = False
+
+    def run(self, accesses: int, platform: Optional[str]) -> Any:
+        return self.runner(accesses, platform)
+
+
+REGISTRY: Dict[str, ExperimentSpec] = {}
+
+
+def register(
+    name: str,
+    description: str,
+    runner: Runner,
+    printer: Printer,
+    platform_arg: bool = False,
+) -> ExperimentSpec:
+    """Add an experiment to the registry (import-time, once per name)."""
+    if name in REGISTRY:
+        raise ValueError(f"experiment {name!r} registered twice")
+    spec = ExperimentSpec(name, description, runner, printer, platform_arg)
+    REGISTRY[name] = spec
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Shared printers
+# ----------------------------------------------------------------------
+def rows_printer(title: str) -> Printer:
+    """Print a list of homogeneous row dicts as a table."""
+
+    def show(rows: List[dict]) -> None:
+        if not rows:
+            print("(no rows)")
+            return
+        headers = list(rows[0].keys())
+        print_table(title, headers, [[r[h] for h in headers] for r in rows])
+
+    return show
+
+
+def breakdown_printer(title: str) -> Printer:
+    """Print a per-core cycle-breakdown dict as a table."""
+
+    def show(result: dict) -> None:
+        rows = []
+        total = result["total_cycles"]["total"]
+        for core, cats in result.items():
+            if core == "total_cycles":
+                continue
+            for cat, cycles in cats.items():
+                rows.append([core, cat, cycles / 1e6, 100 * cycles / total])
+        print_table(title, ["core", "category", "Mcycles", "%"], rows)
+
+    return show

@@ -1,0 +1,138 @@
+"""Robustness experiments: Figure 10, Table 3, and Table 4."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ...sim.costs import PAGE_SIZE
+from ...sim.platform import PAGES_PER_GB, get_platform
+from ...workloads import LiblinearWorkload, PointerChase, SeqScanWorkload, YcsbWorkload
+from ..runner import policy_available, run_experiment
+from .registry import DEFAULT_ACCESSES, register, rows_printer
+
+__all__ = ["fig10_pointer_chase", "tab3_shadow_size", "tab4_success_rate"]
+
+
+# ----------------------------------------------------------------------
+# Figure 10 -- pointer chase: PEBS's blind spot
+# ----------------------------------------------------------------------
+def fig10_pointer_chase(
+    platform: str = "C",
+    wss_blocks: Sequence[int] = (8, 12, 16, 20, 24),
+    policies: Sequence[str] = ("memtis-default", "tpp", "nomad"),
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """Average cache-line access latency vs WSS for the block pointer
+    chase. Page-fault-based policies converge near fast-tier latency
+    while Memtis stays near slow-tier latency once WSS exceeds the fast
+    tier."""
+    rows = []
+    for blocks in wss_blocks:
+        for policy in policies:
+            if not policy_available(policy, platform):
+                continue
+            factory = lambda b=blocks: PointerChase(
+                nr_blocks=b, total_accesses=accesses
+            )
+            result = run_experiment(platform, policy, factory)
+            rows.append(
+                {
+                    "wss_gb": blocks,
+                    "policy": policy,
+                    "avg_latency_cycles": result.stable.avg_access_cycles,
+                }
+            )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 3 -- shadow memory vs RSS
+# ----------------------------------------------------------------------
+def tab3_shadow_size(
+    platform: str = "B",
+    rss_gbs: Sequence[float] = (23.0, 25.0, 27.0, 29.0),
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """Total shadow page size after a sequential scan of a given RSS.
+
+    The machine's tiered capacity is 32 sim-GB (the paper reports
+    30.7 GB usable); as the RSS grows, Nomad must reclaim shadows to
+    avoid OOM, so the shadow footprint shrinks."""
+    rows = []
+    for rss_gb in rss_gbs:
+        factory = lambda r=rss_gb: SeqScanWorkload(rss_gb=r, total_accesses=accesses)
+        result = run_experiment(platform, "nomad", factory)
+        policy = result.machine.policy
+        shadow_pages = policy.shadow_index.nr_shadows
+        rows.append(
+            {
+                "rss_gb": rss_gb,
+                "shadow_pages": shadow_pages,
+                "shadow_gb": shadow_pages * PAGE_SIZE / (PAGES_PER_GB * PAGE_SIZE),
+                "shadows_reclaimed": result.counter("nomad.shadows_reclaimed"),
+                "oom": False,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table 4 -- TPM success rates
+# ----------------------------------------------------------------------
+def tab4_success_rate(
+    platforms: Sequence[str] = ("C", "D"),
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """Success : aborted ratio of transactional migrations for the
+    large-RSS Liblinear and Redis runs."""
+    rows = []
+    for platform in platforms:
+        big = get_platform(platform).with_capacity(16.0, 64.0)
+        for label, factory in (
+            (
+                "liblinear",
+                lambda: LiblinearWorkload(
+                    rss_gb=30.0, model_fraction=0.6, total_accesses=accesses
+                ),
+            ),
+            (
+                "redis",
+                lambda: YcsbWorkload.case("large-thrashing", total_accesses=accesses),
+            ),
+        ):
+            result = run_experiment(big, "nomad", factory)
+            commits = result.counter("nomad.tpm_commits")
+            aborts = result.counter("nomad.tpm_aborts")
+            rows.append(
+                {
+                    "workload": label,
+                    "platform": platform,
+                    "commits": commits,
+                    "aborts": aborts,
+                    "success_to_aborted": commits / aborts if aborts else float("inf"),
+                }
+            )
+    return rows
+
+
+register(
+    "fig10",
+    "Pointer-chase latency vs WSS",
+    lambda accesses, platform: fig10_pointer_chase(
+        platform or "C", accesses=max(accesses, 150_000)
+    ),
+    rows_printer("Figure 10: pointer-chase average latency"),
+    platform_arg=True,
+)
+register(
+    "tab3",
+    "Shadow footprint as RSS approaches capacity",
+    lambda accesses, platform: tab3_shadow_size(accesses=accesses),
+    rows_printer("Table 3: shadow memory vs RSS"),
+)
+register(
+    "tab4",
+    "Transactional migration success rates",
+    lambda accesses, platform: tab4_success_rate(accesses=accesses),
+    rows_printer("Table 4: TPM success : aborted"),
+)

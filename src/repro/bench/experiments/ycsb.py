@@ -1,0 +1,101 @@
+"""Redis + YCSB experiments: Figures 11 and 14."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ...sim.platform import get_platform
+from ...workloads import YcsbWorkload
+from ..runner import policy_available, run_experiment
+from .registry import DEFAULT_ACCESSES, register, rows_printer
+
+__all__ = ["fig11_redis_ycsb", "fig14_redis_large"]
+
+
+def _ycsb_row(platform: str, policy: str, case: str, accesses: int) -> Dict:
+    factory = lambda: YcsbWorkload.case(case, total_accesses=accesses)
+    result = run_experiment(platform, policy, factory)
+    wl = result.workload_obj
+    ops = wl.throughput_ops(
+        result.overall.accesses,
+        result.overall.cycles,
+        result.machine.platform.freq_ghz,
+    )
+    return {
+        "platform": platform,
+        "case": case,
+        "policy": policy,
+        "ops_per_sec": ops,
+        "promotions": result.counter("migrate.promotions"),
+        "tpm_commits": result.counter("nomad.tpm_commits"),
+        "tpm_aborts": result.counter("nomad.tpm_aborts"),
+    }
+
+
+def fig11_redis_ycsb(
+    platforms: Sequence[str] = ("A",),
+    cases: Sequence[str] = ("case1", "case2", "case3"),
+    policies: Sequence[str] = (
+        "tpp",
+        "memtis-default",
+        "memtis-quickcool",
+        "nomad",
+        "no-migration",
+    ),
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """YCSB-A throughput over the Redis-like store, cases 1-3."""
+    rows = []
+    for platform in platforms:
+        for case in cases:
+            for policy in policies:
+                if not policy_available(policy, platform):
+                    continue
+                rows.append(_ycsb_row(platform, policy, case, accesses))
+    return rows
+
+
+def fig14_redis_large(
+    platforms: Sequence[str] = ("C", "D"),
+    policies: Sequence[str] = ("tpp", "memtis-default", "nomad"),
+    accesses: int = DEFAULT_ACCESSES,
+) -> List[Dict]:
+    """Large-RSS Redis (36.5 GB): thrashing vs normal initial placement,
+    on the platforms with big slow tiers."""
+    rows = []
+    for platform in platforms:
+        big = get_platform(platform).with_capacity(16.0, 64.0)
+        for case in ("large-thrashing", "large-normal"):
+            for policy in policies:
+                if not policy_available(policy, platform):
+                    continue
+                factory = lambda c=case: YcsbWorkload.case(c, total_accesses=accesses)
+                result = run_experiment(big, policy, factory)
+                wl = result.workload_obj
+                rows.append(
+                    {
+                        "platform": platform,
+                        "case": case,
+                        "policy": policy,
+                        "ops_per_sec": wl.throughput_ops(
+                            result.overall.accesses,
+                            result.overall.cycles,
+                            result.machine.platform.freq_ghz,
+                        ),
+                    }
+                )
+    return rows
+
+
+register(
+    "fig11",
+    "YCSB-A over the Redis-like store, cases 1-3",
+    lambda accesses, platform: fig11_redis_ycsb(accesses=accesses),
+    rows_printer("Figure 11: Redis/YCSB-A throughput"),
+)
+register(
+    "fig14",
+    "Large-RSS Redis on platforms C/D",
+    lambda accesses, platform: fig14_redis_large(accesses=accesses),
+    rows_printer("Figure 14: Redis, large RSS"),
+)

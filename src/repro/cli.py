@@ -17,177 +17,18 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from .bench import experiments as E
+from .bench.experiments.registry import REGISTRY, ExperimentSpec
 from .bench.reporting import print_table
 from .bench.runner import run_experiment
 from .workloads import ZipfianMicrobench
 
 __all__ = ["main", "EXPERIMENTS"]
 
-
-def _rows_printer(title: str):
-    def show(rows: List[dict]) -> None:
-        if not rows:
-            print("(no rows)")
-            return
-        headers = list(rows[0].keys())
-        print_table(title, headers, [[r[h] for h in headers] for r in rows])
-
-    return show
-
-
-def _breakdown_printer(title: str):
-    def show(result: dict) -> None:
-        rows = []
-        total = result["total_cycles"]["total"]
-        for core, cats in result.items():
-            if core == "total_cycles":
-                continue
-            for cat, cycles in cats.items():
-                rows.append([core, cat, cycles / 1e6, 100 * cycles / total])
-        print_table(title, ["core", "category", "Mcycles", "%"], rows)
-
-    return show
-
-
-class Experiment:
-    def __init__(self, run: Callable, printer: Callable, description: str,
-                 platform_arg: bool = False) -> None:
-        self.run = run
-        self.printer = printer
-        self.description = description
-        self.platform_arg = platform_arg
-
-
-def _run_tab1(accesses, platform):
-    from .bench.calibration import calibrate
-    from .sim.platform import PLATFORMS, get_platform
-
-    if platform:
-        targets = [get_platform(platform)]
-    else:
-        targets = [factory() for factory in PLATFORMS.values()]
-    return [calibrate(p).as_row() for p in targets]
-
-
-EXPERIMENTS: Dict[str, Experiment] = {
-    "tab1": Experiment(
-        _run_tab1,
-        _rows_printer("Table 1 (measured): platform primitives"),
-        "Measured platform characteristics (substrate self-test)",
-        platform_arg=True,
-    ),
-    "fig1": Experiment(
-        lambda accesses, platform: E.fig1_tpp_motivation(
-            platform or "A", accesses=accesses
-        ),
-        _rows_printer("Figure 1: TPP in-progress vs stable vs no-migration"),
-        "TPP motivation bandwidth comparison",
-        platform_arg=True,
-    ),
-    "fig2": Experiment(
-        lambda accesses, platform: E.fig2_time_breakdown(
-            platform or "A", accesses=min(accesses, 80_000)
-        ),
-        _breakdown_printer("Figure 2: TPP-in-progress time breakdown"),
-        "Runtime breakdown of TPP while migrating",
-        platform_arg=True,
-    ),
-    "fig7": Experiment(
-        lambda accesses, platform: E.micro_benchmark_grid(
-            platform or "A", accesses=accesses
-        ),
-        _rows_printer("Figures 7/8/9: micro-benchmark grid"),
-        "Micro-benchmark bandwidth grid (platform A by default)",
-        platform_arg=True,
-    ),
-    "fig8": Experiment(
-        lambda accesses, platform: E.micro_benchmark_grid(
-            platform or "C", accesses=accesses
-        ),
-        _rows_printer("Figure 8: micro-benchmark grid, platform C"),
-        "Micro-benchmark grid on platform C",
-        platform_arg=True,
-    ),
-    "fig9": Experiment(
-        lambda accesses, platform: E.micro_benchmark_grid(
-            platform or "D", accesses=accesses
-        ),
-        _rows_printer("Figure 9: micro-benchmark grid, platform D"),
-        "Micro-benchmark grid on platform D",
-        platform_arg=True,
-    ),
-    "tab2": Experiment(
-        lambda accesses, platform: E.tab2_migration_counts(
-            platform or "A", accesses=accesses
-        ),
-        _rows_printer("Table 2: migration counts by phase"),
-        "Promotions/demotions per phase",
-        platform_arg=True,
-    ),
-    "fig10": Experiment(
-        lambda accesses, platform: E.fig10_pointer_chase(
-            platform or "C", accesses=max(accesses, 150_000)
-        ),
-        _rows_printer("Figure 10: pointer-chase average latency"),
-        "Pointer-chase latency vs WSS",
-        platform_arg=True,
-    ),
-    "tab3": Experiment(
-        lambda accesses, platform: E.tab3_shadow_size(accesses=accesses),
-        _rows_printer("Table 3: shadow memory vs RSS"),
-        "Shadow footprint as RSS approaches capacity",
-    ),
-    "fig11": Experiment(
-        lambda accesses, platform: E.fig11_redis_ycsb(accesses=accesses),
-        _rows_printer("Figure 11: Redis/YCSB-A throughput"),
-        "YCSB-A over the Redis-like store, cases 1-3",
-    ),
-    "fig12": Experiment(
-        lambda accesses, platform: E.fig12_pagerank(accesses=accesses),
-        _rows_printer("Figure 12: PageRank"),
-        "PageRank normalized performance",
-    ),
-    "fig13": Experiment(
-        lambda accesses, platform: E.fig13_liblinear(accesses=accesses),
-        _rows_printer("Figure 13: Liblinear"),
-        "Liblinear normalized performance",
-    ),
-    "fig14": Experiment(
-        lambda accesses, platform: E.fig14_redis_large(accesses=accesses),
-        _rows_printer("Figure 14: Redis, large RSS"),
-        "Large-RSS Redis on platforms C/D",
-    ),
-    "fig15": Experiment(
-        lambda accesses, platform: E.fig15_pagerank_large(accesses=accesses),
-        _rows_printer("Figure 15: PageRank, large RSS"),
-        "Large-RSS PageRank on platforms C/D",
-    ),
-    "fig16": Experiment(
-        lambda accesses, platform: E.fig16_liblinear_large(accesses=accesses),
-        _rows_printer("Figure 16: Liblinear, large RSS"),
-        "Large-RSS Liblinear on platforms C/D",
-    ),
-    "tab4": Experiment(
-        lambda accesses, platform: E.tab4_success_rate(accesses=accesses),
-        _rows_printer("Table 4: TPM success : aborted"),
-        "Transactional migration success rates",
-    ),
-    "abl-variants": Experiment(
-        lambda accesses, platform: E.ablation_nomad_variants(accesses=accesses),
-        _rows_printer("Ablation: Nomad variants"),
-        "TPM-only / shadow-only / throttled Nomad",
-    ),
-    "abl-reclaim": Experiment(
-        lambda accesses, platform: E.ablation_shadow_reclaim_factor(
-            accesses=accesses
-        ),
-        _rows_printer("Ablation: shadow reclaim factor"),
-        "Sweep of the 10x allocation-failure reclaim factor",
-    ),
-}
+# The registry is populated at import time by the modules of
+# repro.bench.experiments; importing the package registers everything.
+EXPERIMENTS: Dict[str, ExperimentSpec] = REGISTRY
 
 
 def _cmd_list(_args) -> int:

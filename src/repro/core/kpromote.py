@@ -58,6 +58,12 @@ class Kpromote:
     def start(self) -> None:
         self.proc = self.machine.engine.spawn(self._run(), name="kpromote")
 
+    def stop(self) -> None:
+        """Kill the promotion daemon (policy uninstall path)."""
+        if self.proc is not None and self.proc.alive:
+            self.machine.engine.kill(self.proc)
+        self.proc = None
+
     def wake(self) -> None:
         if not self._wakeup.triggered:
             self._wakeup.succeed()

@@ -76,9 +76,14 @@ class NomadPolicy(TieringPolicy):
         )
 
     def install(self) -> None:
+        super().install()
         self.machine.start_numa_scanner()
         if self.tpm:
             self.kpromote.start()
+
+    def uninstall(self) -> None:
+        self.kpromote.stop()
+        super().uninstall()
 
     # ------------------------------------------------------------------
     # Hint faults: queue work only, never migration (Section 3.1)

@@ -29,6 +29,7 @@ from ..mmu.pte import (
     PTE_SOFT_SHADOW_RW,
     PTE_WRITE,
 )
+from ..sim.bus import MigrationAborted, MigrationCommitted
 from .queues import MigrationRequest
 from .shadow import ShadowIndex
 
@@ -152,6 +153,7 @@ class TransactionalMigrator:
                 m.tiers.free_page(new_frame)
                 blocked += costs.free_page
                 m.stats.bump("nomad.tpm_aborts")
+                m.bus.publish(MigrationAborted(frame, space, vpn))
                 yield spend(blocked)
                 return TpmResult(TpmOutcome.ABORTED_DIRTY, total)
 
@@ -186,6 +188,7 @@ class TransactionalMigrator:
 
             m.stats.bump("nomad.tpm_commits")
             m.stats.bump("migrate.promotions")
+            m.bus.publish(MigrationCommitted(frame, new_frame, space, vpn))
             yield spend(blocked)
             return TpmResult(TpmOutcome.COMMITTED, total, new_frame)
         finally:

@@ -15,6 +15,7 @@ from typing import Optional, TYPE_CHECKING
 
 from ..mem.frame import Frame, FrameFlags
 from ..mmu.pte import PTE_ACCESSED, PTE_DIRTY, PTE_PRESENT
+from ..sim.bus import FrameReplaced
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.cpu import Cpu
@@ -106,7 +107,7 @@ def sync_migrate_page(
     m.lru.transfer(frame, new_frame)
     frame.clear_flag(FrameFlags.LOCKED)
     frame.clear_flag(FrameFlags.REFERENCED | FrameFlags.ACTIVE)
-    m.on_frame_replaced(frame, new_frame)
+    m.bus.publish(FrameReplaced(frame, new_frame))
     m.tiers.free_page(frame)
     cycles += costs.free_page
 

@@ -58,9 +58,29 @@ class NumaHintScanner:
         self._cursors = {}
         self._last_faults = 0.0
         self._last_promotions = 0.0
+        self.proc = None
 
     def start(self) -> None:
-        self.machine.engine.spawn(self._run(), name="numa_scanner")
+        self.proc = self.machine.engine.spawn(self._run(), name="numa_scanner")
+
+    def stop(self) -> None:
+        """Kill the scan daemon (policy uninstall path)."""
+        if self.proc is not None and self.proc.alive:
+            self.machine.engine.kill(self.proc)
+        self.proc = None
+
+    def disarm_all(self) -> None:
+        """Clear every armed ``prot_none`` PTE across all address spaces.
+
+        Used when a policy is uninstalled: leftover armed PTEs would
+        otherwise trap into a bus with no hint-fault handler.
+        """
+        m = self.machine
+        for space in list(m.spaces):
+            pt = space.page_table
+            armed = (pt.flags & np.uint32(PTE_PROT_NONE)) != 0
+            if armed.any():
+                pt.flags[armed] &= ~np.uint32(PTE_PROT_NONE)
 
     # ------------------------------------------------------------------
     def _run(self):

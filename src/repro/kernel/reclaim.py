@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..mem.frame import Frame, FrameFlags
 from ..mmu.pte import PTE_ACCESSED
+from ..sim.bus import LowWatermark
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..system import Machine
@@ -41,11 +42,27 @@ class Kswapd:
         self._wakeup = machine.engine.event(f"kswapd{node_id}.wakeup")
         self._running = False
         self.proc = None
+        self._sub = None
 
     def start(self) -> None:
         self.proc = self.machine.engine.spawn(
             self._run(), name=f"kswapd{self.node_id}"
         )
+        self._sub = self.machine.bus.subscribe(
+            LowWatermark, self._on_low_watermark
+        )
+
+    def stop(self) -> None:
+        if self._sub is not None:
+            self.machine.bus.unsubscribe(self._sub)
+            self._sub = None
+        if self.proc is not None and self.proc.alive:
+            self.machine.engine.kill(self.proc)
+        self.proc = None
+
+    def _on_low_watermark(self, event: LowWatermark) -> None:
+        if event.tier == self.node_id:
+            self.wake()
 
     def wake(self) -> None:
         if not self._wakeup.triggered:

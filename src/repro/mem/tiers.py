@@ -8,19 +8,23 @@ have failed."
 
 Frames live in per-node pools; this module gives them a *global* frame
 number (gpfn) so page tables and the vectorized access path can refer to
-any frame with a single integer. Policy code installs two hooks:
+any frame with a single integer. Pressure is announced on the notifier
+bus:
 
-* ``on_low_watermark(tier)`` -- wake kswapd when a node dips below low,
-* ``on_alloc_fail(tier, nr_needed)`` -- last-ditch reclaim (Nomad frees
-  shadow pages here, targeting 10x the request, Section 3.2).
+* :class:`~repro.sim.bus.LowWatermark` -- a node dipped below its low
+  watermark (kswapd subscribes and wakes),
+* :class:`~repro.sim.bus.AllocFail` -- last-ditch reclaim before OOM
+  (Nomad frees shadow pages here, targeting 10x the request,
+  Section 3.2); subscribers accumulate into ``event.freed``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
+from ..sim.bus import AllocFail, LowWatermark, NotifierBus
 from .frame import Frame
 from .node import MemoryNode, OutOfMemoryError
 
@@ -38,6 +42,7 @@ class TieredMemory:
         fast_pages: int,
         slow_pages: int,
         watermark_scale: float = 0.02,
+        bus: Optional[NotifierBus] = None,
     ) -> None:
         self.nodes: List[MemoryNode] = [
             MemoryNode(FAST_TIER, fast_pages, "fast", watermark_scale),
@@ -48,9 +53,8 @@ class TieredMemory:
         self.tier_of_gpfn = np.empty(total, dtype=np.int8)
         self.tier_of_gpfn[:fast_pages] = FAST_TIER
         self.tier_of_gpfn[fast_pages:] = SLOW_TIER
-        # Hooks installed by the policy / kernel wiring.
-        self.on_low_watermark: Optional[Callable[[int], None]] = None
-        self.on_alloc_fail: Optional[Callable[[int, int], int]] = None
+        # Pressure events go out on this bus (the machine shares its own).
+        self.bus = bus if bus is not None else NotifierBus()
 
     # ------------------------------------------------------------------
     # Frame addressing
@@ -91,32 +95,33 @@ class TieredMemory:
     def alloc_on(self, tier: int) -> Optional[Frame]:
         """Allocate strictly on ``tier``; None if it has no free frame.
 
-        Fires the low-watermark hook so background reclaim keeps pace.
+        Publishes :class:`LowWatermark` so background reclaim keeps pace.
         """
         node = self.nodes[tier]
         frame = node.alloc()
-        if node.below_low() and self.on_low_watermark is not None:
-            self.on_low_watermark(tier)
+        if node.below_low():
+            self.bus.publish(LowWatermark(tier))
         return frame
 
     def alloc_page(self, preferred: int = FAST_TIER) -> Frame:
         """Allocate with the paper's default placement policy.
 
         Tries the preferred tier, falls back to the other tier, then
-        invokes the allocation-failure hook before declaring OOM.
+        publishes :class:`AllocFail` (last-ditch reclaim) before
+        declaring OOM.
         """
         order = (preferred, SLOW_TIER if preferred == FAST_TIER else FAST_TIER)
         for tier in order:
             frame = self.alloc_on(tier)
             if frame is not None:
                 return frame
-        if self.on_alloc_fail is not None:
-            freed = self.on_alloc_fail(preferred, 1)
-            if freed > 0:
-                for tier in order:
-                    frame = self.alloc_on(tier)
-                    if frame is not None:
-                        return frame
+        event = AllocFail(preferred, 1)
+        self.bus.publish(event)
+        if event.freed > 0:
+            for tier in order:
+                frame = self.alloc_on(tier)
+                if frame is not None:
+                    return frame
         raise OutOfMemoryError(
             f"no frames available (fast free={self.fast.nr_free}, "
             f"slow free={self.slow.nr_free})"

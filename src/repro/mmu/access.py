@@ -21,10 +21,11 @@ cycles), far below daemon wakeup periods.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, TYPE_CHECKING
+from typing import Optional, TYPE_CHECKING
 
 import numpy as np
 
+from ..sim.bus import ChunkExecuted
 from ..sim.stats import NR_LATENCY_BINS, latency_histogram
 from .faults import Fault, FaultType, UnhandledFault
 from .pte import (
@@ -39,11 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..sim.cpu import Cpu
     from .address_space import AddressSpace
 
-__all__ = ["AccessEngine", "ChunkResult", "ChunkObserver"]
-
-# A chunk observer receives (space, vpns, writes, completion_times) for
-# each vectorized segment; Memtis's PEBS-style sampler hooks in here.
-ChunkObserver = Callable[["AddressSpace", np.ndarray, np.ndarray, np.ndarray], None]
+__all__ = ["AccessEngine", "ChunkResult"]
 
 _MAX_FAULT_RETRIES = 8
 
@@ -67,13 +64,6 @@ class AccessEngine:
 
     def __init__(self, machine) -> None:
         self.machine = machine
-        self._observers = []
-
-    def add_observer(self, observer: ChunkObserver) -> None:
-        self._observers.append(observer)
-
-    def remove_observer(self, observer: ChunkObserver) -> None:
-        self._observers.remove(observer)
 
     # ------------------------------------------------------------------
     def run_chunk(
@@ -131,8 +121,8 @@ class AccessEngine:
                     np.maximum.at(pt.last_write, wr, ts[w])
                 np.maximum.at(pt.last_access, seg, ts)
                 m.tlb_directory.note_chunk(cpu.name, space.asid, np.unique(seg))
-                for observer in self._observers:
-                    observer(space, seg, w, ts)
+                if m.bus.has_subscribers(ChunkExecuted):
+                    m.bus.publish(ChunkExecuted(space, seg, w, ts))
                 hist += latency_histogram(lat)
                 seg_cycles = float(lat.sum())
                 wc = float(lat[w].sum())

@@ -139,7 +139,7 @@ class AdaptiveNomadPolicy(NomadPolicy):
     # ------------------------------------------------------------------
     def install(self) -> None:
         super().install()
-        self.machine.engine.spawn(self._governor(), name="nomad_governor")
+        self.spawn(self._governor(), name="nomad_governor")
 
     def _governor(self):
         """Periodic thrash sampling and breaker management."""

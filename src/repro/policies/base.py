@@ -1,15 +1,23 @@
 """The tiering-policy interface.
 
-A policy decides *when and how pages move between tiers*. The machine
-gives it four integration points, mirroring where Linux lets tiering
-code hook in:
+A policy decides *when and how pages move between tiers*. It is a thin
+subscriber on the machine's :class:`~repro.sim.bus.NotifierBus`,
+mirroring where Linux lets tiering code hook in:
 
-* fault handlers (hint faults, write-protect faults, demand paging),
-* the kswapd reclaim loop (``reclaim_hint`` + ``demote_page``),
-* the allocation-failure path (``on_alloc_fail``),
+* fault events (:class:`~repro.sim.bus.HintFault`,
+  :class:`~repro.sim.bus.WpFault`, :class:`~repro.sim.bus.DemandPage`),
+* the allocation-failure path (:class:`~repro.sim.bus.AllocFail`),
+* migration bookkeeping (:class:`~repro.sim.bus.FrameReplaced`),
+* the kswapd reclaim loop, which queries the installed policy directly
+  (``reclaim_hint`` + ``demote_page`` are synchronous request/response
+  calls, not broadcast events),
 * background daemons it spawns from ``install()``.
 
-All handler methods return the cycles they consumed *in the faulting
+``install()`` registers the bus handlers (and daemons); ``uninstall()``
+unregisters and kills them, so policies are swappable at runtime --
+:meth:`repro.system.Machine.clear_policy` drives that path.
+
+All fault handlers return the cycles they consumed *in the faulting
 task's context*; work done on other cores is accounted there directly by
 the policy's own daemons.
 """
@@ -21,9 +29,18 @@ from typing import TYPE_CHECKING, Tuple
 from ..mem.frame import Frame
 from ..mem.tiers import FAST_TIER
 from ..mmu.faults import Fault, UnhandledFault
+from ..sim.bus import (
+    AllocFail,
+    DemandPage,
+    FrameReplaced,
+    HintFault,
+    Subscription,
+    WpFault,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..sim.cpu import Cpu
+    from ..sim.engine import Process
     from ..system import Machine
 
 __all__ = ["TieringPolicy"]
@@ -36,10 +53,64 @@ class TieringPolicy:
 
     def __init__(self, machine: "Machine") -> None:
         self.machine = machine
+        self._subscriptions: list[Subscription] = []
+        self._procs: list["Process"] = []
 
     # -- lifecycle -------------------------------------------------------
     def install(self) -> None:
-        """Spawn daemons, register observers. Called by set_policy()."""
+        """Register bus handlers, spawn daemons. Called by set_policy().
+
+        The base implementation subscribes thin wrappers that forward
+        bus events to the overridable handler methods below; subclasses
+        extend it (``super().install()``) with daemons and any extra
+        subscriptions. Everything registered through :meth:`subscribe`
+        and :meth:`spawn` is torn down by :meth:`uninstall`.
+        """
+        self.subscribe(HintFault, self._bus_hint_fault)
+        self.subscribe(WpFault, self._bus_wp_fault)
+        self.subscribe(AllocFail, self._bus_alloc_fail)
+        self.subscribe(FrameReplaced, self._bus_frame_replaced)
+        self.subscribe(DemandPage, self._bus_demand_page)
+
+    def uninstall(self) -> None:
+        """Unregister every bus handler and kill every spawned daemon."""
+        bus = self.machine.bus
+        for sub in self._subscriptions:
+            bus.unsubscribe(sub)
+        self._subscriptions.clear()
+        engine = self.machine.engine
+        for proc in self._procs:
+            if proc.alive:
+                engine.kill(proc)
+        self._procs.clear()
+
+    def subscribe(self, event_type, handler, priority: int = 0) -> Subscription:
+        """Subscribe on the machine bus; auto-unsubscribed on uninstall."""
+        sub = self.machine.bus.subscribe(event_type, handler, priority)
+        self._subscriptions.append(sub)
+        return sub
+
+    def spawn(self, gen, name: str) -> "Process":
+        """Spawn a daemon process; killed on uninstall."""
+        proc = self.machine.engine.spawn(gen, name=name)
+        self._procs.append(proc)
+        return proc
+
+    # -- bus wrappers ------------------------------------------------------
+    def _bus_hint_fault(self, event: HintFault) -> float:
+        return self.handle_hint_fault(event.fault, event.cpu)
+
+    def _bus_wp_fault(self, event: WpFault) -> float:
+        return self.handle_wp_fault(event.fault, event.cpu)
+
+    def _bus_alloc_fail(self, event: AllocFail) -> None:
+        event.freed += self.on_alloc_fail(event.tier, event.nr)
+
+    def _bus_frame_replaced(self, event: FrameReplaced) -> None:
+        self.on_frame_replaced(event.old, event.new)
+
+    def _bus_demand_page(self, event: DemandPage) -> None:
+        self.on_demand_page(event.fault, event.frame)
 
     # -- placement ---------------------------------------------------------
     def alloc_preference(self, fault: Fault) -> int:

@@ -31,6 +31,7 @@ from ..kernel.migrate import sync_migrate_page
 from ..mem.frame import Frame
 from ..mem.tiers import FAST_TIER, SLOW_TIER
 from ..mmu.pte import PTE_PRESENT
+from ..sim.bus import ChunkExecuted
 from .base import TieringPolicy
 
 __all__ = ["MemtisPolicy"]
@@ -93,9 +94,13 @@ class MemtisPolicy(TieringPolicy):
 
     # ------------------------------------------------------------------
     def install(self) -> None:
-        self.machine.access.add_observer(self._observe)
-        self.machine.engine.spawn(self._ksampled(), name="ksampled")
-        self.machine.engine.spawn(self._kmigrated(), name="kmigrated")
+        super().install()
+        self.subscribe(ChunkExecuted, self._bus_chunk)
+        self.spawn(self._ksampled(), name="ksampled")
+        self.spawn(self._kmigrated(), name="kmigrated")
+
+    def _bus_chunk(self, event: ChunkExecuted) -> None:
+        self._observe(event.space, event.vpns, event.writes, event.completion_ts)
 
     def _state(self, space) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         asid = space.asid

@@ -52,6 +52,7 @@ class TppPolicy(TieringPolicy):
         self._last_hint_fault = {}
 
     def install(self) -> None:
+        super().install()
         self.machine.start_numa_scanner()
 
     # ------------------------------------------------------------------

@@ -1,8 +1,23 @@
-"""Simulation substrate: event engine, CPUs, costs, platforms, stats."""
+"""Simulation substrate: event engine, bus, CPUs, costs, platforms, stats."""
 
+from .bus import (
+    AllocFail,
+    ChunkExecuted,
+    DemandPage,
+    FrameReplaced,
+    HintFault,
+    LowWatermark,
+    MigrationAborted,
+    MigrationCommitted,
+    Notify,
+    NotifierBus,
+    Subscription,
+    WpFault,
+)
 from .costs import CACHELINE, PAGE_SIZE, CostModel
 from .cpu import Cpu, CpuSet
 from .engine import Engine, Event, Process, SimulationError
+from .scheduler import RunReport, RunScheduler
 from .platform import (
     PAGES_PER_GB,
     Platform,
@@ -21,6 +36,20 @@ __all__ = [
     "Event",
     "Process",
     "SimulationError",
+    "NotifierBus",
+    "Notify",
+    "Subscription",
+    "LowWatermark",
+    "AllocFail",
+    "FrameReplaced",
+    "DemandPage",
+    "HintFault",
+    "WpFault",
+    "ChunkExecuted",
+    "MigrationCommitted",
+    "MigrationAborted",
+    "RunScheduler",
+    "RunReport",
     "Cpu",
     "CpuSet",
     "CostModel",

@@ -1,0 +1,252 @@
+"""Typed notifier bus: the kernel-notifier-chain analogue.
+
+Every cross-layer interaction in the machine flows through one
+:class:`NotifierBus` instead of ad-hoc callbacks: the allocator announces
+watermark pressure, the fault path asks who will handle a hint or
+write-protect fault, the access engine streams executed chunks to
+samplers, and the migration machinery announces commits and aborts.
+
+Subscribers register a handler for an *event type* (one of the frozen
+dataclasses below) with a priority, exactly like ``notifier_chain_register``:
+higher priority runs first, FIFO within a priority. Two delivery modes
+mirror the kernel's notifier semantics:
+
+* :meth:`NotifierBus.publish` -- notify-all. Every handler runs unless
+  one returns :data:`Notify.STOP`, which vetoes the rest of the chain.
+* :meth:`NotifierBus.dispatch` -- consume. Handlers run in order until
+  one returns a non-``None`` value (other than :data:`Notify.DONE`);
+  that value is the dispatch result. Fault handling uses this: the
+  first policy handler that consumes the fault returns its cycle cost.
+
+Events carry their payload as typed fields; a few (``AllocFail``) are
+deliberately mutable so several subscribers can accumulate into them,
+the way notifier callbacks mutate the ``void *data`` argument.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Type, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    import numpy as np
+
+    from ..mem.frame import Frame
+    from ..mmu.address_space import AddressSpace
+    from ..mmu.faults import Fault
+    from .cpu import Cpu
+
+__all__ = [
+    "Notify",
+    "Subscription",
+    "NotifierBus",
+    "LowWatermark",
+    "AllocFail",
+    "FrameReplaced",
+    "DemandPage",
+    "HintFault",
+    "WpFault",
+    "ChunkExecuted",
+    "MigrationCommitted",
+    "MigrationAborted",
+]
+
+
+class Notify(enum.Enum):
+    """Handler return codes (kernel ``NOTIFY_*`` analogues)."""
+
+    DONE = "done"  # not interested; keep calling the chain
+    OK = "ok"  # handled; keep calling the chain
+    STOP = "stop"  # handled; veto the rest of the chain
+
+
+# ----------------------------------------------------------------------
+# Event taxonomy
+# ----------------------------------------------------------------------
+@dataclass
+class LowWatermark:
+    """A node dipped below its low watermark (wakes kswapd)."""
+
+    tier: int
+
+
+@dataclass
+class AllocFail:
+    """Allocation failed on every tier; subscribers reclaim into ``freed``.
+
+    Nomad frees shadow pages here, targeting 10x the request
+    (Section 3.2). Mutable: several reclaimers may each add pages.
+    """
+
+    tier: int
+    nr: int
+    freed: int = 0
+
+
+@dataclass
+class FrameReplaced:
+    """A migration replaced ``old`` with ``new`` (rmap/index rekeying)."""
+
+    old: "Frame"
+    new: "Frame"
+
+
+@dataclass
+class DemandPage:
+    """A first-touch allocation mapped ``frame`` for ``fault``."""
+
+    fault: "Fault"
+    frame: "Frame"
+
+
+@dataclass
+class HintFault:
+    """A NUMA-hint (prot_none) fault. Dispatched: the consuming handler
+    returns the cycles it spent in the faulting task's context."""
+
+    fault: "Fault"
+    cpu: "Cpu"
+
+
+@dataclass
+class WpFault:
+    """A write hit a read-only PTE (Nomad's shadow fault). Dispatched:
+    the consuming handler returns its cycle cost."""
+
+    fault: "Fault"
+    cpu: "Cpu"
+
+
+@dataclass
+class ChunkExecuted:
+    """The access engine executed one vectorized segment.
+
+    ``completion_ts`` holds per-access completion times; Memtis's
+    PEBS-style sampler subscribes here.
+    """
+
+    space: "AddressSpace"
+    vpns: "np.ndarray"
+    writes: "np.ndarray"
+    completion_ts: "np.ndarray"
+
+
+@dataclass
+class MigrationCommitted:
+    """A transactional migration committed: ``frame`` -> ``new_frame``."""
+
+    frame: "Frame"
+    new_frame: "Frame"
+    space: "AddressSpace"
+    vpn: int
+
+
+@dataclass
+class MigrationAborted:
+    """A transactional migration rolled back (dirty-during-copy race)."""
+
+    frame: "Frame"
+    space: "AddressSpace"
+    vpn: int
+    reason: str = "dirty"
+
+
+# ----------------------------------------------------------------------
+# The bus
+# ----------------------------------------------------------------------
+@dataclass
+class Subscription:
+    """A registered handler; pass back to :meth:`NotifierBus.unsubscribe`."""
+
+    event_type: Type[Any]
+    handler: Callable[[Any], Any]
+    priority: int
+    seq: int = field(default=0, compare=False)
+    active: bool = field(default=True, compare=False)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self.active else "cancelled"
+        return (
+            f"<Subscription {self.event_type.__name__} prio={self.priority} "
+            f"{state}>"
+        )
+
+
+class NotifierBus:
+    """Priority-ordered publish/subscribe over typed events."""
+
+    def __init__(self) -> None:
+        self._chains: Dict[type, List[Subscription]] = {}
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        event_type: Type[Any],
+        handler: Callable[[Any], Any],
+        priority: int = 0,
+    ) -> Subscription:
+        """Register ``handler`` for ``event_type``.
+
+        Higher ``priority`` runs first; FIFO within a priority level.
+        Returns a :class:`Subscription` for later unsubscription.
+        """
+        if not isinstance(event_type, type):
+            raise TypeError(f"subscribe() needs an event class, got {event_type!r}")
+        sub = Subscription(event_type, handler, priority, next(self._seq))
+        chain = self._chains.setdefault(event_type, [])
+        chain.append(sub)
+        chain.sort(key=lambda s: (-s.priority, s.seq))
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Remove a subscription (idempotent)."""
+        chain = self._chains.get(sub.event_type)
+        if chain is not None:
+            try:
+                chain.remove(sub)
+            except ValueError:
+                pass
+        sub.active = False
+
+    def has_subscribers(self, event_type: Type[Any]) -> bool:
+        return bool(self._chains.get(event_type))
+
+    def nr_subscribers(self, event_type: Type[Any]) -> int:
+        return len(self._chains.get(event_type, ()))
+
+    # ------------------------------------------------------------------
+    def publish(self, event: Any) -> int:
+        """Notify-all delivery; returns how many handlers ran.
+
+        A handler returning :data:`Notify.STOP` vetoes the remainder of
+        the chain (it still counts as having run).
+        """
+        ran = 0
+        for sub in tuple(self._chains.get(type(event), ())):
+            result = sub.handler(event)
+            ran += 1
+            if result is Notify.STOP:
+                break
+        return ran
+
+    def dispatch(self, event: Any) -> Any:
+        """Consume delivery: the first handler returning a value wins.
+
+        Handlers returning ``None`` or :data:`Notify.DONE` decline and
+        the chain continues; any other return value consumes the event
+        and becomes the dispatch result. Returns ``None`` when no
+        handler consumed the event.
+        """
+        for sub in tuple(self._chains.get(type(event), ())):
+            result = sub.handler(event)
+            if result is None or result is Notify.DONE:
+                continue
+            return result
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        chains = {t.__name__: len(c) for t, c in self._chains.items() if c}
+        return f"<NotifierBus {chains}>"

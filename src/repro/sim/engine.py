@@ -49,13 +49,19 @@ class Event:
         self.name = name
 
     def succeed(self, value: Any = None) -> None:
-        """Trigger the event, waking every waiter at the current time."""
+        """Trigger the event, waking every waiter at the current time.
+
+        Waiters killed while blocked on this event are stale; they are
+        dropped here rather than scheduled for a resumption the run loop
+        would discard anyway.
+        """
         if self.triggered:
             raise SimulationError(f"event {self.name!r} already triggered")
         self.triggered = True
         self.value = value
         for proc in self._waiters:
-            self._engine._schedule(proc, 0.0, value)
+            if proc.alive:
+                self._engine._schedule(proc, 0.0, value)
         self._waiters.clear()
 
     def _add_waiter(self, proc: "Process") -> None:

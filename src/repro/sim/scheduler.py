@@ -1,0 +1,226 @@
+"""The run scheduler: one loop for every way a machine runs workloads.
+
+Single-workload, multi-threaded, and multi-tenant runs all used to have
+their own spawn/collect loops in ``Machine``; :class:`RunScheduler`
+unifies them. It owns process spawning, per-workload window sinks,
+counter snapshots, and :class:`RunReport` assembly, so every run shape
+gets identical reporting semantics:
+
+* phase reports (transient / stable / overall) are computed from the
+  workload's *private* window stream, so co-running tenants and repeated
+  runs on one machine never bleed into each other's bandwidth numbers;
+* machine-global counter deltas and per-CPU breakdowns are attached to
+  every report (shared fields -- see :class:`RunReport`);
+* per-workload counters that are derivable from the private windows
+  (accesses, read/write cycle totals, window count) are reported in
+  ``RunReport.workload_counters``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, TYPE_CHECKING
+
+from .stats import Stats, WindowSample
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..system import Machine
+    from ..workloads.base import Workload
+    from .cpu import Cpu
+    from .stats import PhaseReport
+
+__all__ = ["RunReport", "RunScheduler"]
+
+
+@dataclass
+class RunReport:
+    """What a scheduler run returns, one per workload.
+
+    Per-workload fields (computed from this workload's private window
+    stream only):
+
+    * ``transient`` / ``stable`` / ``overall`` -- phase summaries;
+    * ``workload`` -- the workload's name;
+    * ``workload_counters`` -- counters derivable from the private
+      windows: ``accesses``, ``reads``, ``writes``, ``read_cycles``,
+      ``write_cycles``, ``windows``, ``span_cycles``.
+
+    Shared (machine-global) fields -- identical across every report from
+    one co-run, because tiered memory, daemons, and migration state are
+    shared by design:
+
+    * ``counters`` -- delta of every machine counter across the run;
+    * ``breakdowns`` -- per-CPU, per-category cycle accounting;
+    * ``cycles`` -- the engine clock when the run ended.
+    """
+
+    transient: "PhaseReport"
+    stable: "PhaseReport"
+    overall: "PhaseReport"
+    counters: Dict[str, float]
+    cycles: float
+    breakdowns: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    workload: str = ""
+    workload_counters: Dict[str, float] = field(default_factory=dict)
+
+
+class RunScheduler:
+    """Spawns workload processes and assembles their reports."""
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        workloads: Sequence["Workload"],
+        app_cpus: Optional[Sequence[str]] = None,
+        run_cycles: Optional[float] = None,
+        threads: int = 1,
+    ) -> List[RunReport]:
+        """Run ``workloads`` to completion (or a ``run_cycles`` budget).
+
+        With one workload and ``threads > 1`` the workload runs as
+        several application threads sharing one address space, each on
+        its own core pulling chunks from the same access stream -- pages
+        become visible to multiple TLBs, so migrations pay multi-CPU
+        shootdowns (the Section 3.3 cost the paper analyses). Several
+        workloads co-run one application core each (multi-tenant
+        pressure on the same tiered memory).
+        """
+        m = self.machine
+        if not workloads:
+            raise ValueError("need at least one workload")
+        if threads < 1:
+            raise ValueError("need at least one thread")
+        if threads > 1 and len(workloads) > 1:
+            raise ValueError("threads > 1 requires a single workload")
+        nr_procs = threads if threads > 1 else len(workloads)
+        if app_cpus is None:
+            app_cpus = [f"app{i}" for i in range(nr_procs)]
+        if len(app_cpus) != nr_procs:
+            raise ValueError("need one CPU per workload" if threads == 1
+                             else "need one CPU per thread")
+
+        for workload in workloads:
+            workload.bind(m)
+        start_counters = m.stats.snapshot()
+        sinks: List[List[WindowSample]] = [[] for _ in workloads]
+        procs = []
+        proc_groups: List[List] = [[] for _ in workloads]
+        if threads > 1:
+            workload = workloads[0]
+            shared_chunks = workload.chunks()
+            for cpu_name in app_cpus:
+                proc = m.engine.spawn(
+                    self._thread_proc(
+                        workload, m.cpus.get(cpu_name), shared_chunks,
+                        sinks[0].append,
+                    ),
+                    name=f"app:{workload.name}:{cpu_name}",
+                )
+                procs.append(proc)
+                proc_groups[0].append(proc)
+        else:
+            for i, (workload, cpu_name) in enumerate(zip(workloads, app_cpus)):
+                proc = m.engine.spawn(
+                    self._app_proc(workload, m.cpus.get(cpu_name), sinks[i].append),
+                    name=f"app:{workload.name}",
+                )
+                procs.append(proc)
+                proc_groups[i].append(proc)
+
+        # Daemons keep the event queue populated forever; run until the
+        # application processes complete (or the cycle budget expires).
+        for proc in procs:
+            if proc.alive:
+                m.engine.run(until=run_cycles, until_event=proc.done_event)
+        if threads > 1 and all(not p.alive for p in procs):
+            workloads[0].on_finish()
+        if run_cycles is None and any(p.alive for p in procs):
+            raise RuntimeError("engine drained but the workload did not finish")
+
+        counters = {
+            k: m.stats.counters[k] - start_counters.get(k, 0.0)
+            for k in m.stats.counters
+        }
+        breakdowns = {name: m.stats.breakdown(name) for name in m.cpus.names()}
+        return [
+            self._report(workload, windows, counters, breakdowns)
+            for workload, windows in zip(workloads, sinks)
+        ]
+
+    # ------------------------------------------------------------------
+    # Application processes
+    # ------------------------------------------------------------------
+    def _app_proc(self, workload: "Workload", cpu: "Cpu", sink) -> Iterator[float]:
+        workload.bind(self.machine)
+        yield from self._thread_proc(workload, cpu, workload.chunks(), sink)
+        workload.on_finish()
+
+    def _thread_proc(self, workload: "Workload", cpu: "Cpu", chunks, sink) -> Iterator[float]:
+        """One application thread draining (part of) an access stream."""
+        m = self.machine
+        compute = workload.compute_cycles_per_access
+        for vpns, writes in chunks:
+            start = m.engine.now
+            result = m.access.run_chunk(workload.space, cpu, vpns, writes)
+            cycles = result.cycles
+            if compute:
+                extra = compute * len(vpns)
+                cpu.account("compute", extra)
+                cycles += extra
+            sample = WindowSample(
+                start=start,
+                end=start + cycles,
+                reads=result.reads,
+                writes=result.writes,
+                read_cycles=result.read_cycles,
+                write_cycles=result.write_cycles,
+                latency_hist=result.latency_hist,
+            )
+            m.stats.record_window(sample)
+            sink(sample)
+            yield cycles
+
+    # ------------------------------------------------------------------
+    # Report assembly
+    # ------------------------------------------------------------------
+    def _report(
+        self,
+        workload: "Workload",
+        windows: List[WindowSample],
+        counters: Dict[str, float],
+        breakdowns: Dict[str, Dict[str, float]],
+    ) -> RunReport:
+        m = self.machine
+        cfg = m.config
+        scratch = Stats(freq_ghz=m.platform.freq_ghz)
+        scratch.windows = windows
+        return RunReport(
+            transient=scratch.phase_report("transient", 0.0, cfg.transient_frac),
+            stable=scratch.phase_report("stable", 1.0 - cfg.stable_frac, 1.0),
+            overall=scratch.phase_report("overall", 0.0, 1.0),
+            counters=counters,
+            cycles=m.engine.now,
+            breakdowns=breakdowns,
+            workload=workload.name,
+            workload_counters=self._workload_counters(windows),
+        )
+
+    @staticmethod
+    def _workload_counters(windows: List[WindowSample]) -> Dict[str, float]:
+        """Per-workload counters derivable from its private windows."""
+        if not windows:
+            return {"accesses": 0.0, "reads": 0.0, "writes": 0.0,
+                    "read_cycles": 0.0, "write_cycles": 0.0,
+                    "windows": 0.0, "span_cycles": 0.0}
+        return {
+            "accesses": float(sum(w.accesses for w in windows)),
+            "reads": float(sum(w.reads for w in windows)),
+            "writes": float(sum(w.writes for w in windows)),
+            "read_cycles": float(sum(w.read_cycles for w in windows)),
+            "write_cycles": float(sum(w.write_cycles for w in windows)),
+            "windows": float(len(windows)),
+            "span_cycles": windows[-1].end - windows[0].start,
+        }

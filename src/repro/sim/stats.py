@@ -209,7 +209,18 @@ class Stats:
         slow progress is still split into comparable early/late phases.
         """
         if not self.windows:
-            return PhaseReport(name, 0, 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, counters or {})
+            return PhaseReport(
+                name=name,
+                accesses=0,
+                reads=0,
+                writes=0,
+                cycles=0.0,
+                read_bandwidth_gbps=0.0,
+                write_bandwidth_gbps=0.0,
+                bandwidth_gbps=0.0,
+                avg_access_cycles=0.0,
+                counters=counters or {},
+            )
         lo = int(len(self.windows) * start_frac)
         hi = max(lo + 1, int(len(self.windows) * end_frac))
         chunk = self.windows[lo:hi]

@@ -1,7 +1,11 @@
 """The simulated machine: engine + tiers + MMU + kernel daemons + policy.
 
-``Machine`` is the composition root. A typical experiment builds one,
-installs a tiering policy, binds one or more workloads, and runs:
+``Machine`` is the composition root. Its subsystems talk through a
+shared :class:`~repro.sim.bus.NotifierBus` (allocator pressure, fault
+dispatch, chunk sampling, migration bookkeeping) and workloads run
+through a :class:`~repro.sim.scheduler.RunScheduler`. A typical
+experiment builds a machine, installs a tiering policy, binds one or
+more workloads, and runs:
 
     from repro import Machine, platform_a
     from repro.core import NomadPolicy
@@ -11,35 +15,33 @@ installs a tiering policy, binds one or more workloads, and runs:
     machine.set_policy(NomadPolicy(machine))
     wl = ZipfianMicrobench(machine, wss_gb=10, rss_gb=20)
     report = machine.run_workload(wl, total_accesses=400_000)
+
+Policies are swappable at runtime: ``clear_policy()`` uninstalls the
+current policy (bus handlers unregistered, daemons killed, armed hint
+PTEs disarmed) after which ``set_policy()`` accepts a new one.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
-
-import numpy as np
+from dataclasses import dataclass
+from typing import List, Optional
 
 from .kernel.lru import LruManager
 from .kernel.numa_fault import NumaHintScanner
 from .kernel.reclaim import Kswapd
-from .mem.frame import Frame, FrameFlags
+from .mem.frame import FrameFlags
 from .mem.tiers import FAST_TIER, SLOW_TIER, TieredMemory
 from .mmu.access import AccessEngine
 from .mmu.address_space import AddressSpace
 from .mmu.faults import Fault, FaultType, UnhandledFault
-from .mmu.pte import (
-    PTE_ACCESSED,
-    PTE_DIRTY,
-    PTE_PRESENT,
-    PTE_PROT_NONE,
-    PTE_WRITE,
-)
+from .mmu.pte import PTE_ACCESSED, PTE_DIRTY, PTE_PRESENT, PTE_WRITE
 from .mmu.tlb import TlbDirectory
+from .sim.bus import DemandPage, HintFault, NotifierBus, WpFault
 from .sim.cpu import Cpu, CpuSet
 from .sim.engine import Engine
-from .sim.platform import Platform, gb_to_pages
-from .sim.stats import Stats, WindowSample
+from .sim.platform import Platform
+from .sim.scheduler import RunReport, RunScheduler
+from .sim.stats import Stats
 
 __all__ = ["Machine", "MachineConfig", "RunReport"]
 
@@ -57,18 +59,6 @@ class MachineConfig:
     stable_frac: float = 0.25
 
 
-@dataclass
-class RunReport:
-    """What :meth:`Machine.run_workload` returns."""
-
-    transient: "object"
-    stable: "object"
-    overall: "object"
-    counters: Dict[str, float]
-    cycles: float
-    breakdowns: Dict[str, Dict[str, float]] = field(default_factory=dict)
-
-
 class Machine:
     """A two-tier machine instance."""
 
@@ -80,6 +70,7 @@ class Machine:
         self.platform = platform
         self.config = config or MachineConfig()
         self.engine = Engine()
+        self.bus = NotifierBus()
         self.costs = platform.cost_model()
         self.stats = Stats(freq_ghz=platform.freq_ghz)
         self.cpus = CpuSet(self.engine, self.stats)
@@ -87,6 +78,7 @@ class Machine:
             platform.fast_pages,
             platform.slow_pages,
             watermark_scale=self.config.watermark_scale,
+            bus=self.bus,
         )
         self.lru = LruManager(self.tiers, self.stats)
         self.tlb_directory = TlbDirectory()
@@ -96,9 +88,8 @@ class Machine:
         self.kswapd = [Kswapd(self, FAST_TIER), Kswapd(self, SLOW_TIER)]
         for daemon in self.kswapd:
             daemon.start()
-        self.tiers.on_low_watermark = self._on_low_watermark
-        self.tiers.on_alloc_fail = self._on_alloc_fail
         self.scanner: Optional[NumaHintScanner] = None
+        self.scheduler = RunScheduler(self)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -108,6 +99,19 @@ class Machine:
             raise RuntimeError("policy already installed")
         self.policy = policy
         policy.install()
+
+    def clear_policy(self) -> None:
+        """Uninstall the current policy so another can be installed.
+
+        Unregisters the policy's bus handlers, kills its daemons, and
+        disarms any hint-armed PTEs the scanner left behind (which would
+        otherwise fault into a bus with no hint handler).
+        """
+        if self.policy is None:
+            return
+        self.policy.uninstall()
+        self.policy = None
+        self.stop_numa_scanner()
 
     def start_numa_scanner(self, task_cpu_name: str = "app0") -> None:
         """Policies that rely on hint faults call this from install()."""
@@ -120,23 +124,17 @@ class Machine:
             )
             self.scanner.start()
 
+    def stop_numa_scanner(self) -> None:
+        """Kill the scan daemon and disarm every armed PTE."""
+        if self.scanner is not None:
+            self.scanner.stop()
+            self.scanner.disarm_all()
+            self.scanner = None
+
     def create_space(self, name: str = "") -> AddressSpace:
         space = AddressSpace(self.config.address_space_pages, name)
         self.spaces.append(space)
         return space
-
-    def _on_low_watermark(self, tier: int) -> None:
-        self.kswapd[tier].wake()
-
-    def _on_alloc_fail(self, tier: int, nr: int) -> int:
-        if self.policy is None:
-            return 0
-        return self.policy.on_alloc_fail(tier, nr)
-
-    def on_frame_replaced(self, old: Frame, new: Frame) -> None:
-        """Notify the policy that a migration replaced `old` with `new`."""
-        if self.policy is not None:
-            self.policy.on_frame_replaced(old, new)
 
     # ------------------------------------------------------------------
     # Fault handling
@@ -158,13 +156,15 @@ class Machine:
         if fault.kind is FaultType.NOT_PRESENT:
             cycles += self._demand_page(fault, cpu)
         elif fault.kind is FaultType.HINT:
-            if self.policy is None:
+            handled = self.bus.dispatch(HintFault(fault, cpu))
+            if handled is None:
                 raise UnhandledFault(fault, "hint fault with no policy")
-            cycles += self.policy.handle_hint_fault(fault, cpu)
+            cycles += handled
         else:  # WRITE_PROTECT
-            if self.policy is None:
+            handled = self.bus.dispatch(WpFault(fault, cpu))
+            if handled is None:
                 raise UnhandledFault(fault, "write-protect fault with no policy")
-            cycles += self.policy.handle_wp_fault(fault, cpu)
+            cycles += handled
         return cycles
 
     def _demand_page(self, fault: Fault, cpu: Cpu) -> float:
@@ -183,8 +183,7 @@ class Machine:
         self.stats.bump("fault.demand_paged")
         cycles = self.costs.alloc_page + self.costs.pte_update + self.costs.lru_op
         cpu.account("fault", cycles)
-        if self.policy is not None:
-            self.policy.on_demand_page(fault, frame)
+        self.bus.publish(DemandPage(fault, frame))
         return cycles
 
     # ------------------------------------------------------------------
@@ -264,7 +263,7 @@ class Machine:
         return moved
 
     # ------------------------------------------------------------------
-    # Running workloads
+    # Running workloads (thin delegates to the scheduler)
     # ------------------------------------------------------------------
     def run_workload(
         self,
@@ -276,61 +275,18 @@ class Machine:
         """Bind and execute ``workload`` to completion (or ``run_cycles``).
 
         With ``threads > 1`` the workload runs as several application
-        threads sharing one address space, each on its own core pulling
-        chunks from the same access stream -- pages become visible to
-        multiple TLBs, so migrations pay multi-CPU shootdowns (the
-        Section 3.3 cost the paper analyses).
-
-        Returns a :class:`RunReport` with transient/stable phase
-        summaries, counter deltas, and per-CPU time breakdowns.
+        threads sharing one address space (cores ``app0..appN-1``); see
+        :meth:`RunScheduler.run`. Returns a :class:`RunReport`.
         """
         if threads < 1:
             raise ValueError("need at least one thread")
-        workload.bind(self)
-        procs = []
         if threads == 1:
-            cpu = self.cpus.get(app_cpu)
-            procs.append(
-                self.engine.spawn(
-                    self._app_proc(workload, cpu), name=f"app:{workload.name}"
-                )
-            )
+            app_cpus = [app_cpu]
         else:
-            shared_chunks = workload.chunks()
-            for t in range(threads):
-                cpu = self.cpus.get(f"app{t}")
-                procs.append(
-                    self.engine.spawn(
-                        self._thread_proc(workload, cpu, shared_chunks),
-                        name=f"app:{workload.name}:t{t}",
-                    )
-                )
-        start_counters = self.stats.snapshot()
-        # Daemons keep the event queue populated forever; run until the
-        # application processes complete (or the cycle budget expires).
-        for proc in procs:
-            if proc.alive:
-                self.engine.run(until=run_cycles, until_event=proc.done_event)
-        if threads > 1 and all(not p.alive for p in procs):
-            workload.on_finish()
-        if run_cycles is None and any(p.alive for p in procs):
-            raise RuntimeError("engine drained but the workload did not finish")
-        cfg = self.config
-        counters = {
-            k: self.stats.counters[k] - start_counters.get(k, 0.0)
-            for k in self.stats.counters
-        }
-        report = RunReport(
-            transient=self.stats.phase_report("transient", 0.0, cfg.transient_frac),
-            stable=self.stats.phase_report("stable", 1.0 - cfg.stable_frac, 1.0),
-            overall=self.stats.phase_report("overall", 0.0, 1.0),
-            counters=counters,
-            cycles=self.engine.now,
-            breakdowns={
-                name: self.stats.breakdown(name) for name in self.cpus.names()
-            },
-        )
-        return report
+            app_cpus = [f"app{t}" for t in range(threads)]
+        return self.scheduler.run(
+            [workload], app_cpus=app_cpus, run_cycles=run_cycles, threads=threads
+        )[0]
 
     def run_workloads(
         self,
@@ -342,82 +298,9 @@ class Machine:
 
         Models multi-tenant pressure on the fast tier: every workload
         allocates from, and migrates within, the same tiered memory.
-        Returns one report per workload, with per-workload phase metrics
-        and the shared (machine-global) counters.
+        Returns one report per workload; see :class:`RunReport` for
+        which fields are per-workload and which are machine-global.
         """
-        if not workloads:
-            raise ValueError("need at least one workload")
-        if app_cpus is None:
-            app_cpus = [f"app{i}" for i in range(len(workloads))]
-        if len(app_cpus) != len(workloads):
-            raise ValueError("need one CPU per workload")
-        start_counters = self.stats.snapshot()
-        private_windows: List[List[WindowSample]] = [[] for _ in workloads]
-        procs = []
-        for workload, cpu_name, windows in zip(workloads, app_cpus, private_windows):
-            cpu = self.cpus.get(cpu_name)
-            procs.append(
-                self.engine.spawn(
-                    self._app_proc(workload, cpu, sink=windows.append),
-                    name=f"app:{workload.name}",
-                )
-            )
-        deadline = run_cycles
-        for proc in procs:
-            if proc.alive:
-                self.engine.run(until=deadline, until_event=proc.done_event)
-        counters = {
-            k: self.stats.counters[k] - start_counters.get(k, 0.0)
-            for k in self.stats.counters
-        }
-        cfg = self.config
-        reports = []
-        for workload, windows in zip(workloads, private_windows):
-            scratch = Stats(freq_ghz=self.platform.freq_ghz)
-            scratch.windows = windows
-            reports.append(
-                RunReport(
-                    transient=scratch.phase_report(
-                        "transient", 0.0, cfg.transient_frac
-                    ),
-                    stable=scratch.phase_report("stable", 1.0 - cfg.stable_frac, 1.0),
-                    overall=scratch.phase_report("overall", 0.0, 1.0),
-                    counters=counters,
-                    cycles=self.engine.now,
-                    breakdowns={
-                        name: self.stats.breakdown(name)
-                        for name in self.cpus.names()
-                    },
-                )
-            )
-        return reports
-
-    def _app_proc(self, workload, cpu: Cpu, sink=None):
-        workload.bind(self)
-        yield from self._thread_proc(workload, cpu, workload.chunks(), sink)
-        workload.on_finish()
-
-    def _thread_proc(self, workload, cpu: Cpu, chunks, sink=None):
-        """One application thread draining (part of) an access stream."""
-        compute = workload.compute_cycles_per_access
-        for vpns, writes in chunks:
-            start = self.engine.now
-            result = self.access.run_chunk(workload.space, cpu, vpns, writes)
-            cycles = result.cycles
-            if compute:
-                extra = compute * len(vpns)
-                cpu.account("compute", extra)
-                cycles += extra
-            sample = WindowSample(
-                start=start,
-                end=start + cycles,
-                reads=result.reads,
-                writes=result.writes,
-                read_cycles=result.read_cycles,
-                write_cycles=result.write_cycles,
-                latency_hist=result.latency_hist,
-            )
-            self.stats.record_window(sample)
-            if sink is not None:
-                sink(sample)
-            yield cycles
+        return self.scheduler.run(
+            workloads, app_cpus=app_cpus, run_cycles=run_cycles
+        )

@@ -56,6 +56,7 @@ def test_policy_exception_propagates_with_state_intact():
         name = "exploding"
 
         def install(self):
+            super().install()
             self.machine.start_numa_scanner()
 
         def handle_hint_fault(self, fault, cpu):

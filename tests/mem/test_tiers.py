@@ -1,9 +1,10 @@
-"""Tiered memory: global frame numbers, fallback allocation, hooks."""
+"""Tiered memory: global frame numbers, fallback allocation, bus events."""
 
 import pytest
 
 from repro.mem.node import OutOfMemoryError
 from repro.mem.tiers import FAST_TIER, SLOW_TIER, TieredMemory
+from repro.sim.bus import AllocFail, LowWatermark
 
 
 @pytest.fixture
@@ -62,35 +63,33 @@ def test_oom_when_everything_full(tiers):
         tiers.alloc_page()
 
 
-def test_low_watermark_hook_fires(tiers):
+def test_low_watermark_event_published(tiers):
     woken = []
-    tiers.on_low_watermark = woken.append
+    tiers.bus.subscribe(LowWatermark, lambda e: woken.append(e.tier))
     while tiers.fast.nr_free > tiers.fast.wmark_low - 1:
         tiers.alloc_on(FAST_TIER)
     assert FAST_TIER in woken
 
 
-def test_alloc_fail_hook_enables_recovery(tiers):
+def test_alloc_fail_subscriber_enables_recovery(tiers):
     stash = []
     while tiers.total_free:
         stash.append(tiers.alloc_page())
 
-    def reclaim(tier, nr):
-        freed = 0
-        for _ in range(min(nr * 2, len(stash))):
+    def reclaim(event):
+        for _ in range(min(event.nr * 2, len(stash))):
             tiers.free_page(stash.pop())
-            freed += 1
-        return freed
+            event.freed += 1
 
-    tiers.on_alloc_fail = reclaim
+    tiers.bus.subscribe(AllocFail, reclaim)
     frame = tiers.alloc_page()
     assert frame is not None
 
 
-def test_alloc_fail_hook_returning_zero_ooms(tiers):
+def test_alloc_fail_subscriber_freeing_nothing_ooms(tiers):
     while tiers.total_free:
         tiers.alloc_page()
-    tiers.on_alloc_fail = lambda tier, nr: 0
+    tiers.bus.subscribe(AllocFail, lambda event: None)
     with pytest.raises(OutOfMemoryError):
         tiers.alloc_page()
 

@@ -170,14 +170,16 @@ def test_unresolvable_fault_raises_after_retries():
         run_chunk(m, space, [vma.start])
 
 
-def test_observer_sees_executed_segments():
+def test_chunk_executed_event_sees_executed_segments():
+    from repro.sim.bus import ChunkExecuted
+
     m = make_machine()
     seen = []
 
-    def observer(space, vpns, writes, ts):
-        seen.append((list(vpns), list(writes)))
+    def on_chunk(event):
+        seen.append((list(event.vpns), list(event.writes)))
 
-    m.access.add_observer(observer)
+    sub = m.bus.subscribe(ChunkExecuted, on_chunk)
     space = m.create_space()
     vma = space.mmap(2)
     m.populate(space, vma.vpns(), FAST_TIER)
@@ -185,7 +187,7 @@ def test_observer_sees_executed_segments():
     assert len(seen) == 1
     assert seen[0][0] == [vma.start, vma.start + 1]
     assert seen[0][1] == [False, True]
-    m.access.remove_observer(observer)
+    m.bus.unsubscribe(sub)
     run_chunk(m, space, [vma.start])
     assert len(seen) == 1
 

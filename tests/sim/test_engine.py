@@ -194,6 +194,76 @@ def test_kill_stops_process():
     assert p.done_event.triggered
 
 
+def test_kill_while_waiting_on_event_not_resurrected():
+    engine = Engine()
+    resumed = []
+    ev = engine.event("gate")
+
+    def waiter():
+        yield ev
+        resumed.append("waiter")
+
+    def killer(victim):
+        yield 5
+        engine.kill(victim)
+
+    def trigger():
+        yield 10
+        ev.succeed("late")
+
+    victim = engine.spawn(waiter(), "w")
+    engine.spawn(killer(victim), "k")
+    engine.spawn(trigger(), "t")
+    engine.run()
+    # succeed() must drop the dead waiter instead of rescheduling it.
+    assert resumed == []
+    assert not victim.alive
+    assert ev.triggered
+
+
+def test_kill_one_of_two_waiters_wakes_the_survivor():
+    engine = Engine()
+    resumed = []
+    ev = engine.event()
+
+    def waiter(tag):
+        yield ev
+        resumed.append(tag)
+
+    def killer(victim):
+        yield 5
+        engine.kill(victim)
+
+    def trigger():
+        yield 10
+        ev.succeed()
+
+    victim = engine.spawn(waiter("victim"), "v")
+    engine.spawn(waiter("survivor"), "s")
+    engine.spawn(killer(victim), "k")
+    engine.spawn(trigger(), "t")
+    engine.run()
+    assert resumed == ["survivor"]
+
+
+def test_run_until_already_triggered_event_returns_immediately():
+    engine = Engine()
+    steps = []
+    ev = engine.event()
+    ev.succeed()
+
+    def forever():
+        while True:
+            steps.append(engine.now)
+            yield 10
+
+    engine.spawn(forever(), "inf")
+    engine.run(until_event=ev)
+    # The stop condition is checked before any step runs.
+    assert steps == []
+    assert engine.now == 0.0
+
+
 def test_negative_delay_rejected():
     engine = Engine()
 

@@ -82,6 +82,20 @@ def test_phase_report_empty():
     assert report.bandwidth_gbps == 0.0
 
 
+def test_phase_report_empty_with_counters_lands_in_counters_field():
+    # Regression: the empty-window path used to pass ``counters``
+    # positionally, so it landed in ``p50_access_cycles``.
+    counters = {"migrate.promotions": 3.0}
+    report = Stats().phase_report("none", 0.0, 1.0, counters)
+    assert report.counters == counters
+    assert report.p50_access_cycles == 0.0
+    assert report.p95_access_cycles == 0.0
+    assert report.p99_access_cycles == 0.0
+    assert report.avg_access_cycles == 0.0
+    assert report.reads == 0
+    assert report.writes == 0
+
+
 def test_phase_report_read_write_split():
     stats = Stats(freq_ghz=1.0)
     stats.record_window(make_window(0, 1000, reads=50, writes=50))

@@ -171,6 +171,34 @@ def test_run_workload_requires_completion(machine):
     assert report.overall.accesses == 1000
 
 
+def test_policy_swap_mid_session():
+    from repro.sim.bus import HintFault, WpFault
+
+    machine = make_machine()
+    machine.set_policy(make_policy("tpp", machine))
+    assert machine.bus.has_subscribers(HintFault)
+    first = machine.run_workload(SeqScanWorkload(rss_gb=0.25, total_accesses=500))
+    assert first.overall.accesses == 500
+
+    machine.clear_policy()
+    assert machine.policy is None
+    assert machine.scanner is None
+    assert not machine.bus.has_subscribers(HintFault)
+    assert not machine.bus.has_subscribers(WpFault)
+
+    # A second policy installs cleanly onto the same machine and serves
+    # the next run's faults through the bus.
+    machine.set_policy(make_policy("nomad", machine))
+    assert machine.bus.has_subscribers(WpFault)
+    second = machine.run_workload(SeqScanWorkload(rss_gb=0.25, total_accesses=500))
+    assert second.overall.accesses == 500
+
+
+def test_clear_policy_without_policy_is_noop(machine):
+    machine.clear_policy()
+    assert machine.policy is None
+
+
 def test_report_counter_delta_not_cumulative():
     machine = make_machine()
     machine.set_policy(make_policy("tpp", machine))
