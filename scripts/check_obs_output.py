@@ -1,0 +1,177 @@
+#!/usr/bin/env python
+"""Validate an observability export directory (CI smoke check).
+
+Usage::
+
+    python scripts/check_obs_output.py OUT_DIR
+
+Checks, with no dependencies beyond the standard library:
+
+* ``events.jsonl`` -- every line parses; every object has ``ts``
+  (number), ``name`` (known tracepoint), ``args`` (object with exactly
+  the declared fields);
+* ``metrics.prom`` -- well-formed exposition lines; every registered
+  counter and gauge metric present; histogram ``_bucket`` series
+  cumulative and consistent with ``_count``;
+* ``trace.json`` -- loadable Chrome Trace JSON with a non-empty
+  ``traceEvents`` list of known phase types, sorted by timestamp;
+* ``gauges.csv`` -- a header plus at least two samples (the gauge
+  time-series acceptance floor).
+
+Exits non-zero listing every failure, so CI output shows the full
+breakage at once.
+"""
+
+import csv
+import json
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.obs.counters import COUNTERS  # noqa: E402
+from repro.obs.export import metric_name  # noqa: E402
+from repro.obs.sampler import GAUGES  # noqa: E402
+from repro.obs.tracepoints import TRACEPOINTS  # noqa: E402
+
+PROM_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?P<labels>\{[^}]*\})? (?P<value>\S+)$"
+)
+
+errors = []
+
+
+def err(msg):
+    errors.append(msg)
+
+
+def check_jsonl(path):
+    for i, line in enumerate(path.read_text().splitlines(), 1):
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as e:
+            err(f"{path}:{i}: not JSON: {e}")
+            continue
+        if set(obj) != {"ts", "name", "args"}:
+            err(f"{path}:{i}: keys {sorted(obj)}, want [args, name, ts]")
+            continue
+        if not isinstance(obj["ts"], (int, float)):
+            err(f"{path}:{i}: ts is {type(obj['ts']).__name__}")
+        spec = TRACEPOINTS.get(obj["name"])
+        if spec is None:
+            err(f"{path}:{i}: unknown tracepoint {obj['name']!r}")
+        elif set(obj["args"]) != set(spec.fields):
+            err(
+                f"{path}:{i}: {obj['name']} args {sorted(obj['args'])}, "
+                f"want {sorted(spec.fields)}"
+            )
+
+
+def check_prometheus(path):
+    samples = {}
+    for i, line in enumerate(path.read_text().splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            if not line.startswith(("# HELP ", "# TYPE ")):
+                err(f"{path}:{i}: bad comment line {line!r}")
+            continue
+        m = PROM_SAMPLE.match(line)
+        if m is None:
+            err(f"{path}:{i}: malformed sample {line!r}")
+            continue
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            err(f"{path}:{i}: non-numeric value in {line!r}")
+            continue
+        samples.setdefault(m.group("name"), []).append(
+            (m.group("labels") or "", value)
+        )
+
+    for name in COUNTERS:
+        if metric_name(name) + "_total" not in samples:
+            err(f"{path}: missing counter {metric_name(name)}_total")
+    for name in GAUGES:
+        if metric_name(name) not in samples:
+            err(f"{path}: missing gauge {metric_name(name)}")
+
+    # Histogram invariants: buckets non-decreasing, +Inf == _count.
+    for name in [n for n in samples if n.endswith("_bucket")]:
+        base = name[: -len("_bucket")]
+        values = [v for _labels, v in samples[name]]
+        if values != sorted(values):
+            err(f"{path}: {name} buckets not cumulative")
+        inf = [v for labels, v in samples[name] if 'le="+Inf"' in labels]
+        count = samples.get(base + "_count")
+        if inf and count and inf[0] != count[0][1]:
+            err(f"{path}: {name} +Inf={inf[0]} != {base}_count={count[0][1]}")
+
+
+def check_chrome(path):
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as e:
+        err(f"{path}: not JSON: {e}")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        err(f"{path}: traceEvents missing or empty")
+        return
+    ts = []
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in {"X", "i", "C", "M", "B", "E"}:
+            err(f"{path}: traceEvents[{i}]: unknown phase {ph!r}")
+        if "pid" not in e or "name" not in e:
+            err(f"{path}: traceEvents[{i}]: missing pid/name")
+        if ph == "X" and e.get("dur", -1.0) < 0:
+            err(f"{path}: traceEvents[{i}]: negative duration")
+        if ph != "M":
+            ts.append(e.get("ts", 0.0))
+    if ts != sorted(ts):
+        err(f"{path}: traceEvents not sorted by ts")
+
+
+def check_gauges(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    if not rows or rows[0][0] != "time_cycles":
+        err(f"{path}: missing time_cycles header")
+        return
+    if len(rows) < 3:
+        err(f"{path}: want >= 2 gauge samples, got {len(rows) - 1}")
+    width = len(rows[0])
+    for i, row in enumerate(rows[1:], 2):
+        if len(row) != width:
+            err(f"{path}:{i}: ragged row ({len(row)} != {width} columns)")
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(__doc__)
+        return 2
+    out_dir = Path(argv[1])
+    checks = {
+        "events.jsonl": check_jsonl,
+        "metrics.prom": check_prometheus,
+        "trace.json": check_chrome,
+        "gauges.csv": check_gauges,
+    }
+    for fname, check in checks.items():
+        path = out_dir / fname
+        if not path.is_file():
+            err(f"{path}: missing")
+        else:
+            check(path)
+    if errors:
+        for e in errors:
+            print(f"FAIL {e}")
+        return 1
+    print(f"ok: {', '.join(checks)} in {out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

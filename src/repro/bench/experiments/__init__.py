@@ -27,6 +27,7 @@ from .analytics import (
     fig16_liblinear_large,
 )
 from .ablations import ablation_nomad_variants, ablation_shadow_reclaim_factor
+from .observability import timeline_gauges
 
 __all__ = [
     "REGISTRY",
@@ -50,4 +51,5 @@ __all__ = [
     "tab4_success_rate",
     "ablation_nomad_variants",
     "ablation_shadow_reclaim_factor",
+    "timeline_gauges",
 ]

@@ -1,0 +1,64 @@
+"""Observability demos: gauge timelines from an instrumented run.
+
+``timeline`` reproduces the *shape* of the paper's Figure 7-10
+methodology -- a time series sampled while a policy fights memory
+pressure -- but from the observability layer's gauge sampler instead of
+post-hoc bandwidth windows: MPQ depth, live shadow pages, and free fast
+frames over simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...workloads import ZipfianMicrobench
+from ..runner import build_machine
+from .registry import register, rows_printer
+
+__all__ = ["timeline_gauges"]
+
+# Gauges plotted by the timeline experiment (column order).
+_TIMELINE_GAUGES = (
+    "nomad.mpq_depth",
+    "nomad.shadow_pages",
+    "mem.fast_free_pages",
+    "lru.fast_inactive",
+)
+
+_MAX_ROWS = 24
+
+
+def timeline_gauges(
+    accesses: int, platform: Optional[str], policy: str = "nomad"
+) -> List[dict]:
+    """Run one pressured micro cell with gauge sampling enabled."""
+    machine = build_machine(platform or "A", policy)
+    machine.obs.enable(sample_period=25_000.0)
+    workload = ZipfianMicrobench.scenario(
+        "medium", write_ratio=0.3, total_accesses=accesses
+    )
+    machine.run_workload(workload)
+
+    sampler = machine.obs.sampler
+    rows = []
+    for row in sampler.as_rows():
+        out = {"time_mcycles": row["time_cycles"] / 1e6}
+        for gauge in _TIMELINE_GAUGES:
+            if gauge in row:
+                out[gauge] = row[gauge]
+        rows.append(out)
+    # Downsample evenly so the printed table stays readable regardless
+    # of run length; exports should use `repro obs` for the full series.
+    if len(rows) > _MAX_ROWS:
+        step = len(rows) / _MAX_ROWS
+        rows = [rows[int(i * step)] for i in range(_MAX_ROWS)] + [rows[-1]]
+    return rows
+
+
+register(
+    "timeline",
+    "gauge timeline (MPQ depth, shadow pages, free fast frames) from an instrumented run",
+    timeline_gauges,
+    rows_printer("Gauge timeline (observability sampler)"),
+    platform_arg=True,
+)

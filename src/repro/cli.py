@@ -7,10 +7,15 @@ Usage::
     python -m repro run fig7 --platform A
     python -m repro run tab4
     python -m repro micro --policy nomad --scenario medium --write-ratio 0.5
+    python -m repro trace --format chrome --output trace.json
+    python -m repro obs --output-dir out/obs
 
 ``run`` prints the same rows the corresponding paper figure plots;
 ``micro`` runs a single ad-hoc micro-benchmark cell and dumps its
-counters.
+counters; ``trace`` dumps one cell's event stream (legacy counter CSV
+or the structured tracepoint formats); ``obs`` runs a fully
+instrumented cell and writes every exporter output (JSONL events,
+Chrome Trace for Perfetto, Prometheus text, gauge CSV).
 """
 
 from __future__ import annotations
@@ -81,32 +86,100 @@ def _cmd_micro(args) -> int:
     return 0
 
 
-def _cmd_trace(args) -> int:
+def _make_traced_cell(args):
+    """Build the (machine, workload) pair every trace-ish command runs."""
     from .bench.runner import build_machine
-    from .sim.trace import TraceRecorder
 
     machine = build_machine(args.platform, args.policy)
-    recorder = TraceRecorder(machine)
     workload = ZipfianMicrobench.scenario(
         args.scenario,
         write_ratio=args.write_ratio,
         total_accesses=args.accesses,
     )
-    with recorder:
-        machine.run_workload(workload)
-    csv_text = recorder.to_csv()
-    if args.output == "-":
-        sys.stdout.write(csv_text)
+    return machine, workload
+
+
+def _write_output(text: str, output: str) -> bool:
+    """Write to a path or stdout ('-'); returns True if a file was written."""
+    if output == "-":
+        sys.stdout.write(text)
+        return False
+    with open(output, "w") as f:
+        f.write(text)
+    return True
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from .obs import chrome_trace, events_to_jsonl
+    from .sim.trace import TraceRecorder
+
+    machine, workload = _make_traced_cell(args)
+    if args.format == "csv":
+        # Legacy counter-event stream (one row per traced counter bump).
+        recorder = TraceRecorder(machine)
+        with recorder:
+            machine.run_workload(workload)
+        wrote = _write_output(recorder.to_csv(), args.output)
+        summary = {
+            k: v for k, v in recorder.summary().items() if not k.startswith("_")
+        }
     else:
-        with open(args.output, "w") as f:
-            f.write(csv_text)
-        summary = recorder.summary()
+        # Structured tracepoints from the observability layer.
+        machine.obs.enable(sample_period=args.sample_period)
+        machine.run_workload(workload)
+        if args.format == "jsonl":
+            text = events_to_jsonl(machine.obs.records())
+        else:  # chrome
+            text = json.dumps(
+                chrome_trace(
+                    machine.obs.records(),
+                    machine.obs.sampler,
+                    machine.platform.freq_ghz,
+                )
+            )
+        wrote = _write_output(text, args.output)
+        summary = dict(machine.obs.counts())
+    if wrote:
         print_table(
             f"Event trace written to {args.output}",
             ["event", "count"],
-            sorted((k, v) for k, v in summary.items() if not k.startswith("_")),
+            sorted(summary.items()),
             "{:.0f}",
         )
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from .obs import write_obs_outputs
+
+    machine, workload = _make_traced_cell(args)
+    machine.obs.enable(
+        capacity=args.capacity, sample_period=args.sample_period
+    )
+    report = machine.run_workload(workload)
+    paths = write_obs_outputs(machine, args.output_dir)
+    print_table(
+        f"Tracepoints ({machine.obs.dropped} dropped)",
+        ["event", "count"],
+        sorted(machine.obs.counts().items()),
+        "{:.0f}",
+    )
+    hists = report.obs["histograms"] if report.obs else {}
+    if hists:
+        print_table(
+            "Operation latencies (cycles)",
+            ["histogram", "count", "p50", "p95", "p99"],
+            [
+                [name, h["count"], h["p50"], h["p95"], h["p99"]]
+                for name, h in sorted(hists.items())
+            ],
+            "{:.0f}",
+        )
+    print_table(
+        "Exports", ["format", "path"], sorted(paths.items())
+    )
     return 0
 
 
@@ -148,9 +221,45 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--platform", default="A")
     trace_p.add_argument("--accesses", type=int, default=60_000)
     trace_p.add_argument(
-        "--output", default="-", help="CSV output path ('-' for stdout)"
+        "--output", default="-", help="output path ('-' for stdout)"
+    )
+    trace_p.add_argument(
+        "--format",
+        default="csv",
+        choices=("csv", "jsonl", "chrome"),
+        help="csv: legacy counter events; jsonl: structured tracepoints; "
+        "chrome: Chrome Trace Event JSON (load in Perfetto)",
+    )
+    trace_p.add_argument(
+        "--sample-period",
+        type=float,
+        default=50_000.0,
+        help="gauge sample period in cycles (jsonl/chrome formats)",
     )
     trace_p.set_defaults(func=_cmd_trace)
+
+    obs_p = sub.add_parser(
+        "obs",
+        help="run an instrumented cell and write every observability export",
+    )
+    obs_p.add_argument("--policy", default="nomad")
+    obs_p.add_argument(
+        "--scenario", default="medium", choices=("small", "medium", "large")
+    )
+    obs_p.add_argument("--write-ratio", type=float, default=0.3)
+    obs_p.add_argument("--platform", default="A")
+    obs_p.add_argument("--accesses", type=int, default=60_000)
+    obs_p.add_argument("--capacity", type=int, default=65_536)
+    obs_p.add_argument(
+        "--sample-period",
+        type=float,
+        default=50_000.0,
+        help="gauge sample period in cycles",
+    )
+    obs_p.add_argument(
+        "--output-dir", default="obs-out", help="directory for exporter files"
+    )
+    obs_p.set_defaults(func=_cmd_obs)
     return parser
 
 

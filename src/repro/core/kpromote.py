@@ -87,6 +87,8 @@ class Kpromote:
     def _promote(self, request: MigrationRequest):
         m = self.machine
         frame = request.frame
+        if request.mpq_ts:
+            m.obs.observe("mpq.wait_cycles", m.engine.now - request.mpq_ts)
         if (
             frame.generation != request.generation
             or not frame.mapped
@@ -97,6 +99,9 @@ class Kpromote:
         if frame.mapcount > 1:
             # Section 3.3: multi-mapped pages would need simultaneous
             # shootdowns per mapping; fall back to stock migration.
+            m.obs.emit(
+                "migrate.sync_fallback", vpn=request.vpn, mapcount=frame.mapcount
+            )
             result = sync_migrate_page(
                 m, frame, FAST_TIER, self.cpu, category="promotion"
             )

@@ -65,8 +65,10 @@ class NomadPolicy(TieringPolicy):
         self.tpm = tpm
         self.alloc_fail_factor = alloc_fail_factor
         self.shadow_index = ShadowIndex(machine)
-        self.pcq = PromotionCandidateQueue(pcq_capacity)
-        self.mpq = MigrationPendingQueue(mpq_capacity, mpq_max_attempts)
+        self.pcq = PromotionCandidateQueue(pcq_capacity, obs=machine.obs)
+        self.mpq = MigrationPendingQueue(
+            mpq_capacity, mpq_max_attempts, obs=machine.obs
+        )
         self.pcq_scan_limit = pcq_scan_limit
         self.migrator = TransactionalMigrator(
             machine, self.shadow_index, shadowing=shadowing
@@ -176,6 +178,7 @@ class NomadPolicy(TieringPolicy):
         pt.clear_flags(fault.vpn, PTE_SOFT_SHADOW_RW)
         self.shadow_index.discard(frame)
         m.stats.bump("nomad.shadow_faults")
+        m.obs.emit("shadow.fault", vpn=fault.vpn, gpfn=gpfn)
         return m.costs.pte_update + m.costs.free_page
 
     # ------------------------------------------------------------------

@@ -21,6 +21,7 @@ from ..mem.frame import Frame
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..mmu.address_space import AddressSpace
+    from ..obs.tracepoints import ObsManager
 
 __all__ = ["PromotionCandidateQueue", "MigrationPendingQueue", "MigrationRequest"]
 
@@ -38,15 +39,21 @@ class MigrationRequest:
     # requires evidence of a touch after this (the fault that enqueued
     # the page does not count as reuse).
     enqueue_ts: float = 0.0
+    # Simulation time of the most recent MPQ entry (observability only:
+    # feeds the queue-wait histogram; never read by promotion logic).
+    mpq_ts: float = 0.0
 
 
 class PromotionCandidateQueue:
     """Bounded FIFO of candidate frames with O(1) membership."""
 
-    def __init__(self, capacity: int = 4096) -> None:
+    def __init__(
+        self, capacity: int = 4096, obs: Optional["ObsManager"] = None
+    ) -> None:
         if capacity <= 0:
             raise ValueError("PCQ capacity must be positive")
         self.capacity = capacity
+        self.obs = obs
         self._queue: Deque[MigrationRequest] = deque()
         self._members: Dict[int, MigrationRequest] = {}
 
@@ -64,6 +71,10 @@ class PromotionCandidateQueue:
         while len(self._queue) >= self.capacity:
             evicted = self._queue.popleft()
             self._members.pop(id(evicted.frame), None)
+            if self.obs is not None:
+                self.obs.emit(
+                    "pcq.evict", vpn=evicted.vpn, depth=len(self._queue)
+                )
         self._queue.append(request)
         self._members[id(request.frame)] = request
         return evicted
@@ -100,9 +111,15 @@ class PromotionCandidateQueue:
 class MigrationPendingQueue:
     """FIFO of hot pages awaiting transactional migration."""
 
-    def __init__(self, capacity: int = 4096, max_attempts: int = 4) -> None:
+    def __init__(
+        self,
+        capacity: int = 4096,
+        max_attempts: int = 4,
+        obs: Optional["ObsManager"] = None,
+    ) -> None:
         self.capacity = capacity
         self.max_attempts = max_attempts
+        self.obs = obs
         self._queue: Deque[MigrationRequest] = deque()
         self._members: Dict[int, MigrationRequest] = {}
         self.dropped = 0
@@ -119,9 +136,21 @@ class MigrationPendingQueue:
             return False
         if len(self._queue) >= self.capacity:
             self.dropped += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    "mpq.drop",
+                    vpn=request.vpn,
+                    reason="full",
+                    depth=len(self._queue),
+                )
             return False
         self._queue.append(request)
         self._members[id(request.frame)] = request
+        if self.obs is not None:
+            request.mpq_ts = self.obs.now
+            self.obs.emit(
+                "mpq.enqueue", vpn=request.vpn, depth=len(self._queue)
+            )
         return True
 
     def pop(self) -> Optional[MigrationRequest]:
@@ -136,5 +165,16 @@ class MigrationPendingQueue:
         request.attempts += 1
         if request.attempts >= self.max_attempts:
             self.dropped += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    "mpq.drop",
+                    vpn=request.vpn,
+                    reason="max_attempts",
+                    depth=len(self._queue),
+                )
             return False
+        if self.obs is not None:
+            self.obs.emit(
+                "mpq.retry", vpn=request.vpn, attempts=request.attempts
+            )
         return self.push(request)

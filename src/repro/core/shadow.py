@@ -127,6 +127,7 @@ class ShadowIndex:
             cycles += m.costs.free_page + m.costs.pte_update
         if freed:
             m.stats.bump("nomad.shadows_reclaimed", freed)
+            m.obs.emit("shadow.reclaim", freed=freed, requested=nr)
         return freed, cycles
 
     def _restore_master_write(self, master: Frame) -> None:

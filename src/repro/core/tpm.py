@@ -106,6 +106,8 @@ class TransactionalMigrator:
             return TpmResult(TpmOutcome.FAILED_BUSY, total)
 
         frame.set_flag(FrameFlags.LOCKED)
+        copy_cycles = costs.page_copy_cycles(SLOW_TIER, FAST_TIER)
+        m.obs.emit("tpm.begin", vpn=vpn, attempt=request.attempts)
         try:
             yield spend(costs.migrate_setup)
 
@@ -121,13 +123,18 @@ class TransactionalMigrator:
             new_frame = m.tiers.alloc_on(FAST_TIER)
             if new_frame is None:
                 m.stats.bump("nomad.tpm_nomem")
+                m.obs.emit(
+                    "tpm.abort",
+                    vpn=vpn,
+                    reason="nomem",
+                    copy_cycles=0.0,
+                    total_cycles=total,
+                )
                 return TpmResult(TpmOutcome.FAILED_NOMEM, total)
             yield spend(costs.alloc_page)
 
             # Step 3: copy while the page remains mapped and accessible.
-            yield spend(
-                costs.page_copy_cycles(SLOW_TIER, FAST_TIER), "tpm_copy"
-            )
+            yield spend(copy_cycles, "tpm_copy")
 
             # Steps 4-8 execute as one engine-atomic block: the window in
             # which the page is unmapped must not be visible to the
@@ -155,6 +162,13 @@ class TransactionalMigrator:
                 m.stats.bump("nomad.tpm_aborts")
                 m.bus.publish(MigrationAborted(frame, space, vpn))
                 yield spend(blocked)
+                m.obs.emit(
+                    "tpm.abort",
+                    vpn=vpn,
+                    reason="dirty",
+                    copy_cycles=copy_cycles,
+                    total_cycles=total,
+                )
                 return TpmResult(TpmOutcome.ABORTED_DIRTY, total)
 
             # Step 7: commit -- remap to the fast tier.
@@ -190,6 +204,14 @@ class TransactionalMigrator:
             m.stats.bump("migrate.promotions")
             m.bus.publish(MigrationCommitted(frame, new_frame, space, vpn))
             yield spend(blocked)
+            m.obs.emit(
+                "tpm.commit",
+                vpn=vpn,
+                copy_cycles=copy_cycles,
+                total_cycles=total,
+            )
+            m.obs.observe("tpm.copy_cycles", copy_cycles)
+            m.obs.observe("tpm.total_cycles", total)
             return TpmResult(TpmOutcome.COMMITTED, total, new_frame)
         finally:
             frame.clear_flag(FrameFlags.LOCKED)

@@ -52,6 +52,18 @@ def sync_migrate_page(
     m = machine
     costs = m.costs
     cycles = 0.0
+    src_tier = frame.node_id
+
+    def traced(result: MigrationResult) -> MigrationResult:
+        m.obs.emit(
+            "migrate.sync",
+            src_tier=src_tier,
+            dst_tier=dst_tier,
+            success=result.success,
+            reason=result.reason,
+            retries=result.retries,
+        )
+        return result
 
     retries = 0
     while frame.locked:
@@ -60,7 +72,7 @@ def sync_migrate_page(
         if retries >= max_retries:
             cpu.account(category, cycles)
             m.stats.bump("migrate.sync_failed_busy")
-            return MigrationResult(False, cycles, None, retries, "busy")
+            return traced(MigrationResult(False, cycles, None, retries, "busy"))
 
     cycles += costs.migrate_setup
     frame.set_flag(FrameFlags.LOCKED)
@@ -69,14 +81,14 @@ def sync_migrate_page(
         frame.clear_flag(FrameFlags.LOCKED)
         cpu.account(category, cycles)
         m.stats.bump("migrate.sync_failed_unmapped")
-        return MigrationResult(False, cycles, None, retries, "unmapped")
+        return traced(MigrationResult(False, cycles, None, retries, "unmapped"))
 
     new_frame = m.tiers.alloc_on(dst_tier)
     if new_frame is None:
         frame.clear_flag(FrameFlags.LOCKED)
         cpu.account(category, cycles)
         m.stats.bump("migrate.sync_failed_nomem")
-        return MigrationResult(False, cycles, None, retries, "nomem")
+        return traced(MigrationResult(False, cycles, None, retries, "nomem"))
     cycles += costs.alloc_page
 
     # Step 1-2: unmap every mapping and shoot down stale translations.
@@ -88,7 +100,6 @@ def sync_migrate_page(
         saved.append((space, vpn, flags))
 
     # Step 3: copy the page while it is inaccessible.
-    src_tier = frame.node_id
     cycles += costs.page_copy_cycles(src_tier, dst_tier)
 
     # Step 4: remap everything at the new frame, preserving permissions
@@ -117,4 +128,4 @@ def sync_migrate_page(
         m.stats.bump("migrate.promotions")
     elif dst_tier > src_tier:
         m.stats.bump("migrate.demotions")
-    return MigrationResult(True, cycles, new_frame, retries)
+    return traced(MigrationResult(True, cycles, new_frame, retries))

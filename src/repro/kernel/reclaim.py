@@ -93,6 +93,13 @@ class Kswapd:
                     node.reclaim_target(), priority=priority
                 )
                 m.stats.bump("kswapd.passes")
+                m.obs.emit(
+                    "reclaim.pass",
+                    node=self.node_id,
+                    priority=priority,
+                    freed=freed,
+                    cycles=cycles,
+                )
                 yield self.cpu.account("reclaim", max(cycles, 1.0))
                 if freed == 0:
                     passes_without_progress += 1

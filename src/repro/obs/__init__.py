@@ -1,0 +1,76 @@
+"""Kernel-style observability: tracepoints, gauges, histograms, exporters.
+
+The subsystem mirrors how the kernel is observed in the paper's own
+methodology (ftrace tracepoints, vmstat counters, periodic gauge
+sampling) and keeps one hard invariant: **enabling observability changes
+no simulated behaviour** -- it reads state and records, never charges
+cycles or mutates pages.
+
+Layout:
+
+* :mod:`repro.obs.counters` -- the registry every ``Stats.bump`` name
+  must appear in (typo'd counters fail the lint test);
+* :mod:`repro.obs.tracepoints` -- typed trace events, the bounded
+  drop-counting ring buffer, and :class:`ObsManager`
+  (``machine.obs``);
+* :mod:`repro.obs.sampler` -- the periodic gauge sampler (MPQ depth,
+  shadow count, free frames, LRU sizes ...);
+* :mod:`repro.obs.hist` -- reusable geometric-bin histograms (TPM copy
+  time, MPQ wait, fault service latency, access latency);
+* :mod:`repro.obs.export` -- JSONL / CSV / Prometheus text / Chrome
+  Trace Event renderers.
+
+Typical use::
+
+    machine = Machine(platform_a())
+    machine.obs.enable(sample_period=25_000.0)
+    machine.set_policy(NomadPolicy(machine))
+    machine.run_workload(workload)
+    write_obs_outputs(machine, "out/obs")   # perfetto-loadable trace etc.
+"""
+
+from .counters import COUNTERS, is_registered, register_counter
+from .export import (
+    chrome_trace,
+    events_to_csv,
+    events_to_jsonl,
+    gauges_to_csv,
+    prometheus_text,
+    write_obs_outputs,
+)
+from .hist import Histogram, bucket_values, percentile_from_counts
+from .sampler import GAUGES, GaugeSampler, default_gauges
+from .tracepoints import (
+    HISTOGRAM_SPECS,
+    ObsManager,
+    TRACEPOINTS,
+    TraceRecord,
+    TraceRing,
+    TracepointSpec,
+    register_tracepoint,
+)
+
+__all__ = [
+    "COUNTERS",
+    "is_registered",
+    "register_counter",
+    "Histogram",
+    "bucket_values",
+    "percentile_from_counts",
+    "GAUGES",
+    "GaugeSampler",
+    "default_gauges",
+    "TRACEPOINTS",
+    "TracepointSpec",
+    "register_tracepoint",
+    "TraceRecord",
+    "TraceRing",
+    "HISTOGRAM_SPECS",
+    "ObsManager",
+    "chrome_trace",
+    "events_to_jsonl",
+    "events_to_csv",
+    "gauges_to_csv",
+    "prometheus_text",
+    "write_obs_outputs",
+]

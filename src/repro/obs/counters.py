@@ -1,0 +1,95 @@
+"""Central registry of every named counter the simulator bumps.
+
+The kernel prevents counter typos structurally: ``vmstat`` counters are
+enum indices into ``vm_event_item``, so a misspelled name is a compile
+error. ``Stats.bump`` takes a free-form string, which is convenient but
+means a typo'd name silently creates a brand-new counter and the figure
+that should have included it quietly reads zero.
+
+This module is the structural check: every literal counter name used in
+``src/`` must be registered here with a one-line description, and a lint
+test (``tests/obs/test_counter_lint.py``) AST-scans the tree to enforce
+it. The registry doubles as the metric catalog for the Prometheus
+exporter (:func:`repro.obs.export.prometheus_text`), which emits every
+registered counter -- including the ones still at zero -- so dashboards
+see a stable metric set across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["COUNTERS", "is_registered", "register_counter"]
+
+# name -> one-line help string (used verbatim as the Prometheus HELP).
+COUNTERS: Dict[str, str] = {
+    # ---- fault handling (Machine.handle_fault) -----------------------
+    "fault.total": "page faults of any kind",
+    "fault.not_present": "demand-paging faults (first touch)",
+    "fault.hint": "NUMA-hint (prot_none) faults",
+    "fault.write_protect": "write-protect faults (Nomad shadow faults)",
+    "fault.demand_paged": "pages allocated by demand paging",
+    # ---- TLB maintenance ---------------------------------------------
+    "tlb.shootdowns": "TLB shootdown operations initiated",
+    "tlb.shootdown_ipis": "remote IPIs sent by shootdowns",
+    # ---- stock migration (kernel/migrate.py) -------------------------
+    "migrate.sync_success": "successful synchronous migrations",
+    "migrate.sync_failed_busy": "sync migrations abandoned on a locked page",
+    "migrate.sync_failed_unmapped": "sync migrations that raced an unmap",
+    "migrate.sync_failed_nomem": "sync migrations without a free target frame",
+    "migrate.promotions": "pages moved slow -> fast (any mechanism)",
+    "migrate.demotions": "pages moved fast -> slow (any mechanism)",
+    # ---- reclaim (kernel/reclaim.py) ---------------------------------
+    "kswapd.passes": "kswapd reclaim passes",
+    "kswapd.gave_up": "kswapd runs that stopped without reaching the target",
+    # ---- LRU (kernel/lru.py) -----------------------------------------
+    "lru.activation_requests": "pages queued for activation (pagevec)",
+    "lru.activations": "pages actually moved to the active list",
+    # ---- NUMA-hint scanner (kernel/numa_fault.py) --------------------
+    "numa.pages_armed": "PTEs armed prot_none by the hint scanner",
+    # ---- Nomad core (core/) ------------------------------------------
+    "nomad.hint_faults": "hint faults consumed by the Nomad handler",
+    "nomad.shadow_faults": "shadow (write-protect) faults on shadowed masters",
+    "nomad.tpm_commits": "transactional migrations committed",
+    "nomad.tpm_aborts": "transactional migrations aborted (dirtied during copy)",
+    "nomad.tpm_stale": "TPM requests dropped as stale at validation",
+    "nomad.tpm_busy": "TPM requests dropped on a locked frame",
+    "nomad.tpm_nomem": "TPM transactions failed for lack of a fast frame",
+    "nomad.kpromote_stale": "MPQ entries found stale by kpromote",
+    "nomad.sync_fallbacks": "multi-mapped pages promoted via sync fallback",
+    "nomad.throttle_pauses": "kpromote thrash-throttle pauses",
+    "nomad.shadows_created": "shadow pages created by committed promotions",
+    "nomad.shadows_discarded": "shadow pages discarded by shadow faults",
+    "nomad.shadows_reclaimed": "shadow pages freed by reclaim",
+    "nomad.copy_demotions": "demotions that had to copy (master not shadowed)",
+    "nomad.remap_demotions": "demotions satisfied by pure remap to the shadow",
+    "nomad.alloc_fail_reclaims": "allocation-failure shadow reclaim batches",
+    # ---- TPP policy --------------------------------------------------
+    "tpp.hint_faults": "hint faults consumed by the TPP handler",
+    "tpp.promotions": "TPP synchronous promotions",
+    "tpp.promotion_failures": "TPP promotions that failed",
+    "tpp.promotion_retry_storms": "TPP pages repeatedly faulting before promotion",
+    "tpp.demotions": "TPP kswapd demotions",
+    # ---- Memtis policy -----------------------------------------------
+    "memtis.samples": "PEBS-style samples folded into histograms",
+    "memtis.coolings": "ksampled cooling passes",
+    "memtis.promotions": "kmigrated promotions",
+    "memtis.demotions": "kmigrated demotions",
+    # ---- Adaptive policy ---------------------------------------------
+    "adaptive.probes": "migration-worthiness probes started",
+    "adaptive.probe_success": "probes that re-enabled migration",
+    "adaptive.probe_failures": "probes that kept migration disabled",
+    "adaptive.breaker_trips": "thrash breaker activations",
+    "adaptive.suppressed_faults": "hint faults degraded to pure unprotects",
+}
+
+
+def is_registered(name: str) -> bool:
+    return name in COUNTERS
+
+
+def register_counter(name: str, help_text: str) -> None:
+    """Extension hook for out-of-tree policies (tests use it too)."""
+    if name in COUNTERS and COUNTERS[name] != help_text:
+        raise ValueError(f"counter {name!r} already registered")
+    COUNTERS[name] = help_text

@@ -1,0 +1,314 @@
+"""Structured tracepoints: typed trace events in a bounded ring buffer.
+
+The kernel's tracepoints (``trace_mm_migrate_pages`` and friends) give
+three things the aggregate counters cannot: a *timestamp*, a *payload*
+(which page, which reason, how many cycles), and *ordering*. This module
+is the simulator's equivalent:
+
+* :data:`TRACEPOINTS` is the catalog -- every event name is declared
+  once with its payload fields, so a typo'd emit or a missing field
+  raises instead of silently producing an unplottable stream;
+* :class:`TraceRing` is the ftrace-style bounded ring buffer. Two
+  overflow modes mirror ftrace's: ``overwrite=True`` (the default,
+  ftrace's producer-wins mode) drops the *oldest* record, a one-shot
+  ``overwrite=False`` buffer drops the *newest*; either way every
+  dropped record is counted, never silently lost;
+* :class:`ObsManager` is the per-machine faucet. It is always
+  constructed (instrumentation sites call ``machine.obs.emit(...)``
+  unconditionally) but records nothing until :meth:`ObsManager.enable`
+  -- and it only ever *reads* simulation state, so enabling it changes
+  no simulated counters or timings.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterator, List, Optional, Tuple, TYPE_CHECKING
+
+from .hist import Histogram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..system import Machine
+    from .sampler import GaugeSampler
+
+__all__ = [
+    "TracepointSpec",
+    "TRACEPOINTS",
+    "register_tracepoint",
+    "TraceRecord",
+    "TraceRing",
+    "HISTOGRAM_SPECS",
+    "ObsManager",
+]
+
+
+@dataclass(frozen=True)
+class TracepointSpec:
+    """One declared trace event: its name and payload field names."""
+
+    name: str
+    fields: Tuple[str, ...]
+    doc: str
+
+
+TRACEPOINTS: Dict[str, TracepointSpec] = {}
+
+
+def register_tracepoint(name: str, fields: Tuple[str, ...], doc: str) -> TracepointSpec:
+    if name in TRACEPOINTS:
+        raise ValueError(f"tracepoint {name!r} registered twice")
+    spec = TracepointSpec(name, tuple(fields), doc)
+    TRACEPOINTS[name] = spec
+    return spec
+
+
+# ----------------------------------------------------------------------
+# The catalog. Grouped by subsystem; the Chrome-trace exporter uses the
+# prefix before the first dot as the thread lane.
+# ----------------------------------------------------------------------
+register_tracepoint(
+    "tpm.begin", ("vpn", "attempt"),
+    "a transactional migration passed validation and opened",
+)
+register_tracepoint(
+    "tpm.commit", ("vpn", "copy_cycles", "total_cycles"),
+    "a transactional migration committed (page now on the fast tier)",
+)
+register_tracepoint(
+    "tpm.abort", ("vpn", "reason", "copy_cycles", "total_cycles"),
+    "a transactional migration rolled back (reason: dirty/nomem)",
+)
+register_tracepoint(
+    "shadow.fault", ("vpn", "gpfn"),
+    "first store to a shadowed master: permission restored, shadow dropped",
+)
+register_tracepoint(
+    "shadow.reclaim", ("freed", "requested"),
+    "a batch of shadow pages was reclaimed",
+)
+register_tracepoint(
+    "mpq.enqueue", ("vpn", "depth"),
+    "a hot page entered the migration pending queue",
+)
+register_tracepoint(
+    "mpq.drop", ("vpn", "reason", "depth"),
+    "an MPQ request was dropped (reason: full/max_attempts)",
+)
+register_tracepoint(
+    "mpq.retry", ("vpn", "attempts"),
+    "an aborted transaction re-entered the MPQ",
+)
+register_tracepoint(
+    "pcq.evict", ("vpn", "depth"),
+    "a candidate was evicted from the full promotion candidate queue",
+)
+register_tracepoint(
+    "reclaim.pass", ("node", "priority", "freed", "cycles"),
+    "one kswapd reclaim pass completed",
+)
+register_tracepoint(
+    "migrate.sync", ("src_tier", "dst_tier", "success", "reason", "retries"),
+    "a stock synchronous migration finished (success or failure)",
+)
+register_tracepoint(
+    "migrate.sync_fallback", ("vpn", "mapcount"),
+    "kpromote fell back to synchronous migration (multi-mapped page)",
+)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One emitted trace event."""
+
+    ts: float  # cycles
+    name: str
+    args: Dict[str, Any]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"ts": self.ts, "name": self.name, "args": self.args}
+
+
+class TraceRing:
+    """Bounded ring buffer with explicit drop accounting.
+
+    ``overwrite=True`` keeps the newest ``capacity`` records (dropping
+    from the head, ftrace's default); ``overwrite=False`` keeps the
+    oldest and drops new arrivals (ftrace's one-shot mode). ``dropped``
+    counts every record lost either way.
+    """
+
+    def __init__(self, capacity: int = 65536, overwrite: bool = True) -> None:
+        if capacity <= 0:
+            raise ValueError("ring capacity must be positive")
+        self.capacity = capacity
+        self.overwrite = overwrite
+        self.dropped = 0
+        self._records: Deque[Any] = deque()
+
+    def append(self, record: Any) -> None:
+        if len(self._records) >= self.capacity:
+            if self.overwrite:
+                self._records.popleft()
+                self.dropped += 1
+            else:
+                self.dropped += 1
+                return
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._records)
+
+    def clear(self) -> None:
+        self._records.clear()
+        self.dropped = 0
+
+    def records(self) -> List[Any]:
+        return list(self._records)
+
+
+# ----------------------------------------------------------------------
+# Operation-duration histograms the instrumentation sites feed.
+# name -> (lo, hi, nr_edges) geometric bins, in cycles.
+# ----------------------------------------------------------------------
+HISTOGRAM_SPECS: Dict[str, Tuple[float, float, int]] = {
+    "tpm.copy_cycles": (100.0, 10_000_000.0, 41),
+    "tpm.total_cycles": (100.0, 10_000_000.0, 41),
+    "mpq.wait_cycles": (100.0, 1_000_000_000.0, 57),
+    "fault.service_cycles": (50.0, 10_000_000.0, 49),
+}
+
+
+class ObsManager:
+    """Per-machine observability faucet: ring + histograms + sampler.
+
+    Construction is free and side-effect free; everything is a no-op
+    until :meth:`enable`. Instrumentation sites therefore call
+    :meth:`emit` / :meth:`observe` unconditionally. The manager never
+    charges cycles or mutates frames/PTEs/queues, which is what makes
+    the "tracing changes no simulated counters" invariant hold.
+    """
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.enabled = False
+        self.strict = True
+        self.ring: Optional[TraceRing] = None
+        self.histograms: Dict[str, Histogram] = {}
+        self.sampler: Optional["GaugeSampler"] = None
+
+    # ------------------------------------------------------------------
+    def enable(
+        self,
+        capacity: int = 65536,
+        overwrite: bool = True,
+        sample_period: Optional[float] = 50_000.0,
+        strict: bool = True,
+    ) -> "ObsManager":
+        """Start recording; idempotent.
+
+        ``sample_period`` (cycles) starts a :class:`GaugeSampler`
+        process; pass ``None`` to trace without gauge sampling.
+        ``strict`` validates every emit against the tracepoint catalog
+        (exact field match); disable for ad-hoc out-of-tree events.
+        """
+        if self.enabled:
+            return self
+        from .sampler import GaugeSampler
+
+        self.ring = TraceRing(capacity=capacity, overwrite=overwrite)
+        self.histograms = {
+            name: Histogram.geometric(lo, hi, n, name=name)
+            for name, (lo, hi, n) in HISTOGRAM_SPECS.items()
+        }
+        self.strict = strict
+        if sample_period is not None:
+            self.sampler = GaugeSampler(self.machine, period=sample_period)
+            self.sampler.start()
+        self.enabled = True
+        return self
+
+    def disable(self) -> None:
+        """Stop recording (collected data stays queryable)."""
+        if self.sampler is not None:
+            self.sampler.stop()
+        self.enabled = False
+
+    def __enter__(self) -> "ObsManager":
+        return self.enable() if not self.enabled else self
+
+    def __exit__(self, *exc) -> None:
+        self.disable()
+
+    # ------------------------------------------------------------------
+    # Emission (hot path: cheap no-ops while disabled)
+    # ------------------------------------------------------------------
+    def emit(self, name: str, **fields: Any) -> None:
+        """Record one trace event at the current simulation time."""
+        if not self.enabled:
+            return
+        if self.strict:
+            spec = TRACEPOINTS.get(name)
+            if spec is None:
+                raise ValueError(f"unknown tracepoint {name!r}")
+            if set(fields) != set(spec.fields):
+                raise ValueError(
+                    f"tracepoint {name!r} expects fields {spec.fields}, "
+                    f"got {tuple(sorted(fields))}"
+                )
+        self.ring.append(TraceRecord(self.machine.engine.now, name, fields))
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed one duration sample into the named histogram."""
+        if not self.enabled:
+            return
+        hist = self.histograms.get(name)
+        if hist is None:
+            lo, hi, n = HISTOGRAM_SPECS.get(name, (50.0, 1e9, 57))
+            hist = self.histograms[name] = Histogram.geometric(lo, hi, n, name=name)
+        hist.observe(value)
+
+    @property
+    def now(self) -> float:
+        return self.machine.engine.now
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def records(self) -> List[TraceRecord]:
+        return self.ring.records() if self.ring is not None else []
+
+    def select(self, name: str) -> List[TraceRecord]:
+        return [r for r in self.records() if r.name == name]
+
+    def counts(self) -> Counter:
+        counter: Counter = Counter()
+        if self.ring is not None:
+            for record in self.ring:
+                counter[record.name] += 1
+        return counter
+
+    @property
+    def dropped(self) -> int:
+        return self.ring.dropped if self.ring is not None else 0
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact digest attached to :class:`~repro.sim.scheduler.RunReport`."""
+        out: Dict[str, Any] = {
+            "events": dict(self.counts()),
+            "dropped": self.dropped,
+            "histograms": {
+                name: hist.summary()
+                for name, hist in sorted(self.histograms.items())
+                if hist.total
+            },
+        }
+        if self.sampler is not None:
+            out["gauges"] = {
+                name: len(series)
+                for name, series in sorted(self.sampler.series.items())
+            }
+        return out

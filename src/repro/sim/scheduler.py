@@ -19,7 +19,7 @@ gets identical reporting semantics:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, TYPE_CHECKING
+from typing import Any, Dict, Iterator, List, Optional, Sequence, TYPE_CHECKING
 
 from .stats import Stats, WindowSample
 
@@ -51,7 +51,10 @@ class RunReport:
 
     * ``counters`` -- delta of every machine counter across the run;
     * ``breakdowns`` -- per-CPU, per-category cycle accounting;
-    * ``cycles`` -- the engine clock when the run ended.
+    * ``cycles`` -- the engine clock when the run ended;
+    * ``obs`` -- observability digest (tracepoint counts, ring drops,
+      histogram summaries, gauge sample counts) when ``machine.obs``
+      was enabled for the run, else ``None``.
     """
 
     transient: "PhaseReport"
@@ -62,6 +65,7 @@ class RunReport:
     breakdowns: Dict[str, Dict[str, float]] = field(default_factory=dict)
     workload: str = ""
     workload_counters: Dict[str, float] = field(default_factory=dict)
+    obs: Optional[Dict[str, Any]] = None
 
 
 class RunScheduler:
@@ -145,10 +149,15 @@ class RunScheduler:
             for k in m.stats.counters
         }
         breakdowns = {name: m.stats.breakdown(name) for name in m.cpus.names()}
-        return [
+        reports = [
             self._report(workload, windows, counters, breakdowns)
             for workload, windows in zip(workloads, sinks)
         ]
+        if m.obs.enabled:
+            obs_summary = m.obs.summary()
+            for report in reports:
+                report.obs = obs_summary
+        return reports
 
     # ------------------------------------------------------------------
     # Application processes

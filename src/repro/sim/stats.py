@@ -12,41 +12,36 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+
+from ..obs.hist import bucket_values, percentile_from_counts
 
 __all__ = ["Stats", "WindowSample", "PhaseReport", "LATENCY_BIN_EDGES"]
 
 # Geometric bins for per-access latency histograms: 50 cycles (cache-ish)
 # up to 1M cycles (a fault storm). Indices beyond the last edge clamp
-# into the final bucket.
+# into the final bucket. Bucketing and percentile estimation share the
+# generic helpers in repro.obs.hist (same semantics as the operation
+# histograms the observability layer keeps).
 LATENCY_BIN_EDGES = np.geomspace(50.0, 1_000_000.0, num=57)
 NR_LATENCY_BINS = len(LATENCY_BIN_EDGES) + 1
 
 
 def latency_histogram(latencies: np.ndarray) -> np.ndarray:
     """Bucket an array of per-access latencies (cycles)."""
-    hist = np.zeros(NR_LATENCY_BINS, dtype=np.int64)
-    idx = np.searchsorted(LATENCY_BIN_EDGES, latencies, side="right")
-    np.add.at(hist, idx, 1)
-    return hist
+    return bucket_values(LATENCY_BIN_EDGES, latencies)
 
 
 def histogram_percentile(hist: np.ndarray, percentile: float) -> float:
-    """Approximate a percentile (0-100) from a latency histogram,
-    returning the upper edge of the containing bucket."""
-    total = int(hist.sum())
-    if total == 0:
-        return 0.0
-    target = total * percentile / 100.0
-    cumulative = np.cumsum(hist)
-    bucket = int(np.searchsorted(cumulative, target, side="left"))
-    if bucket == 0:
-        return float(LATENCY_BIN_EDGES[0])
-    if bucket >= len(LATENCY_BIN_EDGES):
-        return float(LATENCY_BIN_EDGES[-1])
-    return float(LATENCY_BIN_EDGES[bucket])
+    """Approximate a percentile (0-100) from a latency histogram.
+
+    Reports the upper edge of the containing bucket for *every* bucket
+    (the first bucket included; the open-ended overflow bucket clamps
+    to the last edge).
+    """
+    return percentile_from_counts(hist, LATENCY_BIN_EDGES, percentile)
 
 
 @dataclass
@@ -125,15 +120,38 @@ class Stats:
             "fault.total",
         )
         self._marks: Dict[str, Tuple[float, Dict[str, float]]] = {}
+        self._bump_listeners: List[Callable[[str, float], None]] = []
 
     # ------------------------------------------------------------------
     # Counters
     # ------------------------------------------------------------------
     def bump(self, name: str, amount: float = 1.0) -> None:
         self.counters[name] += amount
+        for listener in self._bump_listeners:
+            listener(name, amount)
 
     def get(self, name: str) -> float:
         return self.counters.get(name, 0.0)
+
+    def subscribe_bumps(
+        self, listener: Callable[[str, float], None]
+    ) -> Callable[[str, float], None]:
+        """Call ``listener(name, amount)`` after every bump.
+
+        This is the supported way to observe counter activity (the trace
+        recorder uses it); unlike the monkey-patching it replaced, any
+        number of listeners can attach and detach in any order. Returns
+        ``listener`` as the handle for :meth:`unsubscribe_bumps`.
+        """
+        self._bump_listeners.append(listener)
+        return listener
+
+    def unsubscribe_bumps(self, listener: Callable[[str, float], None]) -> None:
+        """Remove a bump listener (idempotent, order-independent)."""
+        try:
+            self._bump_listeners.remove(listener)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # CPU time breakdown

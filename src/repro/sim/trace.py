@@ -1,4 +1,4 @@
-"""Event tracing: a timestamped record of page-management activity.
+"""Counter-event tracing: a timestamped record of page-management activity.
 
 Attach a :class:`TraceRecorder` to a machine to capture migrations,
 faults, transactions, and reclaim events as structured records -- the
@@ -7,9 +7,16 @@ simulator's equivalent of the kernel's tracepoints
 trace example, and tests that assert on event *ordering* rather than
 just aggregate counters.
 
-The recorder hooks the statistics sink (every event of interest already
-bumps a counter) rather than instrumenting each code path, so enabling
-it changes no simulated behaviour.
+The recorder observes the statistics sink (every event of interest
+already bumps a counter) rather than instrumenting each code path, so
+enabling it changes no simulated behaviour. It is a thin compatibility
+layer over the richer observability subsystem: events land in a
+:class:`repro.obs.tracepoints.TraceRing` and counter activity arrives
+through :meth:`repro.sim.stats.Stats.subscribe_bumps` -- a real
+subscription, not the ``Stats.bump`` monkey-patching of earlier
+versions, so several recorders can attach and detach in any order. For
+payload-carrying tracepoints, gauge timelines, and Perfetto/Prometheus
+export, use :mod:`repro.obs` (``machine.obs.enable()``).
 """
 
 from __future__ import annotations
@@ -18,7 +25,9 @@ import csv
 import io
 from collections import Counter
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.tracepoints import TraceRing
 
 __all__ = ["TraceEvent", "TraceRecorder", "DEFAULT_TRACED"]
 
@@ -63,34 +72,34 @@ class TraceRecorder:
         self.machine = machine
         self.traced = dict(DEFAULT_TRACED if traced is None else traced)
         self.capacity = capacity
-        self.events: List[TraceEvent] = []
-        self.dropped = 0
-        self._attached = False
-        self._original_bump: Optional[Callable] = None
+        # Drop-newest ring: a full recorder keeps the *head* of the run,
+        # preserving the historical one-shot capture semantics.
+        self._ring = TraceRing(capacity=capacity, overwrite=False)
+        self._listener = None
 
     # ------------------------------------------------------------------
+    @property
+    def events(self) -> List[TraceEvent]:
+        return self._ring.records()
+
+    @property
+    def dropped(self) -> int:
+        return self._ring.dropped
+
+    @property
+    def attached(self) -> bool:
+        return self._listener is not None
+
     def attach(self) -> "TraceRecorder":
         """Start recording (idempotent)."""
-        if self._attached:
-            return self
-        stats = self.machine.stats
-        self._original_bump = stats.bump
-        recorder = self
-
-        def traced_bump(name: str, amount: float = 1.0) -> None:
-            recorder._original_bump(name, amount)
-            event = recorder.traced.get(name)
-            if event is not None:
-                recorder._record(event, amount)
-
-        stats.bump = traced_bump
-        self._attached = True
+        if self._listener is None:
+            self._listener = self.machine.stats.subscribe_bumps(self._on_bump)
         return self
 
     def detach(self) -> None:
-        if self._attached:
-            self.machine.stats.bump = self._original_bump
-            self._attached = False
+        if self._listener is not None:
+            self.machine.stats.unsubscribe_bumps(self._listener)
+            self._listener = None
 
     def __enter__(self) -> "TraceRecorder":
         return self.attach()
@@ -99,36 +108,35 @@ class TraceRecorder:
         self.detach()
 
     # ------------------------------------------------------------------
-    def _record(self, event: str, amount: float) -> None:
-        if len(self.events) >= self.capacity:
-            self.dropped += 1
-            return
-        self.events.append(
-            TraceEvent(time=self.machine.engine.now, event=event, amount=amount)
-        )
+    def _on_bump(self, name: str, amount: float) -> None:
+        event = self.traced.get(name)
+        if event is not None:
+            self._ring.append(
+                TraceEvent(time=self.machine.engine.now, event=event, amount=amount)
+            )
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._ring)
 
     def select(self, event: str) -> List[TraceEvent]:
-        return [e for e in self.events if e.event == event]
+        return [e for e in self._ring if e.event == event]
 
     def counts(self) -> Counter:
         counter: Counter = Counter()
-        for e in self.events:
+        for e in self._ring:
             counter[e.event] += 1
         return counter
 
     def between(self, start: float, end: float) -> List[TraceEvent]:
-        return [e for e in self.events if start <= e.time < end]
+        return [e for e in self._ring if start <= e.time < end]
 
     def rate_per_mcycle(self, event: str, bucket_cycles: float = 1e6):
         """Histogram of event occurrences per time bucket."""
         buckets: Dict[int, int] = {}
-        for e in self.events:
+        for e in self._ring:
             if e.event == event:
                 buckets[int(e.time // bucket_cycles)] = (
                     buckets.get(int(e.time // bucket_cycles), 0) + 1
@@ -143,7 +151,7 @@ class TraceRecorder:
         buf = io.StringIO()
         writer = csv.writer(buf, lineterminator="\n")
         writer.writerow(("time_cycles", "event", "amount"))
-        for e in self.events:
+        for e in self._ring:
             writer.writerow(e.as_row())
         return buf.getvalue()
 
@@ -151,7 +159,8 @@ class TraceRecorder:
         """Event totals plus trace span, for quick inspection."""
         counts = self.counts()
         out: Dict[str, float] = dict(counts)
-        if self.events:
-            out["_span_cycles"] = self.events[-1].time - self.events[0].time
+        events = self.events
+        if events:
+            out["_span_cycles"] = events[-1].time - events[0].time
         out["_dropped"] = self.dropped
         return out

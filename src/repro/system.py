@@ -36,6 +36,7 @@ from .mmu.address_space import AddressSpace
 from .mmu.faults import Fault, FaultType, UnhandledFault
 from .mmu.pte import PTE_ACCESSED, PTE_DIRTY, PTE_PRESENT, PTE_WRITE
 from .mmu.tlb import TlbDirectory
+from .obs.tracepoints import ObsManager
 from .sim.bus import DemandPage, HintFault, NotifierBus, WpFault
 from .sim.cpu import Cpu, CpuSet
 from .sim.engine import Engine
@@ -73,6 +74,9 @@ class Machine:
         self.bus = NotifierBus()
         self.costs = platform.cost_model()
         self.stats = Stats(freq_ghz=platform.freq_ghz)
+        # Observability faucet: always constructed, records nothing until
+        # ``machine.obs.enable()`` (see repro.obs).
+        self.obs = ObsManager(self)
         self.cpus = CpuSet(self.engine, self.stats)
         self.tiers = TieredMemory(
             platform.fast_pages,
@@ -165,6 +169,7 @@ class Machine:
             if handled is None:
                 raise UnhandledFault(fault, "write-protect fault with no policy")
             cycles += handled
+        self.obs.observe("fault.service_cycles", cycles)
         return cycles
 
     def _demand_page(self, fault: Fault, cpu: Cpu) -> float:

@@ -1,0 +1,18 @@
+"""One shared instrumented run for the sampler/exporter tests."""
+
+import pytest
+
+from repro.bench.runner import build_machine
+from repro.workloads import ZipfianMicrobench
+
+
+@pytest.fixture(scope="session")
+def traced_run():
+    """A pressured Nomad cell run once with full observability enabled."""
+    machine = build_machine("A", "nomad")
+    machine.obs.enable(sample_period=25_000.0)
+    workload = ZipfianMicrobench.scenario(
+        "medium", write_ratio=0.3, total_accesses=20_000
+    )
+    report = machine.run_workload(workload)
+    return machine, report

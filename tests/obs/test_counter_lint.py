@@ -1,0 +1,94 @@
+"""Counter-name lint: every literal ``bump("...")`` in src/ is registered.
+
+The registry in :mod:`repro.obs.counters` plays the role of the kernel's
+``vm_event_item`` enum -- a typo'd counter name should fail loudly, not
+silently create a new always-zero metric. This test AST-scans the source
+tree so the check runs without importing (or executing) any policy code.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.obs.counters import COUNTERS, is_registered, register_counter
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def iter_bump_literals():
+    """Yield (path, lineno, name) for every ``*.bump("literal", ...)``."""
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "bump"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                yield path, node.lineno, node.args[0].value
+
+
+def iter_bump_fstring_prefixes():
+    """Yield the literal head of every f-string bump name.
+
+    Dynamic names like ``f"fault.{kind.value}"`` can't be checked exactly;
+    their constant prefix must still match at least one registered name.
+    """
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "bump"
+                and node.args
+                and isinstance(node.args[0], ast.JoinedStr)
+            ):
+                parts = node.args[0].values
+                if parts and isinstance(parts[0], ast.Constant):
+                    yield path, node.lineno, str(parts[0].value)
+
+
+def test_every_literal_bump_name_is_registered():
+    unregistered = [
+        f"{path.relative_to(SRC.parent.parent)}:{lineno}: {name!r}"
+        for path, lineno, name in iter_bump_literals()
+        if not is_registered(name)
+    ]
+    assert not unregistered, (
+        "counter names bumped but missing from repro.obs.counters.COUNTERS "
+        "(register them there with a help string):\n  "
+        + "\n  ".join(unregistered)
+    )
+
+
+def test_fstring_bump_prefixes_match_registered_counters():
+    bad = [
+        f"{path.relative_to(SRC.parent.parent)}:{lineno}: {prefix!r}"
+        for path, lineno, prefix in iter_bump_fstring_prefixes()
+        if not any(name.startswith(prefix) for name in COUNTERS)
+    ]
+    assert not bad, "dynamic bump names with unregistered prefixes:\n  " + "\n  ".join(bad)
+
+
+def test_scan_is_not_vacuous():
+    """The AST walk actually finds the instrumentation sites."""
+    names = {name for _, _, name in iter_bump_literals()}
+    assert "nomad.tpm_commits" in names
+    assert "migrate.promotions" in names
+    assert "kswapd.passes" in names
+    assert len(names) >= 30
+
+
+def test_register_counter_rejects_conflicting_help():
+    register_counter("test.lint_probe", "probe")
+    register_counter("test.lint_probe", "probe")  # same help: idempotent
+    try:
+        import pytest
+
+        with pytest.raises(ValueError):
+            register_counter("test.lint_probe", "different help")
+    finally:
+        del COUNTERS["test.lint_probe"]

@@ -1,0 +1,39 @@
+"""The load-bearing invariant: observing a run must not change it.
+
+The observability layer only reads simulation state -- it never charges
+cycles, takes locks, or touches frames. These tests run the same
+fixed-seed workload with and without full instrumentation and require
+bit-identical counters and an identical simulated clock.
+"""
+
+from repro.bench.runner import build_machine
+from repro.workloads import ZipfianMicrobench
+
+
+def _run(with_obs: bool):
+    machine = build_machine("A", "nomad")
+    if with_obs:
+        machine.obs.enable(sample_period=10_000.0)
+    workload = ZipfianMicrobench.scenario(
+        "medium", write_ratio=0.3, total_accesses=15_000, seed=7
+    )
+    machine.run_workload(workload)
+    return machine
+
+
+def test_observation_changes_no_counters_or_clock():
+    plain = _run(with_obs=False)
+    traced = _run(with_obs=True)
+    assert plain.stats.snapshot() == traced.stats.snapshot()
+    assert plain.engine.now == traced.engine.now
+    # And the instrumented run did actually record things.
+    assert traced.obs.records()
+    assert traced.obs.sampler.series["nomad.mpq_depth"]
+
+
+def test_report_has_no_obs_summary_when_disabled():
+    machine = build_machine("A", "nomad")
+    report = machine.run_workload(
+        ZipfianMicrobench.scenario("small", total_accesses=2_000, seed=3)
+    )
+    assert report.obs is None

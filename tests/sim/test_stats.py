@@ -82,6 +82,36 @@ def test_phase_report_empty():
     assert report.bandwidth_gbps == 0.0
 
 
+def test_phase_report_single_window_any_slice():
+    stats = Stats(freq_ghz=1.0)
+    stats.record_window(make_window(0, 100, reads=10))
+    for lo, hi in ((0.0, 1.0), (0.0, 0.5), (0.5, 1.0), (0.5, 0.5)):
+        report = stats.phase_report("w", lo, hi)
+        assert report.accesses == 10
+        assert report.cycles == pytest.approx(100.0)
+
+
+def test_phase_report_zero_width_slice_covers_one_window():
+    stats = Stats(freq_ghz=1.0)
+    for i in range(4):
+        stats.record_window(make_window(i * 100, (i + 1) * 100, reads=10 + i))
+    report = stats.phase_report("mid", 0.5, 0.5)
+    assert report.accesses == 12  # exactly the window at index 2
+    assert report.cycles == pytest.approx(100.0)
+
+
+def test_phase_report_final_window_is_included():
+    # A [0, 0.5) / [0.5, 1.0] split partitions an odd window count with
+    # nothing dropped at the tail.
+    stats = Stats(freq_ghz=1.0)
+    for i in range(5):
+        stats.record_window(make_window(i * 100, (i + 1) * 100, reads=10))
+    first = stats.phase_report("first", 0.0, 0.5)
+    second = stats.phase_report("second", 0.5, 1.0)
+    assert first.accesses + second.accesses == 50
+    assert second.cycles == pytest.approx(300.0)  # windows 2, 3, 4
+
+
 def test_phase_report_empty_with_counters_lands_in_counters_field():
     # Regression: the empty-window path used to pass ``counters``
     # positionally, so it landed in ``p50_access_cycles``.
@@ -120,6 +150,48 @@ def test_phase_counter_delta_no_windows():
     assert Stats().phase_counter_delta("migrate.promotions", 0.0, 1.0) == 0.0
 
 
+def test_phase_counter_delta_single_window_run():
+    # One window: every slice degenerates to that window's whole delta.
+    stats = Stats()
+    stats.bump("migrate.promotions", 4)
+    stats.record_window(make_window(0, 100))
+    assert stats.phase_counter_delta("migrate.promotions", 0.0, 1.0) == 4
+    assert stats.phase_counter_delta("migrate.promotions", 0.0, 0.5) == 4
+    assert stats.phase_counter_delta("migrate.promotions", 0.9, 1.0) == 4
+
+
+def test_phase_counter_delta_zero_width_slice_covers_one_window():
+    # start_frac == end_frac still covers at least one window (hi is
+    # clamped to lo + 1), so a degenerate slice is never empty.
+    stats = Stats()
+    for i in range(4):
+        stats.bump("migrate.promotions", 1)
+        stats.record_window(make_window(i * 100, (i + 1) * 100))
+    assert stats.phase_counter_delta("migrate.promotions", 0.5, 0.5) == 1
+    assert stats.phase_counter_delta("migrate.promotions", 0.0, 0.0) == 1
+
+
+def test_phase_counter_delta_final_window_is_included():
+    # end_frac == 1.0 must include the very last mark; the partition
+    # [0, 0.5) + [0.5, 1.0] therefore sums to the full counter.
+    stats = Stats()
+    for i in range(5):  # odd count: the split index rounds down
+        stats.bump("migrate.promotions", 2 ** i)
+        stats.record_window(make_window(i * 100, (i + 1) * 100))
+    total = stats.phase_counter_delta("migrate.promotions", 0.0, 1.0)
+    assert total == 2 ** 5 - 1
+    first = stats.phase_counter_delta("migrate.promotions", 0.0, 0.5)
+    second = stats.phase_counter_delta("migrate.promotions", 0.5, 1.0)
+    assert first + second == total
+
+
+def test_phase_counter_delta_end_frac_past_one_clamps():
+    stats = Stats()
+    stats.bump("migrate.promotions", 3)
+    stats.record_window(make_window(0, 100))
+    assert stats.phase_counter_delta("migrate.promotions", 0.0, 2.0) == 3
+
+
 def test_marks_and_counters_since():
     stats = Stats()
     stats.bump("a", 1)
@@ -134,6 +206,25 @@ def test_marks_and_counters_since():
 def test_counters_since_unknown_mark():
     with pytest.raises(KeyError):
         Stats().counters_since("nope")
+
+
+def test_bump_listeners_see_name_and_amount():
+    stats = Stats()
+    seen = []
+    handle = stats.subscribe_bumps(lambda name, amount: seen.append((name, amount)))
+    stats.bump("a")
+    stats.bump("b", 2.5)
+    stats.unsubscribe_bumps(handle)
+    stats.bump("a")
+    assert seen == [("a", 1.0), ("b", 2.5)]
+
+
+def test_unsubscribe_is_idempotent():
+    stats = Stats()
+    handle = stats.subscribe_bumps(lambda name, amount: None)
+    stats.unsubscribe_bumps(handle)
+    stats.unsubscribe_bumps(handle)  # second remove: no error
+    stats.unsubscribe_bumps(lambda name, amount: None)  # never subscribed
 
 
 def test_snapshot_is_a_copy():

@@ -80,6 +80,37 @@ def test_rate_histogram():
     assert sum(rates.values()) == recorder.counts().get("hint_fault", 0)
 
 
+def test_out_of_order_detach_keeps_other_recorders_live():
+    # Regression: the monkey-patching implementation restored whatever
+    # ``bump`` it had saved at attach time, so detaching recorders in
+    # attach order silently re-installed a dead hook (and kept feeding
+    # the detached recorder). With subscription-based recording, any
+    # attach/detach interleaving is safe.
+    machine = make_machine()
+    first = TraceRecorder(machine).attach()
+    second = TraceRecorder(machine).attach()
+
+    machine.stats.bump("migrate.promotions")
+    first.detach()  # out of order: first attached, first detached
+    machine.stats.bump("migrate.promotions")
+    second.detach()
+    machine.stats.bump("migrate.promotions")
+
+    assert first.counts()["promotion"] == 1
+    assert second.counts()["promotion"] == 2
+    assert not first.attached and not second.attached
+
+
+def test_attach_is_idempotent():
+    machine = make_machine()
+    recorder = TraceRecorder(machine)
+    recorder.attach()
+    recorder.attach()
+    machine.stats.bump("migrate.promotions")
+    recorder.detach()
+    assert recorder.counts()["promotion"] == 1
+
+
 def test_tracing_does_not_change_behaviour():
     machine_a, _ = run_traced(policy="tpp", accesses=15_000)
     machine_b = make_machine(fast_gb=2.0, slow_gb=2.0)

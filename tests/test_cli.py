@@ -16,7 +16,7 @@ def test_experiments_cover_all_figures_and_tables():
     expected = {
         "tab1", "fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11",
         "fig12", "fig13", "fig14", "fig15", "fig16", "tab2", "tab3", "tab4",
-        "abl-variants", "abl-reclaim",
+        "abl-variants", "abl-reclaim", "timeline",
     }
     assert expected == set(EXPERIMENTS)
 
@@ -98,3 +98,84 @@ def test_trace_command_file(tmp_path, capsys):
     )
     assert path.read_text().startswith("time_cycles,event,amount")
     assert "Event trace written" in capsys.readouterr().out
+
+
+def test_trace_command_jsonl_format(capsys):
+    import json
+
+    assert (
+        main(
+            [
+                "trace",
+                "--accesses",
+                "15000",
+                "--write-ratio",
+                "0.3",
+                "--format",
+                "jsonl",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    records = [json.loads(line) for line in out.splitlines() if line]
+    assert records
+    assert all({"ts", "name", "args"} <= set(r) for r in records)
+
+
+def test_trace_command_chrome_format(tmp_path):
+    import json
+
+    path = tmp_path / "trace.json"
+    assert (
+        main(
+            [
+                "trace",
+                "--accesses",
+                "15000",
+                "--write-ratio",
+                "0.3",
+                "--format",
+                "chrome",
+                "--output",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"]
+    assert {"ph", "pid", "name"} <= set(doc["traceEvents"][0])
+
+
+def test_obs_command_writes_all_exports(tmp_path, capsys):
+    out_dir = tmp_path / "obs"
+    assert (
+        main(
+            [
+                "obs",
+                "--accesses",
+                "15000",
+                "--output-dir",
+                str(out_dir),
+            ]
+        )
+        == 0
+    )
+    for fname in (
+        "events.jsonl",
+        "events.csv",
+        "metrics.prom",
+        "trace.json",
+        "gauges.csv",
+    ):
+        assert (out_dir / fname).exists(), fname
+    out = capsys.readouterr().out
+    assert "Tracepoints" in out and "Exports" in out
+
+
+def test_timeline_experiment(capsys):
+    assert main(["run", "timeline", "--accesses", "30000"]) == 0
+    out = capsys.readouterr().out
+    assert "Gauge timeline" in out
+    assert "nomad.mpq_depth" in out
