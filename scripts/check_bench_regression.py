@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Compare a fresh bench report against a committed baseline (CI gate).
+
+Usage::
+
+    python scripts/check_bench_regression.py BASELINE FRESH
+        [--wall-tolerance FRAC] [--wall-floor SECONDS] [--fail-on-wall]
+
+``BASELINE`` is a committed ``benchmarks/baselines/<profile>.json``;
+``FRESH`` is a report produced by ``python -m repro bench`` (a glob that
+matches exactly one file also works, so CI can pass
+``bench-out/BENCH_*.json``).
+
+Exit codes: 0 clean (warnings allowed), 1 regression, 2 usage error.
+
+Simulated quantities (cycles, counter digests, metrics) must match the
+baseline *bit-exactly* -- the simulator is deterministic, so any drift
+is a behaviour change someone must either fix or bless by regenerating
+the baseline (see docs/benchmarking.md). Wall-clock drift only warns by
+default, because CI machines vary; ``--fail-on-wall`` turns band
+violations into failures.
+"""
+
+import argparse
+import glob
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.bench.baseline import compare_bench, load_report  # noqa: E402
+
+
+def resolve(pattern: str) -> str:
+    """Expand a path-or-glob to exactly one file."""
+    matches = sorted(glob.glob(pattern))
+    if not matches:
+        print(f"error: no file matches {pattern!r}", file=sys.stderr)
+        raise SystemExit(2)
+    if len(matches) > 1:
+        print(
+            f"error: {pattern!r} matches {len(matches)} files: {matches}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    return matches[0]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("fresh", help="fresh BENCH_*.json (path or glob)")
+    parser.add_argument(
+        "--wall-tolerance", type=float, default=0.5,
+        help="allowed fractional wall-time slowdown per job (default 0.5)",
+    )
+    parser.add_argument(
+        "--wall-floor", type=float, default=0.05,
+        help="ignore wall drift below this many seconds (default 0.05)",
+    )
+    parser.add_argument(
+        "--fail-on-wall", action="store_true",
+        help="treat wall-time band violations as errors, not warnings",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = resolve(args.baseline)
+    fresh_path = resolve(args.fresh)
+    try:
+        baseline = load_report(baseline_path)
+        fresh = load_report(fresh_path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    errors, warnings = compare_bench(
+        baseline,
+        fresh,
+        wall_tolerance=args.wall_tolerance,
+        wall_floor_s=args.wall_floor,
+        fail_on_wall=args.fail_on_wall,
+    )
+
+    print(f"baseline: {baseline_path} ({len(baseline.get('jobs', []))} jobs)")
+    print(f"fresh:    {fresh_path} ({len(fresh.get('jobs', []))} jobs)")
+    for msg in warnings:
+        print(f"WARN  {msg}")
+    for msg in errors:
+        print(f"FAIL  {msg}")
+    if errors:
+        print(
+            f"\n{len(errors)} regression(s). If the perf change is "
+            "intentional, regenerate the baseline:\n"
+            f"  PYTHONPATH=src python -m repro bench "
+            f"--profile {baseline.get('profile', 'quick')} "
+            f"--write-baseline {baseline_path}"
+        )
+        return 1
+    print(f"ok: no regressions ({len(warnings)} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,6 +1,7 @@
-"""Benchmark harness: experiment definitions, runner, reporting."""
+"""Benchmark harness: experiments, runner, sweeps, baselines, reporting."""
 
 from . import experiments
+from .baseline import PROFILES, compare_bench, run_bench
 from .calibration import PlatformCalibration, calibrate
 from .analysis import (
     MigrationProfile,
@@ -12,9 +13,17 @@ from .analysis import (
 )
 from .reporting import format_table, normalize, print_table, speedup
 from .runner import RunResult, build_machine, policy_available, run_experiment
+from .sweep import JobSpec, SweepSpec, aggregate, run_sweep
 
 __all__ = [
     "experiments",
+    "JobSpec",
+    "SweepSpec",
+    "run_sweep",
+    "aggregate",
+    "PROFILES",
+    "run_bench",
+    "compare_bench",
     "calibrate",
     "PlatformCalibration",
     "MigrationProfile",

@@ -82,8 +82,16 @@ def run_experiment(
     policy_kwargs: Optional[dict] = None,
     config: Optional[MachineConfig] = None,
     run_cycles: Optional[float] = None,
+    instrument: bool = False,
 ) -> RunResult:
-    """Run one (platform, policy, workload) cell and collect the report."""
+    """Run one (platform, policy, workload) cell and collect the report.
+
+    ``instrument=True`` enables the observability layer before the run
+    (gauge sampling off), so ``RunResult.report.obs`` carries tracepoint
+    counts and latency histograms. Instrumentation reads simulation
+    state without mutating it, so enabling it changes no simulated
+    counters or timings (the obs invariance test pins this down).
+    """
     if isinstance(platform, str):
         platform = get_platform(platform)
     if not policy_available(policy, platform.name):
@@ -91,6 +99,8 @@ def run_experiment(
             f"policy {policy!r} is not available on platform {platform.name}"
         )
     machine = build_machine(platform, policy, policy_kwargs, config)
+    if instrument:
+        machine.obs.enable(sample_period=None)
     workload = workload_factory()
     report = machine.run_workload(workload, run_cycles=run_cycles)
     return RunResult(

@@ -9,13 +9,18 @@ Usage::
     python -m repro micro --policy nomad --scenario medium --write-ratio 0.5
     python -m repro trace --format chrome --output trace.json
     python -m repro obs --output-dir out/obs
+    python -m repro sweep --platforms A,C --policies tpp,nomad --workers 4
+    python -m repro bench --quick --workers 2
 
 ``run`` prints the same rows the corresponding paper figure plots;
 ``micro`` runs a single ad-hoc micro-benchmark cell and dumps its
 counters; ``trace`` dumps one cell's event stream (legacy counter CSV
 or the structured tracepoint formats); ``obs`` runs a fully
 instrumented cell and writes every exporter output (JSONL events,
-Chrome Trace for Perfetto, Prometheus text, gauge CSV).
+Chrome Trace for Perfetto, Prometheus text, gauge CSV); ``sweep``
+fans a declarative grid out across a worker pool; ``bench`` runs a
+pinned perf suite and writes a ``BENCH_<timestamp>.json`` report (see
+docs/benchmarking.md).
 """
 
 from __future__ import annotations
@@ -48,12 +53,27 @@ def _cmd_run(args) -> int:
         experiment = EXPERIMENTS[args.experiment]
     except KeyError:
         print(
-            f"unknown experiment {args.experiment!r}; try `python -m repro list`",
+            f"error: unknown experiment {args.experiment!r}; "
+            "try `python -m repro list`",
             file=sys.stderr,
         )
         return 2
-    result = experiment.run(args.accesses, args.platform)
-    experiment.printer(result)
+    try:
+        result = experiment.run(args.accesses, args.platform)
+        experiment.printer(result)
+    except Exception:
+        # Name the failing experiment before the traceback so CI logs
+        # (where several smoke runs share one step) say *what* died,
+        # then surface the failure as a nonzero exit.
+        import traceback
+
+        traceback.print_exc()
+        print(
+            f"error: experiment {args.experiment!r} failed "
+            "(traceback above)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -183,6 +203,108 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _csv(text: str) -> list:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def _progress_printer(record: dict) -> None:
+    status = record["status"]
+    mark = "ok" if status == "ok" else "FAILED"
+    line = f"  [{mark:>6}] {record['id']}  {record['wall_time_s']:.2f}s"
+    if status != "ok":
+        line += f"  {record.get('error', '')}"
+    print(line, flush=True)
+
+
+def _sweep_row(record: dict) -> list:
+    metrics = record.get("metrics") or {}
+    stable = metrics.get("stable_gbps", metrics.get("rows", ""))
+    return [
+        record["id"],
+        record["status"],
+        stable if stable != "" else "-",
+        record.get("counter_digest", record.get("error", ""))[:12],
+        record["wall_time_s"],
+    ]
+
+
+def _print_job_table(title: str, records: list) -> None:
+    print_table(
+        title,
+        ["job", "status", "stable GB/s|rows", "digest", "wall s"],
+        [_sweep_row(r) for r in records],
+    )
+
+
+def _cmd_sweep(args) -> int:
+    import json
+
+    from .bench.sweep import SweepSpec, aggregate, run_sweep
+
+    if args.spec:
+        with open(args.spec) as f:
+            spec = SweepSpec.from_dict(json.load(f))
+    else:
+        spec = SweepSpec(
+            platforms=_csv(args.platforms),
+            policies=_csv(args.policies),
+            scenarios=_csv(args.scenarios),
+            write_ratios=[float(x) for x in _csv(args.write_ratios)],
+            accesses=[int(x) for x in _csv(args.accesses)],
+            seeds=[int(x) for x in _csv(args.seeds)],
+            experiments=_csv(args.experiments) if args.experiments else (),
+            instrument=args.instrument,
+        )
+    jobs = spec.expand()
+    if not jobs:
+        print("error: sweep spec expands to zero jobs", file=sys.stderr)
+        return 2
+    print(f"sweep: {len(jobs)} jobs, {args.workers} worker(s)")
+    records = run_sweep(jobs, workers=args.workers, progress=_progress_printer)
+    agg = aggregate(records)
+    _print_job_table(
+        f"Sweep: {agg['summary']['ok']}/{agg['summary']['total']} ok",
+        records,
+    )
+    if args.output:
+        # Only the deterministic aggregate goes to the file: identical
+        # grids produce byte-identical output for any --workers value.
+        with open(args.output, "w") as f:
+            json.dump(agg, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"aggregate written to {args.output}")
+    return 1 if agg["summary"]["failed"] else 0
+
+
+def _cmd_bench(args) -> int:
+    import json
+
+    from .bench.baseline import run_bench, write_bench_report
+
+    profile = "quick" if args.quick else args.profile
+    print(f"bench: profile {profile!r}, {args.workers} worker(s)")
+    report = run_bench(profile, workers=args.workers,
+                       progress=_progress_printer)
+    _print_job_table(
+        f"Bench {profile}: {report['summary']['ok']}"
+        f"/{report['summary']['total']} ok "
+        f"({report['timing']['total_wall_time_s']:.1f}s total)",
+        [
+            dict(job, wall_time_s=report["timing"]["wall_time_s"][job["id"]])
+            for job in report["jobs"]
+        ],
+    )
+    if args.write_baseline:
+        with open(args.write_baseline, "w") as f:
+            json.dump(report, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"baseline written to {args.write_baseline}")
+    else:
+        path = write_bench_report(report, args.output_dir)
+        print(f"report written to {path}")
+    return 1 if report["summary"]["failed"] else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -260,6 +382,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--output-dir", default="obs-out", help="directory for exporter files"
     )
     obs_p.set_defaults(func=_cmd_obs)
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="fan a grid of cells/experiments out across a worker pool",
+    )
+    sweep_p.add_argument(
+        "--spec", default=None,
+        help="JSON sweep spec file (overrides the axis flags)",
+    )
+    sweep_p.add_argument("--platforms", default="A")
+    sweep_p.add_argument("--policies", default="tpp,nomad")
+    sweep_p.add_argument("--scenarios", default="small")
+    sweep_p.add_argument("--write-ratios", default="0.0")
+    sweep_p.add_argument("--accesses", default="20000")
+    sweep_p.add_argument("--seeds", default="42")
+    sweep_p.add_argument(
+        "--experiments", default="",
+        help="comma-separated registry experiment names; when given, the "
+        "grid is experiments x platforms x accesses instead of the "
+        "micro-benchmark cell axes",
+    )
+    sweep_p.add_argument(
+        "--instrument", action="store_true",
+        help="enable the observability layer per job (latency percentiles)",
+    )
+    sweep_p.add_argument("--workers", type=int, default=1)
+    sweep_p.add_argument(
+        "--output", default=None,
+        help="write the deterministic aggregate JSON here",
+    )
+    sweep_p.set_defaults(func=_cmd_sweep)
+
+    bench_p = sub.add_parser(
+        "bench", help="run a pinned perf suite and write BENCH_<ts>.json"
+    )
+    bench_p.add_argument(
+        "--profile", default="quick", choices=("quick", "full")
+    )
+    bench_p.add_argument(
+        "--quick", action="store_true", help="alias for --profile quick"
+    )
+    bench_p.add_argument("--workers", type=int, default=1)
+    bench_p.add_argument(
+        "--output-dir", default=".",
+        help="directory for the BENCH_<timestamp>.json report",
+    )
+    bench_p.add_argument(
+        "--write-baseline", default=None, metavar="PATH",
+        help="write the report to PATH (e.g. benchmarks/baselines/quick.json) "
+        "instead of a timestamped file",
+    )
+    bench_p.set_defaults(func=_cmd_bench)
     return parser
 
 

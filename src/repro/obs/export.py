@@ -22,10 +22,11 @@ Four render targets for the same captured data:
 from __future__ import annotations
 
 import csv
+import hashlib
 import io
 import json
 import re
-from typing import Any, Dict, Iterable, List, Optional, TYPE_CHECKING
+from typing import Any, Dict, Iterable, List, Mapping, Optional, TYPE_CHECKING
 
 from .counters import COUNTERS
 from .sampler import GAUGES
@@ -43,6 +44,8 @@ __all__ = [
     "prometheus_text",
     "chrome_trace",
     "write_obs_outputs",
+    "counter_digest",
+    "json_digest",
 ]
 
 _METRIC_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
@@ -51,6 +54,33 @@ _METRIC_SANITIZE = re.compile(r"[^a-zA-Z0-9_]")
 def metric_name(name: str, prefix: str = "repro") -> str:
     """``nomad.tpm_commits`` -> ``repro_nomad_tpm_commits``."""
     return f"{prefix}_{_METRIC_SANITIZE.sub('_', name)}"
+
+
+# ----------------------------------------------------------------------
+# Content digests (perf baselines, sweep aggregation)
+# ----------------------------------------------------------------------
+def json_digest(obj: Any) -> str:
+    """sha256 over a canonical JSON encoding of ``obj``.
+
+    Canonical means sorted keys and no whitespace, so two structurally
+    equal payloads always hash the same. Non-JSON values must be
+    normalized to plain python types by the caller first.
+    """
+    blob = json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def counter_digest(counters: Mapping[str, float]) -> str:
+    """Digest of a counter map, ignoring zero-valued entries.
+
+    Zeros are dropped so a counter that was merely *touched* (defaultdict
+    reads, registry pre-seeding) cannot change the digest: only observed
+    activity counts. The simulator is deterministic, so any digest drift
+    between two runs of the same cell is a real behaviour change.
+    """
+    return json_digest(
+        {name: float(value) for name, value in counters.items() if value}
+    )
 
 
 # ----------------------------------------------------------------------

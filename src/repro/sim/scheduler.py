@@ -67,6 +67,48 @@ class RunReport:
     workload_counters: Dict[str, float] = field(default_factory=dict)
     obs: Optional[Dict[str, Any]] = None
 
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable digest of the report.
+
+        Used by the sweep/bench layers to ship reports across process
+        boundaries; every value is a plain python scalar or container.
+        The full per-phase counter maps are included, so two reports are
+        behaviourally identical iff their ``to_dict`` outputs are equal.
+        """
+
+        def phase(p: "PhaseReport") -> Dict[str, Any]:
+            return {
+                "name": p.name,
+                "accesses": int(p.accesses),
+                "reads": int(p.reads),
+                "writes": int(p.writes),
+                "cycles": float(p.cycles),
+                "bandwidth_gbps": float(p.bandwidth_gbps),
+                "read_bandwidth_gbps": float(p.read_bandwidth_gbps),
+                "write_bandwidth_gbps": float(p.write_bandwidth_gbps),
+                "avg_access_cycles": float(p.avg_access_cycles),
+                "p50_access_cycles": float(p.p50_access_cycles),
+                "p95_access_cycles": float(p.p95_access_cycles),
+                "p99_access_cycles": float(p.p99_access_cycles),
+            }
+
+        return {
+            "workload": self.workload,
+            "cycles": float(self.cycles),
+            "transient": phase(self.transient),
+            "stable": phase(self.stable),
+            "overall": phase(self.overall),
+            "counters": {k: float(v) for k, v in sorted(self.counters.items())},
+            "workload_counters": {
+                k: float(v) for k, v in sorted(self.workload_counters.items())
+            },
+            "breakdowns": {
+                cpu: {cat: float(v) for cat, v in sorted(cats.items())}
+                for cpu, cats in sorted(self.breakdowns.items())
+            },
+            "obs": self.obs,
+        }
+
 
 class RunScheduler:
     """Spawns workload processes and assembles their reports."""

@@ -21,9 +21,28 @@ def test_experiments_cover_all_figures_and_tables():
     assert expected == set(EXPERIMENTS)
 
 
-def test_run_unknown_experiment(capsys):
+def test_run_unknown_experiment_exit_code(capsys):
     assert main(["run", "fig99"]) == 2
-    assert "unknown experiment" in capsys.readouterr().err
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+    assert "fig99" in err
+
+
+def test_run_failing_experiment_names_it_and_exits_nonzero(capsys, monkeypatch):
+    from repro.bench.experiments.registry import ExperimentSpec
+
+    def explode(accesses, platform):
+        raise RuntimeError("injected failure")
+
+    monkeypatch.setitem(
+        EXPERIMENTS,
+        "boom",
+        ExperimentSpec("boom", "always fails", explode, lambda r: None),
+    )
+    assert main(["run", "boom"]) == 1
+    err = capsys.readouterr().err
+    assert "'boom' failed" in err
+    assert "injected failure" in err  # traceback is printed, not swallowed
 
 
 def test_run_small_experiment(capsys):
@@ -179,3 +198,71 @@ def test_timeline_experiment(capsys):
     out = capsys.readouterr().out
     assert "Gauge timeline" in out
     assert "nomad.mpq_depth" in out
+
+
+def test_sweep_command_writes_deterministic_aggregate(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "sweep.json"
+    argv = [
+        "sweep",
+        "--platforms", "A",
+        "--policies", "tpp,nomad",
+        "--scenarios", "small",
+        "--write-ratios", "0.0",
+        "--accesses", "4000",
+        "--workers", "2",
+        "--output", str(path),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "2/2 ok" in out
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == "repro-sweep/1"
+    assert doc["summary"] == {"total": 2, "ok": 2, "failed": 0}
+    # The file holds only the deterministic aggregate.
+    assert "wall_time_s" not in json.dumps(doc)
+
+
+def test_sweep_command_spec_file(tmp_path, capsys):
+    import json
+
+    spec = tmp_path / "spec.json"
+    spec.write_text(json.dumps({
+        "platforms": ["A"], "policies": ["nomad"], "scenarios": ["small"],
+        "write_ratios": [0.0], "accesses": [4000], "seeds": [1, 2],
+    }))
+    assert main(["sweep", "--spec", str(spec)]) == 0
+    assert "2/2 ok" in capsys.readouterr().out
+
+
+def test_sweep_command_reports_failures_in_exit_code(capsys):
+    argv = [
+        "sweep",
+        "--experiments", "no-such-experiment",
+        "--accesses", "1000",
+    ]
+    assert main(argv) == 1
+    assert "FAILED" in capsys.readouterr().out
+
+
+def test_bench_command_quick_profile(tmp_path, capsys, monkeypatch):
+    from repro.bench import baseline as bl
+    from repro.bench.sweep import SweepSpec
+
+    monkeypatch.setitem(bl.PROFILES, "quick", (
+        SweepSpec(platforms=("A",), policies=("nomad",), scenarios=("small",),
+                  write_ratios=(0.0,), accesses=(4000,), seeds=(42,),
+                  instrument=True),
+    ))
+    assert main(["bench", "--quick", "--output-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "1/1 ok" in out
+    reports = list(tmp_path.glob("BENCH_*.json"))
+    assert len(reports) == 1
+
+    from repro.bench.baseline import load_report
+
+    report = load_report(str(reports[0]))
+    assert report["profile"] == "quick"
+    assert report["jobs"][0]["status"] == "ok"
