@@ -13,8 +13,6 @@ proposes detecting thrashing from balanced promotion/demotion rates.
   no-migration baseline (it keeps the *useful* early migrations).
 """
 
-from conftest import run_once
-
 from repro.bench import print_table
 from repro.bench.runner import run_experiment
 from repro.workloads import ZipfianMicrobench

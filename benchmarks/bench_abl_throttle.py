@@ -6,9 +6,6 @@ micro-benchmark the throttled variant should migrate less while staying
 within the unthrottled variant's bandwidth envelope.
 """
 
-from conftest import run_once
-
-from repro.bench import experiments
 from repro.bench.reporting import print_table
 from repro.bench.runner import run_experiment
 from repro.workloads import ZipfianMicrobench

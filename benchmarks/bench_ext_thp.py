@@ -1,0 +1,82 @@
+"""Extension: huge-folio (THP) vs base-page tiering.
+
+Not a paper figure -- Nomad's evaluation disables THP -- but the natural
+question its chunked-copy design (Section 3.4) answers. Each (workload,
+policy) cell runs twice, identical except for the THP switch. Two shapes
+are asserted:
+
+* folio-grained tiering takes far fewer faults and fewer migration
+  *events* for the same access stream, and Nomad's fault-service p99
+  drops (a PMD fault disarms ``folio_pages`` pages of queue work at
+  once, with candidate scanning moved into kpromote);
+* TPP's fault p99 *explodes* under THP, because its synchronous
+  promotion now copies a whole folio inside the fault -- the clearest
+  demonstration of why transactional, chunked, off-critical-path copy
+  matters at huge-page granularity.
+"""
+
+from conftest import run_once
+
+from repro.bench import print_table
+from repro.bench.experiments import thp_vs_base
+
+
+def _cell(rows, workload, policy, thp):
+    (row,) = [
+        r
+        for r in rows
+        if r["workload"] == workload
+        and r["policy"] == policy
+        and r["thp"] == thp
+    ]
+    return row
+
+
+def test_ext_thp_vs_base(benchmark, accesses):
+    rows = run_once(benchmark, thp_vs_base, accesses=accesses)
+    print_table(
+        "Extension: THP vs base pages (platform A)",
+        [
+            "workload",
+            "policy",
+            "thp",
+            "stable_gbps",
+            "fault_p99",
+            "faults",
+            "migrations",
+            "folios",
+            "chunk_aborts",
+        ],
+        [
+            [
+                r["workload"],
+                r["policy"],
+                r["thp"],
+                r["stable_gbps"],
+                r["fault_p99_cycles"],
+                r["faults"],
+                r["migration_events"],
+                r["folios_mapped"],
+                r["chunk_aborts"],
+            ]
+            for r in rows
+        ],
+        float_fmt="{:.3f}",
+    )
+    benchmark.extra_info["rows"] = rows
+
+    for workload in ("seqscan", "zipfian"):
+        for policy in ("nomad", "tpp"):
+            off = _cell(rows, workload, policy, "off")
+            on = _cell(rows, workload, policy, "on")
+            assert on["folios_mapped"] > 0 and off["folios_mapped"] == 0
+            assert on["faults"] < off["faults"]
+            assert on["migration_events"] < off["migration_events"]
+        # Nomad's tail improves: the folio fault is pure queue work.
+        nomad_off = _cell(rows, workload, "nomad", "off")
+        nomad_on = _cell(rows, workload, "nomad", "on")
+        assert nomad_on["fault_p99_cycles"] < nomad_off["fault_p99_cycles"]
+    # TPP pays a whole-folio synchronous copy inside the fault.
+    tpp_on = _cell(rows, "seqscan", "tpp", "on")
+    tpp_off = _cell(rows, "seqscan", "tpp", "off")
+    assert tpp_on["fault_p99_cycles"] > tpp_off["fault_p99_cycles"]

@@ -46,8 +46,8 @@ BENCH_SCHEMA = "repro-bench/1"
 # concatenated in order; access counts and seeds are fixed so the
 # resulting simulated quantities are reproducible bit-for-bit.
 PROFILES: Dict[str, Sequence[SweepSpec]] = {
-    # CI-sized: 8 micro cells + 2 cheap registry experiments, a few
-    # seconds of wall time even serially.
+    # CI-sized: 8 micro cells + 4 THP cells + 2 cheap registry
+    # experiments, a few seconds of wall time even serially.
     "quick": (
         SweepSpec(
             platforms=("A",),
@@ -57,6 +57,18 @@ PROFILES: Dict[str, Sequence[SweepSpec]] = {
             accesses=(20_000,),
             seeds=(42,),
             instrument=True,
+        ),
+        # THP suite: the same cells with huge-folio-backed regions, so
+        # folio mapping/migration/reclaim behaviour is pinned by CI too.
+        SweepSpec(
+            platforms=("A",),
+            policies=("tpp", "nomad"),
+            scenarios=("small",),
+            write_ratios=(0.0, 1.0),
+            accesses=(20_000,),
+            seeds=(42,),
+            instrument=True,
+            thp_modes=(True,),
         ),
         SweepSpec(experiments=("tab1", "fig2"), accesses=(15_000,)),
     ),

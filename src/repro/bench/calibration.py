@@ -14,8 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-import numpy as np
-
 from ..mem.tiers import FAST_TIER, SLOW_TIER
 from ..mmu.pte import PTE_PROT_NONE
 from ..policies.base import TieringPolicy

@@ -28,6 +28,7 @@ from .analytics import (
 )
 from .ablations import ablation_nomad_variants, ablation_shadow_reclaim_factor
 from .observability import timeline_gauges
+from .thp import thp_config, thp_vs_base
 
 __all__ = [
     "REGISTRY",
@@ -52,4 +53,6 @@ __all__ = [
     "ablation_nomad_variants",
     "ablation_shadow_reclaim_factor",
     "timeline_gauges",
+    "thp_config",
+    "thp_vs_base",
 ]

@@ -1,0 +1,112 @@
+"""THP vs base-page comparison: the folio-grained memory experiment.
+
+Not a paper figure -- Nomad's evaluation runs with THP disabled -- but
+the natural question its chunked-copy design answers: what changes when
+the unit of mapping and migration grows to a huge folio?  The experiment
+runs the same (workload, policy) cells twice, once with THP off (bit-
+identical to the simulator's historical base-page behaviour) and once
+with huge folios at the capacity-scaled order, and reports:
+
+* migration *events* (one per folio, however many base pages it spans),
+  which drop sharply when each migration moves a whole folio;
+* fault-service p99, which drops because one PMD fault maps/disarms
+  ``folio_pages`` pages at once (fewer faults, less queue work each);
+* THP bookkeeping (folios mapped, chunked-copy aborts, shadow
+  collapses) so the transactional huge-page path is visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ...sim.platform import SIM_THP_ORDER
+from ...system import MachineConfig
+from ...workloads import SeqScanWorkload, ZipfianMicrobench
+from ..runner import run_experiment
+from .registry import DEFAULT_ACCESSES, register, rows_printer
+
+__all__ = ["THP_WORKLOADS", "thp_config", "thp_vs_base"]
+
+
+def thp_config(thp: bool, thp_order: int = SIM_THP_ORDER) -> MachineConfig:
+    """Machine config for one arm of the comparison.
+
+    Both arms use the same (capacity-scaled) folio order so the only
+    difference is the global THP switch -- with it off the config is
+    behaviourally identical to a pre-folio machine.
+    """
+    return MachineConfig(thp_order=thp_order, thp_enabled=thp)
+
+
+def _seqscan(accesses: int) -> SeqScanWorkload:
+    # RSS past the fast tier so the scan constantly promotes/demotes.
+    return SeqScanWorkload(rss_gb=24.0, total_accesses=accesses, thp=True)
+
+
+def _zipfian(accesses: int) -> ZipfianMicrobench:
+    return ZipfianMicrobench.scenario(
+        "small", write_ratio=0.0, total_accesses=accesses, thp=True
+    )
+
+
+THP_WORKLOADS = {
+    "seqscan": _seqscan,
+    "zipfian": _zipfian,
+}
+
+
+def thp_vs_base(
+    platform: str = "A",
+    policies: Sequence[str] = ("nomad", "tpp"),
+    workloads: Optional[Sequence[str]] = None,
+    accesses: int = DEFAULT_ACCESSES,
+    thp_order: int = SIM_THP_ORDER,
+) -> List[Dict]:
+    """Run every (workload, policy) cell with THP off and on."""
+    if workloads is None:
+        workloads = tuple(THP_WORKLOADS)
+    rows = []
+    for wl_name in workloads:
+        make = THP_WORKLOADS[wl_name]
+        for policy in policies:
+            for thp in (False, True):
+                result = run_experiment(
+                    platform,
+                    policy,
+                    lambda: make(accesses),
+                    config=thp_config(thp, thp_order),
+                    instrument=True,
+                )
+                hists = (result.report.obs or {}).get("histograms", {})
+                fault_hist = hists.get("fault.service_cycles", {})
+                rows.append(
+                    {
+                        "workload": wl_name,
+                        "policy": policy,
+                        "thp": "on" if thp else "off",
+                        "stable_gbps": result.stable.bandwidth_gbps,
+                        "p99_access_cycles": result.stable.p99_access_cycles,
+                        "fault_p99_cycles": fault_hist.get("p99", 0.0),
+                        "faults": result.counter("fault.total"),
+                        "migration_events": result.counter("migrate.promotions")
+                        + result.counter("migrate.demotions"),
+                        # Folios are mapped at setup (populate), before the
+                        # run window the report's counter deltas cover, so
+                        # read the machine's absolute counter instead.
+                        "folios_mapped": result.machine.stats.get(
+                            "thp.folios_mapped"
+                        ),
+                        "chunk_aborts": result.counter("nomad.tpm_chunk_aborts"),
+                        "shadow_collapses": result.counter("thp.shadow_collapses"),
+                    }
+                )
+    return rows
+
+
+register(
+    "thp_vs_base",
+    "Huge-folio (THP) vs base-page tiering comparison",
+    lambda accesses, platform: thp_vs_base(platform or "A", accesses=accesses),
+    rows_printer("THP vs base pages: folio-grained tiering"),
+    platform_arg=True,
+)

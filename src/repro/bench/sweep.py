@@ -97,6 +97,9 @@ class JobSpec:
     seed: int = 42
     experiment: str = ""
     instrument: bool = False
+    # Run the cell with transparent huge pages: the workload hints its
+    # regions and the machine maps them as capacity-scaled folios.
+    thp: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in ("cell", "experiment"):
@@ -112,9 +115,12 @@ class JobSpec:
                 f"exp/{self.experiment}/{self.platform or 'default'}"
                 f"/a{self.accesses}"
             )
+        # The "/thp" suffix only appears for THP jobs so every
+        # pre-existing baseline key is untouched.
+        suffix = "/thp" if self.thp else ""
         return (
             f"cell/{self.platform}/{self.policy}/{self.scenario}"
-            f"/w{self.write_ratio:g}/a{self.accesses}/s{self.seed}"
+            f"/w{self.write_ratio:g}/a{self.accesses}/s{self.seed}{suffix}"
         )
 
     def to_dict(self) -> Dict[str, Any]:
@@ -146,6 +152,9 @@ class SweepSpec:
     experiments: Sequence[str] = ()
     instrument: bool = False
     skip_unavailable: bool = True
+    # THP axis: (False,) keeps the historical base-page grid; add True
+    # to also run each cell with huge-folio-backed regions.
+    thp_modes: Sequence[bool] = (False,)
 
     def expand(self) -> List[JobSpec]:
         jobs: List[JobSpec] = []
@@ -173,17 +182,19 @@ class SweepSpec:
                     for write_ratio in self.write_ratios:
                         for accesses in self.accesses:
                             for seed in self.seeds:
-                                jobs.append(
-                                    JobSpec(
-                                        platform=platform,
-                                        policy=policy,
-                                        scenario=scenario,
-                                        write_ratio=write_ratio,
-                                        accesses=accesses,
-                                        seed=seed,
-                                        instrument=self.instrument,
+                                for thp in self.thp_modes:
+                                    jobs.append(
+                                        JobSpec(
+                                            platform=platform,
+                                            policy=policy,
+                                            scenario=scenario,
+                                            write_ratio=write_ratio,
+                                            accesses=accesses,
+                                            seed=seed,
+                                            instrument=self.instrument,
+                                            thp=thp,
+                                        )
                                     )
-                                )
         return jobs
 
     def to_dict(self) -> Dict[str, Any]:
@@ -197,6 +208,7 @@ class SweepSpec:
             "experiments": list(self.experiments),
             "instrument": self.instrument,
             "skip_unavailable": self.skip_unavailable,
+            "thp_modes": list(self.thp_modes),
         }
 
     @classmethod
@@ -214,6 +226,11 @@ class SweepSpec:
 def _run_cell_job(job: JobSpec) -> Dict[str, Any]:
     from ..workloads import ZipfianMicrobench
 
+    config = None
+    if job.thp:
+        from .experiments.thp import thp_config
+
+        config = thp_config(True)
     result = run_experiment(
         job.platform,
         job.policy,
@@ -222,7 +239,9 @@ def _run_cell_job(job: JobSpec) -> Dict[str, Any]:
             write_ratio=job.write_ratio,
             total_accesses=job.accesses,
             seed=job.seed,
+            thp=job.thp,
         ),
+        config=config,
         instrument=job.instrument,
     )
     report = result.report

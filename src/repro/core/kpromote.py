@@ -49,6 +49,12 @@ class Kpromote:
         self.throttle_pause_cycles = throttle_pause_cycles
         self.throttle_balance = throttle_balance
         self.cpu = machine.cpus.get("kpromote")
+        # Optional candidate-queue drain hook (returns cycles consumed).
+        # Folio-grained Nomad installs it so PCQ hot-scanning runs here,
+        # in daemon context: PMD faults are ~folio_pages times rarer than
+        # base-page faults, so fault-driven scanning both starves the
+        # queue and bursts its backlog onto the critical path.
+        self.candidate_scan = None
         self._wakeup = machine.engine.event("kpromote.wakeup")
         self._last_promotions = 0.0
         self._last_demotions = 0.0
@@ -72,6 +78,10 @@ class Kpromote:
     def _run(self):
         m = self.machine
         while True:
+            if self.candidate_scan is not None:
+                scan_cycles = self.candidate_scan()
+                if scan_cycles:
+                    yield self.cpu.account("promotion", scan_cycles)
             request = self.mpq.pop()
             if request is None:
                 self._wakeup = m.engine.event("kpromote.wakeup")

@@ -22,12 +22,16 @@ from __future__ import annotations
 
 from typing import Tuple
 
+import numpy as np
+
 from ..kernel.migrate import sync_migrate_page
-from ..mem.frame import Frame, FrameFlags
+from ..mem.frame import Frame, FrameFlags, compound_head
 from ..mem.tiers import FAST_TIER, SLOW_TIER
 from ..mmu.faults import Fault, UnhandledFault
 from ..mmu.pte import (
     PTE_ACCESSED,
+    PTE_HUGE,
+    PTE_PRESENT,
     PTE_PROT_NONE,
     PTE_SOFT_SHADOW_RW,
     PTE_WRITE,
@@ -76,6 +80,11 @@ class NomadPolicy(TieringPolicy):
         self.kpromote = Kpromote(
             machine, self.mpq, self.migrator, throttle_enabled=throttle
         )
+        if machine.folio_pages > 1:
+            # With huge folios, hint faults are ~folio_pages times rarer,
+            # so fault-driven PCQ scanning starves and then dumps its
+            # backlog onto single faults; drain in daemon context instead.
+            self.kpromote.candidate_scan = self._daemon_scan_candidates
 
     def install(self) -> None:
         super().install()
@@ -95,12 +104,21 @@ class NomadPolicy(TieringPolicy):
         pt = fault.space.page_table
         cycles = 0.0
 
-        pt.clear_flags(fault.vpn, PTE_PROT_NONE)
-        cycles += m.costs.pte_update
+        vpn = fault.vpn
+        huge = m.folio_pages > 1 and pt.is_huge(vpn)
+        if huge:
+            # One PMD covers the whole folio: disarm the range in a
+            # single update and track the head from here on.
+            vpn = pt.folio_head(vpn, m.folio_pages)
+            pt.clear_flags_range(vpn, m.folio_pages, PTE_PROT_NONE)
+            cycles += m.costs.pmd_update
+        else:
+            pt.clear_flags(vpn, PTE_PROT_NONE)
+            cycles += m.costs.pte_update
         m.stats.bump("nomad.hint_faults")
 
         _flags, gpfn = pt.entry(fault.vpn)
-        frame = m.tiers.frame(gpfn)
+        frame = compound_head(m.tiers.frame(gpfn))
         if frame.node_id != SLOW_TIER:
             return cycles
 
@@ -119,13 +137,20 @@ class NomadPolicy(TieringPolicy):
         # page. A candidate is promoted only once hardware has touched it
         # *after* the fault that enqueued it (the accessed-bit evidence
         # of Figure 4); the page stays mapped, so that re-touch needs no
-        # fault -- the "one page fault per migration" property.
-        hot = self.pcq.scan_hot(self._is_hot, self.pcq_scan_limit)
+        # fault -- the "one page fault per migration" property. On a
+        # folio machine the scan runs in kpromote context instead (see
+        # Kpromote.candidate_scan): the handler only enqueues and wakes.
+        daemon_scan = self.kpromote.candidate_scan is not None
+        hot = (
+            []
+            if daemon_scan
+            else self.pcq.scan_hot(self._is_hot, self.pcq_scan_limit)
+        )
         self.pcq.push(
             MigrationRequest(
                 frame,
                 fault.space,
-                fault.vpn,
+                vpn,
                 frame.generation,
                 enqueue_ts=m.engine.now,
             )
@@ -134,8 +159,17 @@ class NomadPolicy(TieringPolicy):
         for request in hot:
             if self.mpq.push(request):
                 cycles += m.costs.queue_op
-        if hot:
+        if hot or daemon_scan:
             self.kpromote.wake()
+        return cycles
+
+    def _daemon_scan_candidates(self) -> float:
+        """Drain hot PCQ entries into the MPQ from kpromote's context."""
+        hot = self.pcq.scan_hot(self._is_hot, self.pcq_scan_limit)
+        cycles = 0.0
+        for request in hot:
+            if self.mpq.push(request):
+                cycles += self.machine.costs.queue_op
         return cycles
 
     def _is_hot(self, request) -> bool:
@@ -154,7 +188,14 @@ class NomadPolicy(TieringPolicy):
         threshold = request.enqueue_ts + gap
         for space, vpn in frame.rmap:
             pt = space.page_table
-            if (
+            if frame.is_huge:
+                nr = frame.nr_pages
+                if (
+                    pt.any_flags_range(vpn, nr, PTE_ACCESSED)
+                    and pt.last_access_range(vpn, nr) > threshold
+                ):
+                    return True
+            elif (
                 pt.test_flags(vpn, PTE_ACCESSED)
                 and pt.last_access[vpn] > threshold
             ):
@@ -168,9 +209,20 @@ class NomadPolicy(TieringPolicy):
         m = self.machine
         pt = fault.space.page_table
         flags, gpfn = pt.entry(fault.vpn)
-        frame = m.tiers.frame(gpfn)
+        frame = compound_head(m.tiers.frame(gpfn))
         if not (frame.shadowed and flags & PTE_SOFT_SHADOW_RW):
             raise UnhandledFault(fault, "write to a genuinely read-only page")
+
+        if frame.is_huge:
+            # First store into any sub-page dirties the folio, so the
+            # whole shadow is stale: restore every saved permission and
+            # drop the slow-tier folio in one go (a single PMD update).
+            self.shadow_index.restore_master_write(frame)
+            self.shadow_index.discard(frame)
+            m.stats.bump("nomad.shadow_faults")
+            m.stats.bump("thp.shadow_collapses")
+            m.obs.emit("shadow.fault", vpn=fault.vpn, gpfn=gpfn)
+            return m.costs.pmd_update + m.costs.free_page
 
         # Restore the true write permission from the soft bit and
         # discard the (about to become stale) shadow copy.
@@ -195,6 +247,11 @@ class NomadPolicy(TieringPolicy):
             m.stats.bump("nomad.copy_demotions")
         return result.success, result.cycles
 
+    def wants_split(self, frame: Frame) -> bool:
+        """A shadowed huge master demotes for free (remap); anything else
+        huge and cold is better split so reclaim works page-wise."""
+        return frame.is_huge and not frame.shadowed
+
     def _remap_demote(self, master: Frame, cpu) -> Tuple[bool, float]:
         """Demote a clean shadowed master by remapping to its shadow --
         no page copy (the headline win of non-exclusive tiering)."""
@@ -207,6 +264,9 @@ class NomadPolicy(TieringPolicy):
         shadow = self.shadow_index.detach(master)
         if shadow is None:  # raced with a shadow fault
             return False, 0.0
+
+        if master.is_huge:
+            return self._remap_demote_folio(master, shadow, space, vpn, cpu)
 
         cycles = m.costs.migrate_setup
         old_flags, _old_gpfn = pt.unmap(vpn)
@@ -232,6 +292,45 @@ class NomadPolicy(TieringPolicy):
 
         cpu.account("demotion", cycles)
         m.stats.bump("nomad.remap_demotions")
+        m.stats.bump("migrate.demotions")
+        return True, cycles
+
+    def _remap_demote_folio(
+        self, master: Frame, shadow: Frame, space, vpn: int, cpu
+    ) -> Tuple[bool, float]:
+        """Folio remap-demotion: one PMD rewrite points the whole huge
+        mapping back at the still-clean slow-tier shadow folio."""
+        m = self.machine
+        pt = space.page_table
+        nr = master.nr_pages
+
+        cycles = m.costs.migrate_setup
+        old_flags, _old_gpfns = pt.get_and_clear_folio(vpn, nr)
+        cycles += m.costs.pmd_update
+        cycles += m.tlb_shootdown(space, vpn, cpu)
+
+        drop = np.uint32(
+            ~(PTE_PRESENT | PTE_SOFT_SHADOW_RW | PTE_ACCESSED | PTE_HUGE)
+            & 0xFFFFFFFF
+        )
+        new_flags = old_flags & drop
+        soft = (old_flags & np.uint32(PTE_SOFT_SHADOW_RW)) != 0
+        new_flags = np.where(
+            soft, new_flags | np.uint32(PTE_WRITE), new_flags
+        ).astype(np.uint32)
+        pt.map_folio(vpn, m.tiers.gpfn(shadow), new_flags)
+        cycles += m.costs.pmd_update
+
+        shadow.add_rmap(space, vpn)
+        master.remove_rmap(space, vpn)
+        m.lru.transfer(master, shadow)
+        master.clear_flag(FrameFlags.REFERENCED | FrameFlags.ACTIVE)
+        m.tiers.free_folio(master)
+        cycles += m.costs.free_page
+
+        cpu.account("demotion", cycles)
+        m.stats.bump("nomad.remap_demotions")
+        m.stats.bump("thp.folio_remap_demotions")
         m.stats.bump("migrate.demotions")
         return True, cycles
 
@@ -265,7 +364,9 @@ class NomadPolicy(TieringPolicy):
         if not frame.active:
             return 0.0
         mapping = frame.sole_mapping()
-        if mapping is None or frame.locked:
+        if frame.is_huge or mapping is None or frame.locked:
+            # Huge folios go through the stock sync path (no shadow is
+            # left behind for them in this ablation).
             result = sync_migrate_page(m, frame, FAST_TIER, cpu, "promotion")
             return result.cycles
 

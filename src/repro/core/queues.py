@@ -14,7 +14,7 @@
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, Optional, TYPE_CHECKING
 
 from ..mem.frame import Frame

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Optional, Tuple, TYPE_CHECKING
 
+import numpy as np
+
 from ..mem.frame import Frame, FrameFlags
 from ..mem.xarray import XA_MARK_0, XArray
 
@@ -36,6 +38,9 @@ class ShadowIndex:
     def __init__(self, machine: "Machine") -> None:
         self.machine = machine
         self.xarray = XArray()
+        # Base pages held by live shadows (a huge-folio shadow keeps the
+        # whole slow-tier folio, so it pins nr_pages, not 1).
+        self._pages = 0
 
     # ------------------------------------------------------------------
     @property
@@ -43,10 +48,14 @@ class ShadowIndex:
         return len(self.xarray)
 
     @property
+    def nr_shadow_pages(self) -> int:
+        return self._pages
+
+    @property
     def shadow_bytes(self) -> int:
         from ..sim.costs import PAGE_SIZE
 
-        return self.nr_shadows * PAGE_SIZE
+        return self._pages * PAGE_SIZE
 
     def lookup(self, master: Frame) -> Optional[Frame]:
         return self.xarray.load(self.machine.tiers.gpfn(master))
@@ -58,6 +67,10 @@ class ShadowIndex:
             raise RuntimeError(
                 f"shadow pfn {shadow.pfn} must be unmapped and off-LRU"
             )
+        if shadow.order != master.order:
+            raise RuntimeError(
+                f"shadow order {shadow.order} != master order {master.order}"
+            )
         gpfn = self.machine.tiers.gpfn(master)
         if self.xarray.load(gpfn) is not None:
             raise RuntimeError(f"master gpfn {gpfn} already shadowed")
@@ -65,6 +78,7 @@ class ShadowIndex:
         shadow.set_flag(FrameFlags.IS_SHADOW)
         self.xarray.store(gpfn, shadow)
         self.xarray.set_mark(gpfn, XA_MARK_0)  # reclaimable
+        self._pages += shadow.nr_pages
         self.machine.stats.bump("nomad.shadows_created")
 
     def discard(self, master: Frame) -> Optional[Frame]:
@@ -75,7 +89,8 @@ class ShadowIndex:
             return None
         master.clear_flag(FrameFlags.SHADOWED)
         shadow.clear_flag(FrameFlags.IS_SHADOW)
-        self.machine.tiers.free_page(shadow)
+        self._pages -= shadow.nr_pages
+        self.machine.tiers.free_folio(shadow)
         self.machine.stats.bump("nomad.shadows_discarded")
         return shadow
 
@@ -88,6 +103,7 @@ class ShadowIndex:
             return None
         master.clear_flag(FrameFlags.SHADOWED)
         shadow.clear_flag(FrameFlags.IS_SHADOW)
+        self._pages -= shadow.nr_pages
         return shadow
 
     def rekey(self, old_master: Frame, new_master: Frame) -> None:
@@ -120,21 +136,37 @@ class ShadowIndex:
             master = m.tiers.frame(gpfn)
             self.xarray.erase(gpfn)
             master.clear_flag(FrameFlags.SHADOWED)
-            self._restore_master_write(master)
+            self.restore_master_write(master)
             shadow.clear_flag(FrameFlags.IS_SHADOW)
-            m.tiers.free_page(shadow)
-            freed += 1
+            self._pages -= shadow.nr_pages
+            m.tiers.free_folio(shadow)
+            freed += shadow.nr_pages
             cycles += m.costs.free_page + m.costs.pte_update
         if freed:
             m.stats.bump("nomad.shadows_reclaimed", freed)
             m.obs.emit("shadow.reclaim", freed=freed, requested=nr)
         return freed, cycles
 
-    def _restore_master_write(self, master: Frame) -> None:
+    def restore_master_write(self, master: Frame) -> None:
         """A master without a shadow no longer needs write protection;
         restore its true permission so future stores skip the fault."""
         from ..mmu.pte import PTE_SOFT_SHADOW_RW, PTE_WRITE
 
+        if master.is_huge:
+            # Huge master: the soft bit was applied per sub-page (only
+            # originally-writable entries carry it), restore the range.
+            nr = master.nr_pages
+            for space, vpn in master.rmap:
+                pt = space.page_table
+                sl = slice(vpn, vpn + nr)
+                f = pt.flags[sl]
+                soft = (f & np.uint32(PTE_SOFT_SHADOW_RW)) != 0
+                if soft.any():
+                    restored = (f | np.uint32(PTE_WRITE)) & np.uint32(
+                        ~PTE_SOFT_SHADOW_RW & 0xFFFFFFFF
+                    )
+                    pt.flags[sl] = np.where(soft, restored, f)
+            return
         for space, vpn in master.rmap:
             pt = space.page_table
             if pt.test_flags(vpn, PTE_SOFT_SHADOW_RW):

@@ -19,11 +19,14 @@ import enum
 from dataclasses import dataclass
 from typing import Optional, TYPE_CHECKING
 
+import numpy as np
+
 from ..mem.frame import Frame, FrameFlags
 from ..mem.tiers import FAST_TIER, SLOW_TIER
 from ..mmu.pte import (
     PTE_ACCESSED,
     PTE_DIRTY,
+    PTE_HUGE,
     PTE_PRESENT,
     PTE_PROT_NONE,
     PTE_SOFT_SHADOW_RW,
@@ -78,6 +81,9 @@ class TransactionalMigrator:
 
         Drive with ``result = yield from migrator.migrate(req, cpu)``.
         """
+        if request.frame.is_huge:
+            result = yield from self._migrate_folio(request, cpu)
+            return result
         m = self.machine
         costs = m.costs
         frame = request.frame
@@ -213,5 +219,206 @@ class TransactionalMigrator:
             m.obs.observe("tpm.copy_cycles", copy_cycles)
             m.obs.observe("tpm.total_cycles", total)
             return TpmResult(TpmOutcome.COMMITTED, total, new_frame)
+        finally:
+            frame.clear_flag(FrameFlags.LOCKED)
+
+    # ------------------------------------------------------------------
+    def _migrate_folio(self, request: MigrationRequest, cpu: "Cpu"):
+        """The huge-folio transaction: Nomad's chunked copy (Section 3.4).
+
+        Same eight steps as the base protocol, at PMD granularity: one
+        dirty-state clear, one shootdown of the single PMD TLB entry,
+        then the copy proceeds in ``costs.thp_chunk_pages``-sized chunks
+        with a dirty re-check after each. A store into *any* sub-page
+        during the copy window is observed by the next chunk's re-check
+        and aborts the transaction early -- the PMD was never cleared, so
+        abort leaves the original mapping untouched. Only after the last
+        chunk's re-check passes does the engine-atomic commit block run
+        (clear, shoot down, remap), during which no application store can
+        land; the defensive final dirty check there is unreachable from
+        application races by construction.
+        """
+        m = self.machine
+        costs = m.costs
+        frame = request.frame  # folio head
+        space = request.space
+        vpn = request.vpn  # head vpn
+        pt = space.page_table
+        fp = frame.nr_pages
+        total = 0.0
+
+        def spend(cycles: float, category: str = "tpm") -> float:
+            nonlocal total
+            total += cycles
+            cpu.account(category, cycles)
+            return cycles
+
+        # -- validation ------------------------------------------------
+        if (
+            frame.generation != request.generation
+            or not frame.mapped
+            or frame.node_id != SLOW_TIER
+            or frame.is_tail
+            or frame.sole_mapping() != (space, vpn)
+        ):
+            m.stats.bump("nomad.tpm_stale")
+            return TpmResult(TpmOutcome.FAILED_STALE, total)
+        if frame.locked:
+            m.stats.bump("nomad.tpm_busy")
+            return TpmResult(TpmOutcome.FAILED_BUSY, total)
+
+        frame.set_flag(FrameFlags.LOCKED)
+        chunk_sizes = costs.chunk_plan(fp)
+        nr_chunks = len(chunk_sizes)
+        copy_cycles = 0.0
+        m.obs.emit("tpm.begin", vpn=vpn, attempt=request.attempts)
+        try:
+            yield spend(costs.migrate_setup)
+
+            # Step 1: open the transaction -- clear the folio's dirty
+            # state (one PMD-level operation).
+            t_open = m.engine.now
+            pt.clear_flags_range(vpn, fp, PTE_DIRTY)
+            yield spend(costs.pmd_update)
+
+            # Step 2: single shootdown of the PMD TLB entry.
+            yield spend(m.tlb_shootdown(space, vpn, cpu))
+
+            # Destination folio on the fast tier.
+            new_head = m.tiers.alloc_folio_on(FAST_TIER, frame.order)
+            if new_head is None:
+                m.stats.bump("nomad.tpm_nomem")
+                m.obs.emit(
+                    "tpm.abort",
+                    vpn=vpn,
+                    reason="nomem",
+                    copy_cycles=0.0,
+                    total_cycles=total,
+                )
+                return TpmResult(TpmOutcome.FAILED_NOMEM, total)
+            yield spend(costs.alloc_page)
+
+            # Step 3: chunked copy. The folio stays mapped throughout;
+            # each chunk's re-check observes the dirty state exactly at
+            # the end of its copy slice (no time passes between the copy
+            # yield and the check).
+            for i, pages in enumerate(chunk_sizes):
+                c = costs.folio_copy_cycles(SLOW_TIER, FAST_TIER, pages)
+                copy_cycles += c
+                yield spend(c, "tpm_copy")
+                dirty = pt.any_flags_range(
+                    vpn, fp, PTE_DIRTY
+                ) or pt.written_since_range(vpn, fp, t_open)
+                m.obs.emit(
+                    "tpm.chunk",
+                    vpn=vpn,
+                    chunk=i,
+                    nr_chunks=nr_chunks,
+                    dirty=dirty,
+                )
+                if dirty:
+                    # Early abort: the PMD was never cleared, so the
+                    # original mapping is intact -- just drop the copy.
+                    m.tiers.free_folio(new_head)
+                    m.stats.bump("nomad.tpm_aborts")
+                    m.stats.bump("nomad.tpm_chunk_aborts")
+                    m.bus.publish(MigrationAborted(frame, space, vpn))
+                    yield spend(costs.thp_chunk_check + costs.free_page)
+                    m.obs.emit(
+                        "tpm.abort",
+                        vpn=vpn,
+                        reason="chunk_dirty",
+                        copy_cycles=copy_cycles,
+                        total_cycles=total,
+                    )
+                    return TpmResult(TpmOutcome.ABORTED_DIRTY, total)
+                if i < nr_chunks - 1:
+                    yield spend(costs.thp_chunk_check)
+            # The last chunk's re-check cost is charged inside the
+            # commit block so no yield separates check and commit.
+            blocked = costs.thp_chunk_check
+
+            # Steps 4-8, engine-atomic (see the base protocol above).
+
+            # Step 4: atomic get_and_clear of the PMD.
+            old_flags, old_gpfns = pt.get_and_clear_folio(vpn, fp)
+            blocked += costs.pmd_update
+
+            # Step 5: second shootdown for the cleared PMD.
+            blocked += m.tlb_shootdown(space, vpn, cpu)
+
+            # Step 6: defensive final dirty check. Application stores
+            # cannot reach here (the last chunk re-check ran atomically
+            # with this block), so this only guards protocol bugs.
+            dirtied = bool(
+                (old_flags & np.uint32(PTE_DIRTY)).any()
+            ) or pt.written_since_range(vpn, fp, t_open)
+
+            if dirtied:  # pragma: no cover - unreachable from app races
+                pt.restore_folio(vpn, old_flags | np.uint32(PTE_DIRTY), old_gpfns)
+                blocked += costs.pmd_update
+                m.tiers.free_folio(new_head)
+                blocked += costs.free_page
+                m.stats.bump("nomad.tpm_aborts")
+                m.bus.publish(MigrationAborted(frame, space, vpn))
+                yield spend(blocked)
+                m.obs.emit(
+                    "tpm.abort",
+                    vpn=vpn,
+                    reason="dirty",
+                    copy_cycles=copy_cycles,
+                    total_cycles=total,
+                )
+                return TpmResult(TpmOutcome.ABORTED_DIRTY, total)
+
+            # Step 7: commit -- remap the whole folio to the fast tier.
+            new_flags = old_flags & np.uint32(
+                ~(PTE_PRESENT | PTE_DIRTY | PTE_PROT_NONE | PTE_HUGE)
+                & 0xFFFFFFFF
+            )
+            if self.shadowing:
+                # The whole folio's master becomes read-only; the first
+                # sub-page store collapses the shadow (handle_wp_fault).
+                writable = (new_flags & np.uint32(PTE_WRITE)) != 0
+                new_flags = np.where(
+                    writable,
+                    (new_flags & np.uint32(~PTE_WRITE & 0xFFFFFFFF))
+                    | np.uint32(PTE_SOFT_SHADOW_RW),
+                    new_flags,
+                ).astype(np.uint32)
+            pt.map_folio(vpn, m.tiers.gpfn(new_head), new_flags | np.uint32(PTE_ACCESSED))
+            blocked += costs.pmd_update
+
+            new_head.add_rmap(space, vpn)
+            frame.remove_rmap(space, vpn)
+            if frame.referenced:
+                new_head.set_flag(FrameFlags.REFERENCED)
+            m.lru.transfer(frame, new_head)
+            frame.clear_flag(FrameFlags.REFERENCED | FrameFlags.ACTIVE)
+
+            if self.shadowing:
+                # The whole slow-tier folio lives on as the shadow copy.
+                frame.clear_flag(FrameFlags.LOCKED)
+                self.shadow_index.insert(new_head, frame)
+                blocked += costs.queue_op
+            else:
+                frame.clear_flag(FrameFlags.LOCKED)
+                m.tiers.free_folio(frame)
+                blocked += costs.free_page
+
+            m.stats.bump("nomad.tpm_commits")
+            m.stats.bump("thp.folio_promotions")
+            m.stats.bump("migrate.promotions")
+            m.bus.publish(MigrationCommitted(frame, new_head, space, vpn))
+            yield spend(blocked)
+            m.obs.emit(
+                "tpm.commit",
+                vpn=vpn,
+                copy_cycles=copy_cycles,
+                total_cycles=total,
+            )
+            m.obs.observe("tpm.copy_cycles", copy_cycles)
+            m.obs.observe("tpm.total_cycles", total)
+            return TpmResult(TpmOutcome.COMMITTED, total, new_head)
         finally:
             frame.clear_flag(FrameFlags.LOCKED)

@@ -13,8 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, TYPE_CHECKING
 
+import numpy as np
+
 from ..mem.frame import Frame, FrameFlags
-from ..mmu.pte import PTE_ACCESSED, PTE_DIRTY, PTE_PRESENT
+from ..mmu.pte import PTE_HUGE, PTE_PRESENT
 from ..sim.bus import FrameReplaced
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -83,7 +85,10 @@ def sync_migrate_page(
         m.stats.bump("migrate.sync_failed_unmapped")
         return traced(MigrationResult(False, cycles, None, retries, "unmapped"))
 
-    new_frame = m.tiers.alloc_on(dst_tier)
+    if frame.is_huge:
+        new_frame = m.tiers.alloc_folio_on(dst_tier, frame.order)
+    else:
+        new_frame = m.tiers.alloc_on(dst_tier)
     if new_frame is None:
         frame.clear_flag(FrameFlags.LOCKED)
         cpu.account(category, cycles)
@@ -91,26 +96,48 @@ def sync_migrate_page(
         return traced(MigrationResult(False, cycles, None, retries, "nomem"))
     cycles += costs.alloc_page
 
-    # Step 1-2: unmap every mapping and shoot down stale translations.
-    saved = []
-    for space, vpn in list(frame.rmap):
-        flags, _gpfn = space.page_table.unmap(vpn)
-        cycles += costs.pte_update
-        cycles += m.tlb_shootdown(space, vpn, cpu)
-        saved.append((space, vpn, flags))
-
-    # Step 3: copy the page while it is inaccessible.
-    cycles += costs.page_copy_cycles(src_tier, dst_tier)
-
-    # Step 4: remap everything at the new frame, preserving permissions
-    # and the architectural accessed/dirty state.
     new_gpfn = m.tiers.gpfn(new_frame)
-    keep = ~(PTE_PRESENT) & 0xFFFFFFFF
-    for space, vpn, flags in saved:
-        space.page_table.map(vpn, new_gpfn, flags & keep)
-        cycles += costs.pte_update
-        new_frame.add_rmap(space, vpn)
-        frame.remove_rmap(space, vpn)
+    was_huge = frame.is_huge
+    if was_huge:
+        # Folio variant of the same pipeline: one PMD update and one
+        # shootdown per mapping, a contiguous nr_pages copy, and a PMD
+        # rebuild at the new frames.
+        nr = frame.nr_pages
+        saved = []
+        for space, vpn in list(frame.rmap):
+            flags, _gpfns = space.page_table.unmap_folio(vpn, nr)
+            cycles += costs.pmd_update
+            cycles += m.tlb_shootdown(space, vpn, cpu)
+            saved.append((space, vpn, flags))
+
+        cycles += costs.folio_copy_cycles(src_tier, dst_tier, nr)
+
+        keep = np.uint32(~(PTE_PRESENT | PTE_HUGE) & 0xFFFFFFFF)
+        for space, vpn, flags in saved:
+            space.page_table.map_folio(vpn, new_gpfn, flags & keep)
+            cycles += costs.pmd_update
+            new_frame.add_rmap(space, vpn)
+            frame.remove_rmap(space, vpn)
+    else:
+        # Step 1-2: unmap every mapping and shoot down stale translations.
+        saved = []
+        for space, vpn in list(frame.rmap):
+            flags, _gpfn = space.page_table.unmap(vpn)
+            cycles += costs.pte_update
+            cycles += m.tlb_shootdown(space, vpn, cpu)
+            saved.append((space, vpn, flags))
+
+        # Step 3: copy the page while it is inaccessible.
+        cycles += costs.page_copy_cycles(src_tier, dst_tier)
+
+        # Step 4: remap everything at the new frame, preserving
+        # permissions and the architectural accessed/dirty state.
+        keep = ~(PTE_PRESENT) & 0xFFFFFFFF
+        for space, vpn, flags in saved:
+            space.page_table.map(vpn, new_gpfn, flags & keep)
+            cycles += costs.pte_update
+            new_frame.add_rmap(space, vpn)
+            frame.remove_rmap(space, vpn)
 
     # Transfer struct-page state and LRU membership.
     if frame.referenced:
@@ -119,11 +146,13 @@ def sync_migrate_page(
     frame.clear_flag(FrameFlags.LOCKED)
     frame.clear_flag(FrameFlags.REFERENCED | FrameFlags.ACTIVE)
     m.bus.publish(FrameReplaced(frame, new_frame))
-    m.tiers.free_page(frame)
+    m.tiers.free_folio(frame)
     cycles += costs.free_page
 
     cpu.account(category, cycles)
     m.stats.bump("migrate.sync_success")
+    if was_huge:
+        m.stats.bump("thp.folio_sync_migrations")
     if dst_tier < src_tier:
         m.stats.bump("migrate.promotions")
     elif dst_tier > src_tier:

@@ -10,12 +10,12 @@ charged to the application task, as in Linux.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from ..mem.tiers import SLOW_TIER
-from ..mmu.pte import PTE_PRESENT, PTE_PROT_NONE
+from ..mmu.pte import PTE_HUGE, PTE_PRESENT, PTE_PROT_NONE
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..mmu.address_space import AddressSpace
@@ -147,10 +147,29 @@ class NumaHintScanner:
                 on_slow[idx] = m.tiers.tier_of_gpfn[gpfns[idx]] == SLOW_TIER
                 targets = vpns[candidates & on_slow]
                 if len(targets):
-                    pt.flags[targets] |= np.uint32(PTE_PROT_NONE)
-                    armed += len(targets)
-                    cost += m.costs.pte_update * len(targets)
-                    m.stats.bump("numa.pages_armed", len(targets))
+                    huge = (pt.flags[targets] & np.uint32(PTE_HUGE)) != 0
+                    if huge.any():
+                        # Huge mappings are armed whole: one PMD update
+                        # protects the folio's entire range.
+                        fp = m.folio_pages
+                        mask = np.int64(~(fp - 1))
+                        heads = np.unique(targets[huge] & mask)
+                        base = targets[~huge]
+                        if len(base):
+                            pt.flags[base] |= np.uint32(PTE_PROT_NONE)
+                            cost += m.costs.pte_update * len(base)
+                            m.stats.bump("numa.pages_armed", len(base))
+                        for head in heads:
+                            pt.set_flags_range(int(head), fp, PTE_PROT_NONE)
+                        cost += m.costs.pmd_update * len(heads)
+                        m.stats.bump("numa.pages_armed", int(len(heads)) * fp)
+                        m.stats.bump("numa.folios_armed", len(heads))
+                        armed += len(base) + len(heads) * fp
+                    else:
+                        pt.flags[targets] |= np.uint32(PTE_PROT_NONE)
+                        armed += len(targets)
+                        cost += m.costs.pte_update * len(targets)
+                        m.stats.bump("numa.pages_armed", len(targets))
             if cursor == 0:
                 break
         self._cursors[space.asid] = cursor

@@ -18,9 +18,9 @@ Figure 2 shows it mostly idle, which our per-CPU accounting reproduces.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
-from ..mem.frame import Frame, FrameFlags
+from ..mem.frame import Frame
 from ..mmu.pte import PTE_ACCESSED
 from ..sim.bus import LowWatermark
 
@@ -89,7 +89,7 @@ class Kswapd:
                 # shrink_active first, which is what protects a stable
                 # hot set from ping-pong demotion.
                 priority = min(passes_without_progress, 2)
-                freed, cycles = self._reclaim_pass(
+                freed, cycles, progressed = self._reclaim_pass(
                     node.reclaim_target(), priority=priority
                 )
                 m.stats.bump("kswapd.passes")
@@ -101,7 +101,7 @@ class Kswapd:
                     cycles=cycles,
                 )
                 yield self.cpu.account("reclaim", max(cycles, 1.0))
-                if freed == 0:
+                if freed == 0 and not progressed:
                     passes_without_progress += 1
                     if passes_without_progress >= 4:
                         m.stats.bump("kswapd.gave_up")
@@ -121,11 +121,17 @@ class Kswapd:
 
     # ------------------------------------------------------------------
     def _reclaim_pass(self, target: int, priority: int = 0):
-        """One batch of reclaim work; returns (pages freed, cycles)."""
+        """One batch of reclaim work.
+
+        Returns (pages freed, cycles, progressed): ``progressed`` covers
+        work that freed nothing yet but unblocked the next pass, such as
+        splitting a cold huge folio so its base pages become demotable.
+        """
         m = self.machine
         policy = m.policy
         cycles = 0.0
         freed = 0
+        progressed = False
 
         # Reclaim drains pending LRU batches first (lru_add_drain), so
         # under memory pressure queued activation requests apply quickly
@@ -140,7 +146,7 @@ class Kswapd:
             freed += got
             cycles += c
             if freed >= target:
-                return freed, cycles
+                return freed, cycles, True
 
         # 2. Scan the inactive list tail.
         batch = m.lru.inactive_head_batch(self.node_id, SCAN_BATCH)
@@ -161,10 +167,18 @@ class Kswapd:
                 cycles += m.costs.pte_update * frame.mapcount
                 continue
             if policy is not None:
+                if frame.is_huge and policy.wants_split(frame):
+                    # Split the cold folio so reclaim can work page-wise
+                    # instead of demoting 2MB of possibly-mixed pages.
+                    ok, c = m.split_folio(frame, self.cpu, reason="reclaim")
+                    cycles += c
+                    progressed = progressed or ok
+                    continue
+                nr = frame.nr_pages
                 ok, c = policy.demote_page(frame, self.cpu)
                 cycles += c
                 if ok:
-                    freed += 1
+                    freed += nr
                     if freed >= target:
                         break
 
@@ -180,16 +194,24 @@ class Kswapd:
                     cycles += m.costs.pte_update * frame.mapcount
                 else:
                     m.lru.deactivate(frame)
-        return freed, cycles
+        return freed, cycles, progressed or freed > 0
 
     @staticmethod
     def _recently_accessed(frame: Frame) -> bool:
         for space, vpn in frame.rmap:
-            if space.page_table.test_flags(vpn, PTE_ACCESSED):
+            pt = space.page_table
+            if frame.is_huge:
+                if pt.any_flags_range(vpn, frame.nr_pages, PTE_ACCESSED):
+                    return True
+            elif pt.test_flags(vpn, PTE_ACCESSED):
                 return True
         return False
 
     @staticmethod
     def _clear_accessed(frame: Frame) -> None:
         for space, vpn in frame.rmap:
-            space.page_table.clear_flags(vpn, PTE_ACCESSED)
+            pt = space.page_table
+            if frame.is_huge:
+                pt.clear_flags_range(vpn, frame.nr_pages, PTE_ACCESSED)
+            else:
+                pt.clear_flags(vpn, PTE_ACCESSED)

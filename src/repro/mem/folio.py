@@ -1,0 +1,69 @@
+"""Folios: the unit of mapping, migration, and reclaim.
+
+A folio is either a single order-0 base page or a naturally aligned,
+physically contiguous block of ``1 << order`` frames (order-9 models a
+2MB huge page on 4KB base pages). The state itself lives on the frames
+-- a head frame carries ``order``, tails point back at the head, exactly
+like kernel compound pages -- so :class:`Folio` is a *view*: a cheap
+wrapper that iterates a folio's frames and answers size questions
+without every caller re-deriving ``1 << order`` arithmetic.
+
+Only the head frame participates in LRU lists, rmaps, page locks, and
+shadow tracking; helpers here resolve any member frame to its head via
+:func:`~repro.mem.frame.compound_head`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, TYPE_CHECKING
+
+from .frame import Frame, compound_head
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .node import MemoryNode
+
+__all__ = ["Folio", "compound_head"]
+
+
+class Folio:
+    """View over the frames of one folio (head-resolving)."""
+
+    __slots__ = ("head", "_node")
+
+    def __init__(self, frame: Frame, node: "MemoryNode") -> None:
+        self.head = compound_head(frame)
+        self._node = node
+
+    @property
+    def order(self) -> int:
+        return self.head.order
+
+    @property
+    def nr_pages(self) -> int:
+        return self.head.nr_pages
+
+    @property
+    def pfn(self) -> int:
+        return self.head.pfn
+
+    @property
+    def node_id(self) -> int:
+        return self.head.node_id
+
+    def frames(self) -> List[Frame]:
+        """The folio's frames in pfn order, head first."""
+        return [
+            self._node.frame(self.head.pfn + i) for i in range(self.nr_pages)
+        ]
+
+    def __iter__(self) -> Iterator[Frame]:
+        return iter(self.frames())
+
+    def __len__(self) -> int:
+        return self.nr_pages
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Folio pfn={self.head.pfn} node={self.head.node_id} "
+            f"order={self.order}>"
+        )

@@ -10,6 +10,13 @@ Reverse mappings (``rmap``) record which (address space, virtual page)
 pairs map the frame -- migration and reclaim walk these exactly like the
 kernel's rmap walk, and Nomad uses ``mapcount`` to detect multi-mapped
 pages (for which it falls back to synchronous migration, Section 3.3).
+
+Frames compose into *folios* the way the kernel builds compound pages: a
+head frame carries ``order`` (the folio spans ``1 << order`` physically
+contiguous frames) and each tail frame points back at its head. Only
+head frames appear on LRU lists and in rmaps; tail frames are inert
+storage. ``compound_head`` resolves either kind to the head, so code
+that looks a frame up by pfn/gpfn lands on the folio it belongs to.
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ from typing import List, Optional, Tuple, TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..mmu.address_space import AddressSpace
 
-__all__ = ["Frame", "FrameFlags"]
+__all__ = ["Frame", "FrameFlags", "compound_head"]
 
 
 class FrameFlags:
@@ -38,7 +45,7 @@ class FrameFlags:
 class Frame:
     """One physical page frame."""
 
-    __slots__ = ("pfn", "node_id", "flags", "rmap", "generation")
+    __slots__ = ("pfn", "node_id", "flags", "rmap", "generation", "order", "head")
 
     def __init__(self, pfn: int, node_id: int) -> None:
         self.pfn = pfn
@@ -48,6 +55,11 @@ class Frame:
         self.rmap: List[Tuple["AddressSpace", int]] = []
         # Bumped on every allocation so stale references are detectable.
         self.generation = 0
+        # Compound-page state: a head frame has order > 0 and spans the
+        # next (1 << order) - 1 tail frames; a tail frame points at its
+        # head. An order-0 frame has order == 0 and head is None.
+        self.order = 0
+        self.head: Optional["Frame"] = None
 
     # -- flag helpers ---------------------------------------------------
     def set_flag(self, flag: int) -> None:
@@ -83,6 +95,21 @@ class Frame:
     def is_shadow(self) -> bool:
         return self.test_flag(FrameFlags.IS_SHADOW)
 
+    # -- compound (folio) state -----------------------------------------
+    @property
+    def nr_pages(self) -> int:
+        """Pages this frame stands for: 1, or the folio span for a head."""
+        return 1 << self.order
+
+    @property
+    def is_tail(self) -> bool:
+        return self.head is not None
+
+    @property
+    def is_huge(self) -> bool:
+        """True for the head frame of a multi-page folio."""
+        return self.order > 0
+
     # -- rmap -----------------------------------------------------------
     def add_rmap(self, space: "AddressSpace", vpn: int) -> None:
         self.rmap.append((space, vpn))
@@ -114,10 +141,17 @@ class Frame:
         if self.rmap:
             raise RuntimeError(f"allocating pfn {self.pfn} with live rmap")
         self.flags = 0
+        self.order = 0
+        self.head = None
         self.generation += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<Frame pfn={self.pfn} node={self.node_id} "
-            f"flags={self.flags:#x} map={self.mapcount}>"
+            f"flags={self.flags:#x} map={self.mapcount} order={self.order}>"
         )
+
+
+def compound_head(frame: Frame) -> Frame:
+    """Resolve a frame to its folio head (identity for order-0 pages)."""
+    return frame.head if frame.head is not None else frame

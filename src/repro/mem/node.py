@@ -9,12 +9,21 @@ kernel scheme the paper leans on:
 
 TPP's "decoupled allocation and reclamation" and Nomad's shadow-page
 reclamation both key off these thresholds.
+
+Folio support is buddy-flavoured rather than a full buddy system: base
+pages keep the original FIFO free list (so order-0-only runs allocate in
+the exact same sequence as before folios existed), while higher-order
+allocations first-fit an aligned run of free pfns in a bitmap mirror of
+the free list. Frames handed out as a folio leave stale entries in the
+FIFO; ``alloc`` skips them lazily via the membership set.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, List, Optional, Set
+
+import numpy as np
 
 from .frame import Frame, FrameFlags
 
@@ -43,6 +52,11 @@ class MemoryNode:
             Frame(pfn, node_id) for pfn in range(nr_pages)
         ]
         self._free: Deque[int] = deque(range(nr_pages))
+        # Mirrors of the free list for folio allocation: O(1) membership
+        # (also lets ``alloc`` skip FIFO entries gone stale after a folio
+        # grabbed them) and a bitmap for vectorised aligned-run search.
+        self._free_set: Set[int] = set(self._free)
+        self._free_map = np.ones(nr_pages, dtype=bool)
         # Watermarks in pages, scaled like the kernel's watermark_scale_factor.
         base = max(1, int(nr_pages * watermark_scale))
         self.wmark_min = base
@@ -56,7 +70,7 @@ class MemoryNode:
 
     @property
     def nr_free(self) -> int:
-        return len(self._free)
+        return len(self._free_set)
 
     @property
     def nr_used(self) -> int:
@@ -78,14 +92,74 @@ class MemoryNode:
     # ------------------------------------------------------------------
     def alloc(self) -> Optional[Frame]:
         """Pop a free frame, or None if the node is exhausted."""
-        if not self._free:
+        while self._free:
+            pfn = self._free.popleft()
+            if pfn not in self._free_set:
+                continue  # stale FIFO entry: folio allocation took it
+            self._free_set.remove(pfn)
+            self._free_map[pfn] = False
+            frame = self.frames[pfn]
+            frame.reset()
+            return frame
+        return None
+
+    def alloc_folio(self, order: int) -> Optional[Frame]:
+        """Allocate ``1 << order`` physically contiguous frames.
+
+        First-fits the lowest naturally aligned free run (buddy-style
+        alignment keeps folios splittable and non-overlapping). Returns
+        the head frame with compound state set, or None when the node is
+        too fragmented or too empty.
+        """
+        if order == 0:
+            return self.alloc()
+        nr = 1 << order
+        if len(self._free_set) < nr:
             return None
-        frame = self.frames[self._free.popleft()]
-        frame.reset()
-        return frame
+        n_aligned = (self.nr_pages // nr) * nr
+        if n_aligned == 0:
+            return None
+        blocks = self._free_map[:n_aligned].reshape(-1, nr).all(axis=1)
+        idx = int(np.argmax(blocks))
+        if not blocks[idx]:
+            return None
+        base = idx * nr
+        self._free_set.difference_update(range(base, base + nr))
+        self._free_map[base : base + nr] = False
+        head = self.frames[base]
+        head.reset()
+        head.order = order
+        for pfn in range(base + 1, base + nr):
+            tail = self.frames[pfn]
+            tail.reset()
+            tail.head = head
+        return head
 
     def free(self, frame: Frame) -> None:
-        """Return a frame to the free list."""
+        """Return an order-0 frame to the free list."""
+        if frame.order or frame.is_tail:
+            raise RuntimeError(
+                f"freeing compound pfn {frame.pfn} page-wise; use free_folio"
+            )
+        self._free_one(frame)
+
+    def free_folio(self, head: Frame) -> None:
+        """Return a whole folio (head + tails) to the free list."""
+        if head.is_tail:
+            raise ValueError(f"free_folio on tail pfn {head.pfn}")
+        if head.order == 0:
+            self.free(head)
+            return
+        nr = 1 << head.order
+        tails = self.frames[head.pfn + 1 : head.pfn + nr]
+        head.order = 0
+        for tail in tails:
+            tail.head = None
+        self._free_one(head)
+        for tail in tails:
+            self._free_one(tail)
+
+    def _free_one(self, frame: Frame) -> None:
         if frame.node_id != self.node_id:
             raise ValueError(
                 f"pfn {frame.pfn} belongs to node {frame.node_id}, "
@@ -95,17 +169,19 @@ class MemoryNode:
             raise RuntimeError(f"freeing mapped pfn {frame.pfn}")
         if frame.test_flag(FrameFlags.LOCKED):
             raise RuntimeError(f"freeing locked pfn {frame.pfn}")
+        if frame.pfn in self._free_set:
+            raise RuntimeError(f"double free detected on node {self.node_id}")
         frame.flags = 0
         self._free.append(frame.pfn)
-        if len(self._free) > self.nr_pages:
-            raise RuntimeError(f"double free detected on node {self.node_id}")
+        self._free_set.add(frame.pfn)
+        self._free_map[frame.pfn] = True
 
     def frame(self, pfn: int) -> Frame:
         return self.frames[pfn]
 
     def used_frames(self):
         """Iterate frames not currently on the free list (O(n))."""
-        free = set(self._free)
+        free = self._free_set
         return (f for f in self.frames if f.pfn not in free)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

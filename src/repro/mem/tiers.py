@@ -103,6 +103,19 @@ class TieredMemory:
             self.bus.publish(LowWatermark(tier))
         return frame
 
+    def alloc_folio_on(self, tier: int, order: int) -> Optional[Frame]:
+        """Allocate a contiguous folio strictly on ``tier``.
+
+        Returns the head frame, or None when the node cannot satisfy the
+        order (exhausted or fragmented). Publishes :class:`LowWatermark`
+        like the base-page path so reclaim keeps pace with THP bursts.
+        """
+        node = self.nodes[tier]
+        head = node.alloc_folio(order)
+        if node.below_low():
+            self.bus.publish(LowWatermark(tier))
+        return head
+
     def alloc_page(self, preferred: int = FAST_TIER) -> Frame:
         """Allocate with the paper's default placement policy.
 
@@ -129,6 +142,15 @@ class TieredMemory:
 
     def free_page(self, frame: Frame) -> None:
         self.nodes[frame.node_id].free(frame)
+
+    def free_folio(self, head: Frame) -> None:
+        """Free a folio (or a plain order-0 frame) in one call."""
+        self.nodes[head.node_id].free_folio(head)
+
+    def folio_frames(self, head: Frame) -> List[Frame]:
+        """The folio's frames in pfn order (head first)."""
+        node = self.nodes[head.node_id]
+        return [node.frame(head.pfn + i) for i in range(head.nr_pages)]
 
     # ------------------------------------------------------------------
     def usage(self) -> dict:

@@ -7,6 +7,7 @@ from .page_table import PageTable
 from .pte import (
     PTE_ACCESSED,
     PTE_DIRTY,
+    PTE_HUGE,
     PTE_PRESENT,
     PTE_PROT_NONE,
     PTE_SOFT_SHADOW_RW,
@@ -32,5 +33,6 @@ __all__ = [
     "PTE_DIRTY",
     "PTE_PROT_NONE",
     "PTE_SOFT_SHADOW_RW",
+    "PTE_HUGE",
     "describe_flags",
 ]

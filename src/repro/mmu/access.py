@@ -31,6 +31,7 @@ from .faults import Fault, FaultType, UnhandledFault
 from .pte import (
     PTE_ACCESSED,
     PTE_DIRTY,
+    PTE_HUGE,
     PTE_PRESENT,
     PTE_PROT_NONE,
     PTE_WRITE,
@@ -120,7 +121,21 @@ class AccessEngine:
                     pt.flags[wr] |= np.uint32(PTE_DIRTY)
                     np.maximum.at(pt.last_write, wr, ts[w])
                 np.maximum.at(pt.last_access, seg, ts)
-                m.tlb_directory.note_chunk(cpu.name, space.asid, np.unique(seg))
+                # TLB entries are per translation: base pages fill one
+                # entry per vpn, huge mappings one PMD entry keyed by the
+                # folio head vpn (so a single shootdown at the head
+                # invalidates the whole 2MB translation).
+                huge = (f[:k] & PTE_HUGE) != 0
+                if huge.any():
+                    mask = np.int64(~(m.folio_pages - 1))
+                    noted = np.where(huge, seg & mask, seg)
+                    m.tlb_directory.note_chunk(
+                        cpu.name, space.asid, np.unique(noted)
+                    )
+                else:
+                    m.tlb_directory.note_chunk(
+                        cpu.name, space.asid, np.unique(seg)
+                    )
                 if m.bus.has_subscribers(ChunkExecuted):
                     m.bus.publish(ChunkExecuted(space, seg, w, ts))
                 hist += latency_histogram(lat)

@@ -11,7 +11,7 @@ initial-placement step.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional
 
 from .page_table import PageTable
 
@@ -23,13 +23,23 @@ _ASIDS = itertools.count(1)
 class Vma:
     """One mapped virtual range [start, start + nr_pages)."""
 
-    __slots__ = ("start", "nr_pages", "name", "shared")
+    __slots__ = ("start", "nr_pages", "name", "shared", "thp")
 
-    def __init__(self, start: int, nr_pages: int, name: str, shared: bool) -> None:
+    def __init__(
+        self,
+        start: int,
+        nr_pages: int,
+        name: str,
+        shared: bool,
+        thp: bool = False,
+    ) -> None:
         self.start = start
         self.nr_pages = nr_pages
         self.name = name
         self.shared = shared
+        # madvise(MADV_HUGEPAGE)-style hint: demand paging and populate
+        # may back aligned sub-ranges of this VMA with huge folios.
+        self.thp = thp
 
     @property
     def end(self) -> int:
@@ -48,25 +58,44 @@ class Vma:
 class AddressSpace:
     """Virtual address space: VMAs + a page table."""
 
-    def __init__(self, nr_vpns: int, name: str = "") -> None:
+    def __init__(
+        self, nr_vpns: int, name: str = "", folio_pages: int = 1
+    ) -> None:
         self.asid = next(_ASIDS)
         self.name = name or f"as{self.asid}"
         self.page_table = PageTable(nr_vpns)
         self.vmas: List[Vma] = []
+        # Huge-folio span (machine's 1 << thp_order); THP-hinted VMAs are
+        # aligned to it so PMD mappings sit on natural boundaries.
+        self.folio_pages = folio_pages
         self._brk = 0
 
     # ------------------------------------------------------------------
-    def mmap(self, nr_pages: int, name: str = "anon", shared: bool = False) -> Vma:
-        """Reserve a contiguous virtual range (no frames yet)."""
+    def mmap(
+        self,
+        nr_pages: int,
+        name: str = "anon",
+        shared: bool = False,
+        thp: bool = False,
+    ) -> Vma:
+        """Reserve a contiguous virtual range (no frames yet).
+
+        ``thp=True`` marks the region THP-eligible and aligns its start
+        to the huge-folio boundary (mmap with MAP_HUGE-style alignment);
+        frames still arrive on first touch or via populate.
+        """
         if nr_pages <= 0:
             raise ValueError(f"mmap of {nr_pages} pages")
-        if self._brk + nr_pages > self.page_table.nr_vpns:
+        start = self._brk
+        if thp and self.folio_pages > 1:
+            start = -(-start // self.folio_pages) * self.folio_pages
+        if start + nr_pages > self.page_table.nr_vpns:
             raise MemoryError(
                 f"address space {self.name} exhausted: brk={self._brk}, "
                 f"want {nr_pages}, size {self.page_table.nr_vpns}"
             )
-        vma = Vma(self._brk, nr_pages, name, shared)
-        self._brk += nr_pages
+        vma = Vma(start, nr_pages, name, shared, thp=thp)
+        self._brk = start + nr_pages
         self.vmas.append(vma)
         return vma
 

@@ -22,6 +22,7 @@ import numpy as np
 from .pte import (
     PTE_ACCESSED,
     PTE_DIRTY,
+    PTE_HUGE,
     PTE_PRESENT,
     PTE_PROT_NONE,
     PTE_WRITE,
@@ -128,6 +129,104 @@ class PageTable:
         dirty-during-copy race: the access path timestamps every store.
         """
         return bool(self.last_write[vpn] >= when)
+
+    # ------------------------------------------------------------------
+    # Folio (PMD-level) primitives
+    # ------------------------------------------------------------------
+    # A huge mapping occupies a naturally aligned run of ``nr`` entries,
+    # each tagged PTE_HUGE and pointing at consecutive gpfns. Hardware
+    # would hold a single PMD; the flat table stores the expansion so
+    # the vectorized access path needs no second lookup level, but the
+    # operations below act on the run as one atomic entry.
+
+    def map_folio(self, head_vpn: int, head_gpfn: int, flags) -> None:
+        """Install a PMD-level mapping over ``len(flags)`` entries.
+
+        ``flags`` is a per-entry uint32 array (or a sequence coercible to
+        one); PTE_PRESENT and PTE_HUGE are added to every entry.
+        """
+        flags = np.asarray(flags, dtype=np.uint32)
+        nr = len(flags)
+        self._check_folio(head_vpn, nr)
+        sl = slice(head_vpn, head_vpn + nr)
+        if (self.flags[sl] & PTE_PRESENT).any():
+            raise RuntimeError(f"folio at vpn {head_vpn} overlaps a mapping")
+        if head_gpfn < 0:
+            raise ValueError(f"invalid gpfn {head_gpfn}")
+        self.gpfn[sl] = np.arange(head_gpfn, head_gpfn + nr, dtype=np.int64)
+        self.flags[sl] = flags | np.uint32(PTE_PRESENT | PTE_HUGE)
+
+    def get_and_clear_folio(self, head_vpn: int, nr: int):
+        """Atomically read and zero a huge mapping's entries.
+
+        Returns per-entry ``(flags, gpfns)`` copies as they were before
+        clearing -- the folio analogue of :meth:`get_and_clear`.
+        """
+        self._check_folio(head_vpn, nr)
+        sl = slice(head_vpn, head_vpn + nr)
+        flags = self.flags[sl].copy()
+        gpfns = self.gpfn[sl].copy()
+        self.flags[sl] = 0
+        self.gpfn[sl] = -1
+        return flags, gpfns
+
+    def restore_folio(self, head_vpn: int, flags, gpfns) -> None:
+        """Reinstall a huge mapping captured by :meth:`get_and_clear_folio`."""
+        flags = np.asarray(flags, dtype=np.uint32)
+        nr = len(flags)
+        self._check_folio(head_vpn, nr)
+        sl = slice(head_vpn, head_vpn + nr)
+        if (self.flags[sl] & PTE_PRESENT).any():
+            raise RuntimeError(
+                f"folio at vpn {head_vpn} was remapped during the transaction"
+            )
+        self.flags[sl] = flags
+        self.gpfn[sl] = np.asarray(gpfns, dtype=np.int64)
+
+    def unmap_folio(self, head_vpn: int, nr: int):
+        """Remove a huge mapping, returning its prior per-entry state."""
+        flags, gpfns = self.get_and_clear_folio(head_vpn, nr)
+        if not (flags & PTE_PRESENT).all():
+            raise RuntimeError(f"folio at vpn {head_vpn} was not fully mapped")
+        return flags, gpfns
+
+    def is_huge(self, vpn: int) -> bool:
+        return self.test_flags(vpn, PTE_HUGE)
+
+    def folio_head(self, vpn: int, nr: int) -> int:
+        """Head vpn of the aligned ``nr``-page folio containing ``vpn``."""
+        return vpn & ~(nr - 1)
+
+    def set_flags_range(self, head_vpn: int, nr: int, flags: int) -> None:
+        self._check_folio(head_vpn, nr)
+        self.flags[head_vpn : head_vpn + nr] |= np.uint32(flags)
+
+    def clear_flags_range(self, head_vpn: int, nr: int, flags: int) -> None:
+        self._check_folio(head_vpn, nr)
+        self.flags[head_vpn : head_vpn + nr] &= np.uint32(~flags & 0xFFFFFFFF)
+
+    def any_flags_range(self, head_vpn: int, nr: int, flags: int) -> bool:
+        self._check_folio(head_vpn, nr)
+        sl = slice(head_vpn, head_vpn + nr)
+        return bool((self.flags[sl] & np.uint32(flags)).any())
+
+    def written_since_range(self, head_vpn: int, nr: int, when: float) -> bool:
+        """Was any sub-page of the folio stored to at or after ``when``?"""
+        self._check_folio(head_vpn, nr)
+        return bool((self.last_write[head_vpn : head_vpn + nr] >= when).any())
+
+    def last_access_range(self, head_vpn: int, nr: int) -> float:
+        """Most recent access timestamp across the folio's sub-pages."""
+        self._check_folio(head_vpn, nr)
+        return float(self.last_access[head_vpn : head_vpn + nr].max())
+
+    def _check_folio(self, head_vpn: int, nr: int) -> None:
+        self._check(head_vpn)
+        if nr <= 0 or head_vpn + nr > self.nr_vpns:
+            raise IndexError(
+                f"folio [{head_vpn}, {head_vpn + nr}) outside "
+                f"[0, {self.nr_vpns})"
+            )
 
     def _check(self, vpn: int) -> None:
         if not 0 <= vpn < self.nr_vpns:

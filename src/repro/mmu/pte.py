@@ -14,6 +14,7 @@ __all__ = [
     "PTE_DIRTY",
     "PTE_PROT_NONE",
     "PTE_SOFT_SHADOW_RW",
+    "PTE_HUGE",
     "PTE_PERM_MASK",
     "describe_flags",
 ]
@@ -24,6 +25,11 @@ PTE_ACCESSED = 1 << 2  # set by "hardware" on any access
 PTE_DIRTY = 1 << 3  # set by "hardware" on any write
 PTE_PROT_NONE = 1 << 4  # NUMA-hint protection: any access faults
 PTE_SOFT_SHADOW_RW = 1 << 5  # Nomad: original write permission of a master page
+# Entry belongs to a PMD-level (huge folio) mapping. Every sub-page
+# entry of a huge mapping carries the bit; the PMD itself is implicit in
+# the naturally aligned run of entries (hardware would store one PMD,
+# the flat table stores its sub-page expansion for the vectorized path).
+PTE_HUGE = 1 << 6
 
 PTE_PERM_MASK = PTE_WRITE | PTE_PROT_NONE
 
@@ -34,6 +40,7 @@ _NAMES = {
     PTE_DIRTY: "D",
     PTE_PROT_NONE: "N",
     PTE_SOFT_SHADOW_RW: "S",
+    PTE_HUGE: "H",
 }
 
 

@@ -10,7 +10,7 @@ multiple simultaneous shootdowns) falls out of this bookkeeping.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Set, Tuple
+from typing import Dict, Set, Tuple
 
 __all__ = ["Tlb", "TlbDirectory"]
 

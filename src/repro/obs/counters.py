@@ -47,6 +47,15 @@ COUNTERS: Dict[str, str] = {
     "lru.activations": "pages actually moved to the active list",
     # ---- NUMA-hint scanner (kernel/numa_fault.py) --------------------
     "numa.pages_armed": "PTEs armed prot_none by the hint scanner",
+    "numa.folios_armed": "huge folios armed prot_none (one PMD each)",
+    # ---- transparent huge pages (folios) -----------------------------
+    "thp.folios_mapped": "huge folios installed by demand paging or populate",
+    "thp.fallback_base": "THP allocations that fell back to base pages",
+    "thp.folio_splits": "huge folios split into base pages",
+    "thp.folio_promotions": "huge folios promoted by transactional migration",
+    "thp.folio_sync_migrations": "huge folios moved by synchronous migration",
+    "thp.folio_remap_demotions": "huge folios demoted by remap to their shadow",
+    "thp.shadow_collapses": "folio shadows collapsed by a first sub-page store",
     # ---- Nomad core (core/) ------------------------------------------
     "nomad.hint_faults": "hint faults consumed by the Nomad handler",
     "nomad.shadow_faults": "shadow (write-protect) faults on shadowed masters",
@@ -64,6 +73,9 @@ COUNTERS: Dict[str, str] = {
     "nomad.copy_demotions": "demotions that had to copy (master not shadowed)",
     "nomad.remap_demotions": "demotions satisfied by pure remap to the shadow",
     "nomad.alloc_fail_reclaims": "allocation-failure shadow reclaim batches",
+    "nomad.tpm_chunk_aborts": (
+        "huge-page transactions aborted by the per-chunk dirty re-check"
+    ),
     # ---- TPP policy --------------------------------------------------
     "tpp.hint_faults": "hint faults consumed by the TPP handler",
     "tpp.promotions": "TPP synchronous promotions",

@@ -56,7 +56,7 @@ def _pcq_depth(machine: "Machine") -> Optional[float]:
 
 def _shadow_pages(machine: "Machine") -> Optional[float]:
     index = _policy_attr(machine, "shadow_index")
-    return float(index.nr_shadows) if index is not None else None
+    return float(index.nr_shadow_pages) if index is not None else None
 
 
 def default_gauges() -> Dict[str, Gauge]:

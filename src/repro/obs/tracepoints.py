@@ -77,7 +77,15 @@ register_tracepoint(
 )
 register_tracepoint(
     "tpm.abort", ("vpn", "reason", "copy_cycles", "total_cycles"),
-    "a transactional migration rolled back (reason: dirty/nomem)",
+    "a transactional migration rolled back (reason: dirty/chunk_dirty/nomem)",
+)
+register_tracepoint(
+    "tpm.chunk", ("vpn", "chunk", "nr_chunks", "dirty"),
+    "one chunk of a huge-folio copy finished its dirty re-check",
+)
+register_tracepoint(
+    "folio.split", ("vpn", "order", "reason"),
+    "a huge folio was split into base pages (PMD rewritten as PTEs)",
 )
 register_tracepoint(
     "shadow.fault", ("vpn", "gpfn"),

@@ -31,7 +31,6 @@ line under severe thrashing.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from ..mmu.faults import Fault
 from ..core.nomad import NomadPolicy
@@ -189,10 +188,17 @@ class AdaptiveNomadPolicy(NomadPolicy):
         m = self.machine
         from ..mmu.pte import PTE_PROT_NONE
 
-        fault.space.page_table.clear_flags(fault.vpn, PTE_PROT_NONE)
+        pt = fault.space.page_table
+        if m.folio_pages > 1 and pt.is_huge(fault.vpn):
+            head = pt.folio_head(fault.vpn, m.folio_pages)
+            pt.clear_flags_range(head, m.folio_pages, PTE_PROT_NONE)
+            cost = m.costs.pmd_update
+        else:
+            pt.clear_flags(fault.vpn, PTE_PROT_NONE)
+            cost = m.costs.pte_update
         m.stats.bump("nomad.hint_faults")
         m.stats.bump("adaptive.suppressed_faults")
-        return m.costs.pte_update
+        return cost
 
     def describe(self) -> str:
         state = "on" if self.promotion_enabled else "off"

@@ -142,6 +142,13 @@ class TieringPolicy:
         """
         return False, 0.0
 
+    def wants_split(self, frame: Frame) -> bool:
+        """Should kswapd split this cold huge folio instead of demoting
+        it whole?  Policies that can demote a folio cheaply (e.g. by
+        remapping to a shadow copy) return False for those frames.
+        """
+        return False
+
     def on_alloc_fail(self, tier: int, nr: int) -> int:
         """Allocation failed everywhere; free pages if possible.
 

@@ -28,7 +28,7 @@ from typing import Dict, Tuple
 import numpy as np
 
 from ..kernel.migrate import sync_migrate_page
-from ..mem.frame import Frame
+from ..mem.frame import Frame, compound_head
 from ..mem.tiers import FAST_TIER, SLOW_TIER
 from ..mmu.pte import PTE_PRESENT
 from ..sim.bus import ChunkExecuted
@@ -238,7 +238,7 @@ class MemtisPolicy(TieringPolicy):
         flags, gpfn = space.page_table.entry(vpn)
         if not flags & PTE_PRESENT or gpfn < 0:
             return 0.0
-        frame = m.tiers.frame(gpfn)
+        frame = compound_head(m.tiers.frame(gpfn))
         if frame.node_id == dst_tier or frame.locked:
             return 0.0
         result = sync_migrate_page(m, frame, dst_tier, self.cpu, "memtis_migrate")

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from ..kernel.migrate import MAX_RETRIES, sync_migrate_page
-from ..mem.frame import Frame
+from ..mem.frame import Frame, compound_head
 from ..mem.tiers import FAST_TIER, SLOW_TIER
 from ..mmu.faults import Fault
 from ..mmu.pte import PTE_PROT_NONE
@@ -62,12 +62,19 @@ class TppPolicy(TieringPolicy):
         cycles = 0.0
 
         # Make the page accessible again (the fault unprotects it).
-        pt.clear_flags(fault.vpn, PTE_PROT_NONE)
-        cycles += m.costs.pte_update
+        vpn = fault.vpn
+        huge = m.folio_pages > 1 and pt.is_huge(vpn)
+        if huge:
+            vpn = pt.folio_head(vpn, m.folio_pages)
+            pt.clear_flags_range(vpn, m.folio_pages, PTE_PROT_NONE)
+            cycles += m.costs.pmd_update
+        else:
+            pt.clear_flags(vpn, PTE_PROT_NONE)
+            cycles += m.costs.pte_update
         m.stats.bump("tpp.hint_faults")
 
         _flags, gpfn = pt.entry(fault.vpn)
-        frame = m.tiers.frame(gpfn)
+        frame = compound_head(m.tiers.frame(gpfn))
         if frame.node_id != SLOW_TIER:
             return cycles
 
@@ -76,7 +83,7 @@ class TppPolicy(TieringPolicy):
         cycles += m.costs.lru_op
 
         now = m.engine.now
-        key = (fault.space.asid, fault.vpn)
+        key = (fault.space.asid, vpn)
         last = self._last_hint_fault.get(key)
         self._last_hint_fault[key] = now
         low_latency = (

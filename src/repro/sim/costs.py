@@ -9,7 +9,7 @@ them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 __all__ = ["CostModel", "PAGE_SIZE", "CACHELINE"]
@@ -53,6 +53,16 @@ class CostModel:
     migrate_setup: float = 600.0  # migrate_pages() entry, page lock, rmap walk
     sampler_event: float = 30.0  # cost of recording one PEBS-style sample
     histogram_update: float = 40.0  # Memtis per-sample histogram update
+    # Folio (THP) constants. A PMD-level mapping is still one 8-byte
+    # entry, so updating it costs the same atomic RMW as a PTE -- the
+    # huge-page economy is paying it once per 512 pages, and shooting
+    # down a single PMD TLB entry instead of 512 PTE entries.
+    pmd_update: float = 120.0  # one atomic PMD read-modify-write
+    # Nomad copies a huge page in sub-page chunks, re-checking the dirty
+    # state between chunks (Section 3.4); the chunk size in base pages.
+    thp_chunk_pages: int = 32
+    # Reading the PMD's accessed/dirty state for one chunk re-check.
+    thp_chunk_check: float = 120.0
 
     def access_cycles(self, tier: int, write: bool) -> float:
         """Latency of one cacheline access against ``tier``."""
@@ -63,6 +73,22 @@ class CostModel:
         """Cycles to copy one page from ``src_tier`` to ``dst_tier``."""
         rate = self.copy_bytes_per_cycle[src_tier][dst_tier]
         return PAGE_SIZE / rate
+
+    def folio_copy_cycles(
+        self, src_tier: int, dst_tier: int, nr_pages: int
+    ) -> float:
+        """Cycles to copy ``nr_pages`` contiguous pages between tiers."""
+        return self.page_copy_cycles(src_tier, dst_tier) * nr_pages
+
+    def chunk_plan(self, nr_pages: int):
+        """Chunk sizes (in pages) for a chunked folio copy.
+
+        Yields ``thp_chunk_pages``-sized chunks plus a smaller trailing
+        chunk when the folio is not a multiple of the chunk size.
+        """
+        chunk = max(1, self.thp_chunk_pages)
+        full, rest = divmod(nr_pages, chunk)
+        return [chunk] * full + ([rest] if rest else [])
 
     def shootdown_cycles(self, n_remote_cpus: int) -> float:
         """Cost paid by the initiator of a TLB shootdown."""

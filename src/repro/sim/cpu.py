@@ -10,7 +10,7 @@ core are drained into the next activity that runs on it.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from .engine import Engine
 from .stats import Stats

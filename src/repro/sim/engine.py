@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 __all__ = ["Engine", "Event", "Process", "SimulationError"]
 

@@ -26,11 +26,19 @@ __all__ = [
     "PLATFORMS",
     "get_platform",
     "PAGES_PER_GB",
+    "SIM_THP_ORDER",
     "gb_to_pages",
 ]
 
 # Simulation scale: one "paper GB" is one simulated MiB.
 PAGES_PER_GB = 256
+
+# Huge-folio order used by the capacity-scaled experiments. The faithful
+# 512-subpage ratio (order 9) would make one folio dwarf a whole tier at
+# simulation scale (a 16 "GB" tier is only 4096 frames), so experiments
+# scale the folio the same way they scale capacity: order 4 keeps the
+# huge:base ratio at 16 while leaving hundreds of folios per tier.
+SIM_THP_ORDER = 4
 
 
 def gb_to_pages(gb: float) -> int:

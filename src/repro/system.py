@@ -29,12 +29,20 @@ from typing import List, Optional
 from .kernel.lru import LruManager
 from .kernel.numa_fault import NumaHintScanner
 from .kernel.reclaim import Kswapd
-from .mem.frame import FrameFlags
+import numpy as np
+
+from .mem.frame import Frame, FrameFlags
 from .mem.tiers import FAST_TIER, SLOW_TIER, TieredMemory
 from .mmu.access import AccessEngine
 from .mmu.address_space import AddressSpace
 from .mmu.faults import Fault, FaultType, UnhandledFault
-from .mmu.pte import PTE_ACCESSED, PTE_DIRTY, PTE_PRESENT, PTE_WRITE
+from .mmu.pte import (
+    PTE_ACCESSED,
+    PTE_DIRTY,
+    PTE_HUGE,
+    PTE_PRESENT,
+    PTE_WRITE,
+)
 from .mmu.tlb import TlbDirectory
 from .obs.tracepoints import ObsManager
 from .sim.bus import DemandPage, HintFault, NotifierBus, WpFault
@@ -58,6 +66,50 @@ class MachineConfig:
     address_space_pages: int = 1 << 16
     transient_frac: float = 0.25
     stable_frac: float = 0.25
+    # Transparent huge pages: folio order for THP-hinted regions (order
+    # 9 = 512 base pages = 2MB on 4KB pages; capacity-scaled experiments
+    # use repro.sim.platform.SIM_THP_ORDER). ``thp_enabled=False`` is
+    # the global /sys/.../transparent_hugepage/enabled=never switch:
+    # every region demand-pages order-0 frames regardless of its hint.
+    # Off by default so existing configs reproduce the simulator's
+    # historical base-page behaviour bit-exactly; THP experiments opt in.
+    thp_order: int = 9
+    thp_enabled: bool = False
+
+    def __post_init__(self) -> None:
+        """Validate at construction so bad knobs fail loudly, not as
+        downstream arithmetic surprises."""
+        if self.chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {self.chunk_size}")
+        if not 0.0 <= self.watermark_scale <= 1.0:
+            raise ValueError(
+                f"watermark_scale must be in [0, 1], got {self.watermark_scale}"
+            )
+        if self.numa_scan_period <= 0:
+            raise ValueError(
+                f"numa_scan_period must be positive, got {self.numa_scan_period}"
+            )
+        if self.numa_pages_per_scan <= 0:
+            raise ValueError(
+                "numa_pages_per_scan must be positive, "
+                f"got {self.numa_pages_per_scan}"
+            )
+        pages = self.address_space_pages
+        if pages <= 0 or pages & (pages - 1):
+            raise ValueError(
+                f"address_space_pages must be a power of two, got {pages}"
+            )
+        for field in ("transient_frac", "stable_frac"):
+            value = getattr(self, field)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field} must be in [0, 1], got {value}")
+        if self.thp_order < 0:
+            raise ValueError(f"thp_order must be >= 0, got {self.thp_order}")
+        if (1 << self.thp_order) > pages:
+            raise ValueError(
+                f"thp_order {self.thp_order} exceeds the address space "
+                f"({pages} pages)"
+            )
 
 
 class Machine:
@@ -70,6 +122,11 @@ class Machine:
     ) -> None:
         self.platform = platform
         self.config = config or MachineConfig()
+        # Huge-folio span in base pages; 1 disables PMD mappings (the
+        # access path masks faulting-vpn -> head-vpn with it).
+        self.folio_pages = (
+            1 << self.config.thp_order if self.config.thp_enabled else 1
+        )
         self.engine = Engine()
         self.bus = NotifierBus()
         self.costs = platform.cost_model()
@@ -136,7 +193,9 @@ class Machine:
             self.scanner = None
 
     def create_space(self, name: str = "") -> AddressSpace:
-        space = AddressSpace(self.config.address_space_pages, name)
+        space = AddressSpace(
+            self.config.address_space_pages, name, folio_pages=self.folio_pages
+        )
         self.spaces.append(space)
         return space
 
@@ -172,11 +231,37 @@ class Machine:
         self.obs.observe("fault.service_cycles", cycles)
         return cycles
 
+    def thp_head_vpn(self, space: AddressSpace, vpn: int) -> Optional[int]:
+        """Head vpn of the huge folio that could back ``vpn``, or None.
+
+        Eligibility mirrors the kernel's THP fault checks: THP globally
+        enabled, the VMA hinted, the naturally aligned block fully inside
+        the VMA, and no sub-page of the block already mapped.
+        """
+        fp = self.folio_pages
+        if fp == 1:
+            return None
+        vma = space.vma_of(vpn)
+        if vma is None or not vma.thp:
+            return None
+        head = vpn & ~(fp - 1)
+        if head < vma.start or head + fp > vma.end:
+            return None
+        pt = space.page_table
+        if (pt.flags[head : head + fp] & PTE_PRESENT).any():
+            return None
+        return head
+
     def _demand_page(self, fault: Fault, cpu: Cpu) -> float:
         """First-touch allocation with the default placement policy."""
         preferred = FAST_TIER
         if self.policy is not None:
             preferred = self.policy.alloc_preference(fault)
+        head_vpn = self.thp_head_vpn(fault.space, fault.vpn)
+        if head_vpn is not None:
+            cycles = self._demand_folio(fault, cpu, head_vpn, preferred)
+            if cycles is not None:
+                return cycles
         frame = self.tiers.alloc_page(preferred)
         gpfn = self.tiers.gpfn(frame)
         flags = PTE_WRITE | PTE_ACCESSED
@@ -189,6 +274,40 @@ class Machine:
         cycles = self.costs.alloc_page + self.costs.pte_update + self.costs.lru_op
         cpu.account("fault", cycles)
         self.bus.publish(DemandPage(fault, frame))
+        return cycles
+
+    def _demand_folio(
+        self, fault: Fault, cpu: Cpu, head_vpn: int, preferred: int
+    ) -> Optional[float]:
+        """THP fault: back the whole aligned block with one huge folio.
+
+        Returns None when neither tier can supply a contiguous folio, in
+        which case the caller falls back to an order-0 allocation (the
+        kernel's THP allocation-failure fallback).
+        """
+        order = self.config.thp_order
+        other = SLOW_TIER if preferred == FAST_TIER else FAST_TIER
+        head = self.tiers.alloc_folio_on(preferred, order)
+        if head is None:
+            head = self.tiers.alloc_folio_on(other, order)
+        if head is None:
+            self.stats.bump("thp.fallback_base")
+            return None
+        fp = self.folio_pages
+        flags = np.full(fp, PTE_WRITE | PTE_ACCESSED, dtype=np.uint32)
+        if fault.write:
+            flags[fault.vpn - head_vpn] |= np.uint32(PTE_DIRTY)
+        fault.space.page_table.map_folio(head_vpn, self.tiers.gpfn(head), flags)
+        head.add_rmap(fault.space, head_vpn)
+        self.lru.add_new_page(head)
+        self.stats.bump("fault.demand_paged")
+        self.stats.bump("thp.folios_mapped")
+        # Same single-operation cost structure as a base-page fault (one
+        # allocation, one PMD install, one LRU insert): the THP economy
+        # is 1 fault covering folio_pages worth of first touches.
+        cycles = self.costs.alloc_page + self.costs.pmd_update + self.costs.lru_op
+        cpu.account("fault", cycles)
+        self.bus.publish(DemandPage(fault, head))
         return cycles
 
     # ------------------------------------------------------------------
@@ -209,6 +328,48 @@ class Machine:
         return cost
 
     # ------------------------------------------------------------------
+    # Folio split
+    # ------------------------------------------------------------------
+    def split_folio(self, head: Frame, initiator: Cpu, reason: str = "reclaim"):
+        """Split a mapped huge folio into base pages (PMD -> PTE remap).
+
+        The kernel's __split_huge_pmd: the PMD is rewritten as a table of
+        base PTEs over the same frames (each sub-entry already tracks its
+        own accessed/dirty state), the PMD-level TLB entry is shot down,
+        and the tail frames become independently mapped, LRU-resident
+        base pages. Shadowed or multi-mapped folios are refused -- the
+        shadow pairs master and copy at folio granularity.
+
+        Returns ``(ok, cycles)``; cycles are not yet accounted anywhere.
+        """
+        if not head.is_huge or head.is_tail:
+            return False, 0.0
+        mapping = head.sole_mapping()
+        if mapping is None or head.locked or head.shadowed:
+            return False, 0.0
+        space, head_vpn = mapping
+        pt = space.page_table
+        fp = head.nr_pages
+        frames = self.tiers.folio_frames(head)
+        pt.clear_flags_range(head_vpn, fp, PTE_HUGE)
+        cycles = self.costs.pmd_update
+        cycles += self.tlb_shootdown(space, head_vpn, initiator)
+        head.order = 0
+        for i, tail in enumerate(frames[1:], start=1):
+            tail.head = None
+            tail.add_rmap(space, head_vpn + i)
+            # Tails join the inactive list; per-PTE accessed bits let the
+            # next reclaim pass sort hot tails back out.
+            self.lru.add_new_page(tail)
+        cycles += self.costs.lru_op
+        self.stats.bump("thp.folio_splits")
+        self.obs.emit(
+            "folio.split", vpn=head_vpn, order=self.config.thp_order,
+            reason=reason,
+        )
+        return True, cycles
+
+    # ------------------------------------------------------------------
     # Setup-time page placement (no simulated cost)
     # ------------------------------------------------------------------
     def populate(
@@ -223,10 +384,30 @@ class Machine:
         Returns how many pages landed on the requested tier."""
         on_tier = 0
         flags = PTE_WRITE if writable else 0
+        order = self.config.thp_order
         for vpn in vpns:
             vpn = int(vpn)
             if space.page_table.is_present(vpn):
                 continue
+            head_vpn = self.thp_head_vpn(space, vpn)
+            if head_vpn is not None:
+                head = self.tiers.alloc_folio_on(tier, order)
+                if head is None:
+                    other = SLOW_TIER if tier == FAST_TIER else FAST_TIER
+                    head = self.tiers.alloc_folio_on(other, order)
+                elif head.node_id == tier:
+                    on_tier += self.folio_pages
+                if head is not None:
+                    space.page_table.map_folio(
+                        head_vpn,
+                        self.tiers.gpfn(head),
+                        np.full(self.folio_pages, flags, dtype=np.uint32),
+                    )
+                    head.add_rmap(space, head_vpn)
+                    self.lru.add_new_page(head)
+                    self.stats.bump("thp.folios_mapped")
+                    continue
+                self.stats.bump("thp.fallback_base")
             frame = self.tiers.alloc_on(tier)
             if frame is None:
                 frame = self.tiers.alloc_page(tier)
@@ -248,11 +429,33 @@ class Machine:
         pt = space.page_table
         for vpn in pt.mapped_vpns():
             vpn = int(vpn)
+            if not pt.is_present(vpn):
+                continue  # folio handled via its head below
             gpfn = int(pt.gpfn[vpn])
             if self.tiers.tier_of(gpfn) != FAST_TIER:
                 continue
             frame = self.tiers.frame(gpfn)
+            if frame.is_tail:
+                continue  # the head entry moves the whole folio
             if frame.mapcount != 1 or frame.locked:
+                continue
+            if frame.is_huge:
+                fp = frame.nr_pages
+                new = self.tiers.alloc_folio_on(SLOW_TIER, frame.order)
+                if new is None:
+                    continue  # fragmented: leave the folio in place
+                flags, _ = pt.unmap_folio(vpn, fp)
+                pt.map_folio(
+                    vpn,
+                    self.tiers.gpfn(new),
+                    flags & np.uint32(~(PTE_PRESENT | PTE_HUGE) & 0xFFFFFFFF),
+                )
+                new.add_rmap(space, vpn)
+                frame.remove_rmap(space, vpn)
+                self.lru.transfer(frame, new)
+                frame.flags &= FrameFlags.LRU  # clear stray flags
+                self.tiers.free_folio(frame)
+                moved += fp
                 continue
             new = self.tiers.alloc_on(SLOW_TIER)
             if new is None:

@@ -65,12 +65,18 @@ class Workload:
         total_accesses: int = 200_000,
         chunk_size: Optional[int] = None,
         seed: int = 0,
+        thp: bool = False,
     ) -> None:
         if total_accesses <= 0:
             raise ValueError("total_accesses must be positive")
         self.total_accesses = total_accesses
         self.chunk_size = chunk_size
         self.seed = seed
+        # madvise(MADV_HUGEPAGE)-style hint: regions mmapped with
+        # ``thp=self.thp`` become eligible for huge-folio backing when the
+        # machine has THP enabled. Off by default so every existing
+        # workload keeps its base-page behaviour.
+        self.thp = thp
         self.rng = np.random.default_rng(seed)
         self.machine: Optional["Machine"] = None
         self.space: Optional["AddressSpace"] = None

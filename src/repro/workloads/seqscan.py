@@ -32,8 +32,9 @@ class SeqScanWorkload(Workload):
         total_accesses: int = 200_000,
         chunk_size=None,
         seed: int = 37,
+        thp: bool = False,
     ) -> None:
-        super().__init__(total_accesses, chunk_size, seed)
+        super().__init__(total_accesses, chunk_size, seed, thp=thp)
         self.rss_pages = gb_to_pages(rss_gb)
         self.write_ratio = write_ratio
         self.stride_pages = max(1, stride_pages)
@@ -42,7 +43,7 @@ class SeqScanWorkload(Workload):
         self.scans_completed = 0
 
     def setup(self) -> None:
-        vma = self.space.mmap(self.rss_pages, name="scan-area")
+        vma = self.space.mmap(self.rss_pages, name="scan-area", thp=self.thp)
         self._start = vma.start
         vpns = np.asarray(vma.vpns())
         fast_room = self.machine.tiers.fast.nr_free

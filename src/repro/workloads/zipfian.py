@@ -52,8 +52,9 @@ class ZipfianMicrobench(Workload):
         total_accesses: int = 200_000,
         chunk_size=None,
         seed: int = 42,
+        thp: bool = False,
     ) -> None:
-        super().__init__(total_accesses, chunk_size, seed)
+        super().__init__(total_accesses, chunk_size, seed, thp=thp)
         if not 0.0 <= write_ratio <= 1.0:
             raise ValueError(f"write_ratio must be in [0,1]: {write_ratio}")
         if rss_gb < wss_gb:
@@ -84,9 +85,11 @@ class ZipfianMicrobench(Workload):
         self._zipf = ZipfGenerator(self.wss_pages, self.theta, self.seed + 1)
 
         if self.prefill_pages:
-            prefill = self.space.mmap(self.prefill_pages, name="prefill")
+            prefill = self.space.mmap(
+                self.prefill_pages, name="prefill", thp=self.thp
+            )
             self._populate(prefill.vpns(), FAST_TIER)
-        wss = self.space.mmap(self.wss_pages, name="wss")
+        wss = self.space.mmap(self.wss_pages, name="wss", thp=self.thp)
         self._wss_start = wss.start
 
         fast_room = self.machine.tiers.fast.nr_free

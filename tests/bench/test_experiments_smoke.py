@@ -1,8 +1,6 @@
 """Smoke tests: every experiment function runs at tiny scale and returns
 well-formed rows. (The shape assertions live in benchmarks/.)"""
 
-import pytest
-
 from repro.bench import experiments as E
 
 TINY = 20_000
@@ -106,3 +104,17 @@ def test_ablation_variants_rows():
 def test_ablation_reclaim_factor_rows():
     rows = E.ablation_shadow_reclaim_factor(factors=(1, 10), accesses=TINY)
     assert [r["factor"] for r in rows] == [1, 10]
+
+
+def test_thp_vs_base_rows():
+    rows = E.thp_vs_base(
+        policies=("nomad",), workloads=("zipfian",), accesses=TINY
+    )
+    assert [r["thp"] for r in rows] == ["off", "on"]
+    off, on = rows
+    assert off["folios_mapped"] == 0
+    assert on["folios_mapped"] > 0
+    # The headline shape: folio-grained tiering takes far fewer faults
+    # and fewer migration events for the same access stream.
+    assert on["faults"] < off["faults"]
+    assert on["migration_events"] <= off["migration_events"]

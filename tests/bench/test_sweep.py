@@ -76,6 +76,25 @@ def test_job_spec_validation():
         JobSpec(kind="experiment")
 
 
+def test_thp_axis_suffixes_job_id_without_touching_base_ids():
+    base = JobSpec()
+    thp = JobSpec(thp=True)
+    assert thp.job_id == base.job_id + "/thp"
+    spec = SweepSpec(thp_modes=(False, True))
+    ids = [j.job_id for j in spec.expand()]
+    assert len(ids) == 2
+    assert ids[0] + "/thp" == ids[1]
+
+
+def test_thp_cell_job_runs_with_folio_counters():
+    record = execute_job(JobSpec(thp=True, accesses=4_000, instrument=True))
+    assert record["status"] == "ok"
+    assert record["id"].endswith("/thp")
+    # The THP machine and the base machine diverge.
+    base = execute_job(JobSpec(accesses=4_000, instrument=True))
+    assert record["counter_digest"] != base["counter_digest"]
+
+
 # ----------------------------------------------------------------------
 # Determinism: serial and parallel sweeps are byte-identical
 # ----------------------------------------------------------------------

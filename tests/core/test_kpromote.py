@@ -1,8 +1,5 @@
 """kpromote: the background promotion daemon."""
 
-import numpy as np
-
-from repro.core.kpromote import Kpromote
 from repro.core.nomad import NomadPolicy
 from repro.mem.tiers import FAST_TIER, SLOW_TIER
 

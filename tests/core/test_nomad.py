@@ -6,8 +6,8 @@ import pytest
 
 from repro.core.nomad import NomadPolicy
 from repro.mem.tiers import FAST_TIER, SLOW_TIER
-from repro.mmu.faults import Fault, FaultType, UnhandledFault
-from repro.mmu.pte import PTE_ACCESSED, PTE_PROT_NONE, PTE_SOFT_SHADOW_RW
+from repro.mmu.faults import UnhandledFault
+from repro.mmu.pte import PTE_PROT_NONE, PTE_SOFT_SHADOW_RW
 
 from ..conftest import make_machine
 

@@ -2,7 +2,6 @@
 interactions between shadowing and the stock kernel paths."""
 
 import numpy as np
-import pytest
 
 from repro.core.nomad import NomadPolicy
 from repro.mem.frame import FrameFlags

@@ -3,9 +3,8 @@
 import pytest
 
 from repro.core.shadow import ShadowIndex
-from repro.mem.frame import FrameFlags
 from repro.mem.tiers import FAST_TIER, SLOW_TIER
-from repro.mmu.pte import PTE_SOFT_SHADOW_RW, PTE_WRITE
+from repro.mmu.pte import PTE_SOFT_SHADOW_RW
 from repro.sim.costs import PAGE_SIZE
 
 from ..conftest import make_machine

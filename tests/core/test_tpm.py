@@ -7,13 +7,7 @@ from repro.core.shadow import ShadowIndex
 from repro.core.tpm import TpmOutcome, TransactionalMigrator
 from repro.mem.frame import FrameFlags
 from repro.mem.tiers import FAST_TIER, SLOW_TIER
-from repro.mmu.pte import (
-    PTE_ACCESSED,
-    PTE_DIRTY,
-    PTE_PRESENT,
-    PTE_SOFT_SHADOW_RW,
-    PTE_WRITE,
-)
+from repro.mmu.pte import PTE_DIRTY, PTE_PRESENT, PTE_SOFT_SHADOW_RW
 
 from ..conftest import make_machine
 

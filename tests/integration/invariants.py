@@ -1,11 +1,6 @@
 """Whole-machine invariants checked after arbitrary simulation runs."""
 
-from repro.mem.frame import FrameFlags
-from repro.mmu.pte import (
-    PTE_PRESENT,
-    PTE_SOFT_SHADOW_RW,
-    PTE_WRITE,
-)
+from repro.mmu.pte import PTE_SOFT_SHADOW_RW, PTE_WRITE
 
 __all__ = ["check_invariants"]
 

@@ -3,7 +3,7 @@ robustness, determinism."""
 
 import pytest
 
-from repro import Machine, MachineConfig, OutOfMemoryError
+from repro import Machine, MachineConfig
 from repro.policies import make_policy
 from repro.workloads import SeqScanWorkload, ZipfianMicrobench
 

@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro import Machine, MachineConfig, OutOfMemoryError
-from repro.mem.tiers import FAST_TIER, SLOW_TIER
+from repro.mem.tiers import SLOW_TIER
 from repro.policies import make_policy
 from repro.policies.base import TieringPolicy
 from repro.workloads import SeqScanWorkload, ZipfianMicrobench

@@ -3,7 +3,6 @@ workload/policy combinations, and core data structures behave like their
 mathematical models."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

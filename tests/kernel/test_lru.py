@@ -3,7 +3,6 @@
 import pytest
 
 from repro.kernel.lru import PAGEVEC_SIZE, LruManager
-from repro.mem.frame import FrameFlags
 from repro.mem.tiers import FAST_TIER, SLOW_TIER, TieredMemory
 from repro.mmu.address_space import AddressSpace
 

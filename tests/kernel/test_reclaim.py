@@ -1,7 +1,5 @@
 """kswapd: watermark-driven reclaim with policy demotion."""
 
-import pytest
-
 from repro.mem.tiers import FAST_TIER, SLOW_TIER
 from repro.policies import make_policy
 

@@ -1,10 +1,9 @@
 """kswapd scan-priority escalation (the graded second-chance policy)."""
 
 import numpy as np
-import pytest
 
 from repro.mem.frame import FrameFlags
-from repro.mem.tiers import FAST_TIER, SLOW_TIER
+from repro.mem.tiers import FAST_TIER
 from repro.policies import make_policy
 
 from ..conftest import make_machine
@@ -31,7 +30,7 @@ def test_priority0_spares_accessed_pages_entirely():
     m.set_policy(make_policy("tpp", m))
     space, vma = build_full_fast(m, touch_all=True)
     kswapd = m.kswapd[FAST_TIER]
-    freed, _ = kswapd._reclaim_pass(16, priority=0)
+    freed, _, _ = kswapd._reclaim_pass(16, priority=0)
     assert freed == 0
 
 
@@ -53,7 +52,7 @@ def test_priority1_demotes_accessed_but_unreferenced():
     m.set_policy(make_policy("tpp", m))
     space, vma = build_full_fast(m, touch_all=True)
     kswapd = m.kswapd[FAST_TIER]
-    freed, _ = kswapd._reclaim_pass(8, priority=1)
+    freed, _, _ = kswapd._reclaim_pass(8, priority=1)
     assert freed > 0
 
 
@@ -66,7 +65,7 @@ def test_priority1_spares_referenced_frames():
     for frame in batch:
         frame.set_flag(FrameFlags.REFERENCED)
     kswapd = m.kswapd[FAST_TIER]
-    freed, _ = kswapd._reclaim_pass(8, priority=1)
+    freed, _, _ = kswapd._reclaim_pass(8, priority=1)
     assert freed == 0
 
 
@@ -77,7 +76,7 @@ def test_priority2_demotes_anything_inactive():
     for frame in m.lru.inactive_head_batch(FAST_TIER, 32):
         frame.set_flag(FrameFlags.REFERENCED)
     kswapd = m.kswapd[FAST_TIER]
-    freed, _ = kswapd._reclaim_pass(8, priority=2)
+    freed, _, _ = kswapd._reclaim_pass(8, priority=2)
     assert freed > 0
 
 
@@ -88,7 +87,7 @@ def test_reclaim_pass_skips_locked_frames():
     for frame in m.lru.inactive_head_batch(FAST_TIER, 32):
         frame.set_flag(FrameFlags.LOCKED)
     kswapd = m.kswapd[FAST_TIER]
-    freed, _ = kswapd._reclaim_pass(8, priority=2)
+    freed, _, _ = kswapd._reclaim_pass(8, priority=2)
     assert freed == 0
     for frame in m.lru.inactive_head_batch(FAST_TIER, 32):
         frame.clear_flag(FrameFlags.LOCKED)

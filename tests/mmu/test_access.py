@@ -5,12 +5,7 @@ import pytest
 
 from repro.mem.tiers import FAST_TIER, SLOW_TIER
 from repro.mmu.faults import UnhandledFault
-from repro.mmu.pte import (
-    PTE_ACCESSED,
-    PTE_DIRTY,
-    PTE_PROT_NONE,
-    PTE_WRITE,
-)
+from repro.mmu.pte import PTE_PROT_NONE, PTE_WRITE
 from repro.policies.base import TieringPolicy
 
 from ..conftest import make_machine

@@ -1,9 +1,8 @@
 """The adaptive (Section-5) migration switch."""
 
 import numpy as np
-import pytest
 
-from repro.mem.tiers import FAST_TIER, SLOW_TIER
+from repro.mem.tiers import SLOW_TIER
 from repro.mmu.pte import PTE_PROT_NONE
 from repro.policies import make_policy
 from repro.policies.adaptive import AdaptiveNomadPolicy, ThrashDetector

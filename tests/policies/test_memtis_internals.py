@@ -1,7 +1,6 @@
 """Memtis internals: threshold sizing, margins, migration mechanics."""
 
 import numpy as np
-import pytest
 
 from repro.mem.frame import FrameFlags
 from repro.mem.tiers import FAST_TIER, SLOW_TIER

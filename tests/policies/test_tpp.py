@@ -1,7 +1,6 @@
 """TPP: synchronous promotion, activation gating, retry storms."""
 
 import numpy as np
-import pytest
 
 from repro.mem.tiers import FAST_TIER, SLOW_TIER
 from repro.mmu.pte import PTE_PROT_NONE

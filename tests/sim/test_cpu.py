@@ -1,6 +1,6 @@
 """CPU accounting and IPI delivery."""
 
-from repro.sim.cpu import Cpu, CpuSet
+from repro.sim.cpu import CpuSet
 from repro.sim.engine import Engine
 from repro.sim.stats import Stats
 

@@ -1,8 +1,5 @@
 """The event-trace recorder."""
 
-import numpy as np
-
-from repro.mem.tiers import SLOW_TIER
 from repro.policies import make_policy
 from repro.sim.trace import TraceRecorder
 from repro.workloads import ZipfianMicrobench

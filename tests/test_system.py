@@ -4,13 +4,13 @@ reports."""
 import numpy as np
 import pytest
 
-from repro import Machine, MachineConfig
+from repro import MachineConfig
 from repro.mem.tiers import FAST_TIER, SLOW_TIER
-from repro.mmu.faults import Fault, FaultType, UnhandledFault
+from repro.mmu.faults import UnhandledFault
 from repro.policies import make_policy
 from repro.workloads import SeqScanWorkload
 
-from .conftest import make_machine, tiny_platform
+from .conftest import make_machine
 
 
 def test_machine_builds_expected_components(machine):

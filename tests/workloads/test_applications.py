@@ -4,7 +4,7 @@ sequential scan, pointer chase."""
 import numpy as np
 import pytest
 
-from repro.mem.tiers import FAST_TIER, SLOW_TIER
+from repro.mem.tiers import SLOW_TIER
 from repro.sim.platform import gb_to_pages
 from repro.workloads import (
     KvStoreLayout,
