@@ -34,7 +34,38 @@ from .sim.platform import (
 )
 from .system import Machine, MachineConfig, RunReport
 
-__version__ = "1.0.0"
+
+def _resolve_version() -> str:
+    """Single-source the version from packaging metadata.
+
+    ``pyproject.toml`` is authoritative. An installed package answers
+    through ``importlib.metadata``; a source checkout run via
+    ``PYTHONPATH=src`` has no dist-info, so fall back to parsing the
+    checkout's own pyproject. The last resort is a PEP 440 local label
+    that is obviously not a release.
+    """
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - Python < 3.8
+        return "0+unknown"
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        pass
+    import re
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parents[2] / "pyproject.toml"
+    try:
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+        )
+    except OSError:
+        match = None
+    return match.group(1) if match else "0+unknown"
+
+
+__version__ = _resolve_version()
 
 __all__ = [
     "Machine",

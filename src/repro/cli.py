@@ -11,6 +11,7 @@ Usage::
     python -m repro obs --output-dir out/obs
     python -m repro sweep --platforms A,C --policies tpp,nomad --workers 4
     python -m repro bench --quick --workers 2
+    python -m repro check --profile quick --report check.json
 
 ``run`` prints the same rows the corresponding paper figure plots;
 ``micro`` runs a single ad-hoc micro-benchmark cell and dumps its
@@ -20,7 +21,9 @@ instrumented cell and writes every exporter output (JSONL events,
 Chrome Trace for Perfetto, Prometheus text, gauge CSV); ``sweep``
 fans a declarative grid out across a worker pool; ``bench`` runs a
 pinned perf suite and writes a ``BENCH_<timestamp>.json`` report (see
-docs/benchmarking.md).
+docs/benchmarking.md); ``check`` runs the chaos corpus -- a fault grid
+crossed with a seed set, runtime invariants enabled -- and exits
+nonzero on any violation (see docs/extending.md).
 """
 
 from __future__ import annotations
@@ -305,6 +308,69 @@ def _cmd_bench(args) -> int:
     return 1 if report["summary"]["failed"] else 0
 
 
+def _cmd_check(args) -> int:
+    import json
+
+    from .debug.chaos import expand_profile, run_check
+
+    try:
+        jobs = expand_profile(
+            args.profile,
+            platforms=_csv(args.platforms) if args.platforms else None,
+            faults=_csv(args.faults) if args.faults else None,
+            seeds=[int(s) for s in _csv(args.seeds)] if args.seeds else None,
+            accesses=args.accesses,
+            paranoid=args.paranoid,
+            check_interval=args.check_interval,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not jobs:
+        print("error: filters select zero check jobs", file=sys.stderr)
+        return 2
+    print(f"check: {len(jobs)} jobs (profile {args.profile!r})")
+
+    def progress(record: dict) -> None:
+        status = record["status"]
+        mark = "ok" if status == "ok" else status.upper()
+        line = f"  [{mark:>10}] {record['id']}  {record['wall_time_s']:.2f}s"
+        if status == "violations":
+            line += f"  {len(record['violations'])} violation(s)"
+        elif status == "failed":
+            line += f"  {record.get('error', '')}"
+        print(line, flush=True)
+
+    report = run_check(jobs, progress=progress)
+    print_table(
+        f"Check {args.profile}: {report['summary']['ok']}"
+        f"/{report['summary']['total']} ok, "
+        f"{report['summary']['violations']} violation(s)",
+        ["job", "status", "passes", "injected", "wall s"],
+        [
+            [
+                r["id"],
+                r["status"],
+                r.get("checker_passes", "-"),
+                sum(r.get("injections", {}).values()) or "-",
+                r["wall_time_s"],
+            ]
+            for r in report["jobs"]
+        ],
+    )
+    for record in report["jobs"]:
+        for v in record.get("violations", ()):
+            print(f"  VIOLATION {record['id']} @ {v['ts']:.0f}: "
+                  f"[{v['check']}] {v['detail']}")
+    if args.report:
+        with open(args.report, "w") as f:
+            json.dump(report, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"report written to {args.report}")
+    bad = report["summary"]["violations"] or report["summary"]["failed"]
+    return 1 if bad else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -434,6 +500,43 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of a timestamped file",
     )
     bench_p.set_defaults(func=_cmd_bench)
+
+    check_p = sub.add_parser(
+        "check",
+        help="run the chaos corpus: fault grid x seeds with invariants on",
+    )
+    check_p.add_argument(
+        "--profile", default="quick", choices=("quick", "full")
+    )
+    check_p.add_argument(
+        "--platforms", default="",
+        help="override platforms (comma-separated, e.g. A,C)",
+    )
+    check_p.add_argument(
+        "--faults", default="",
+        help="restrict to these fault-grid cells (comma-separated; "
+        "see repro.debug.chaos.FAULT_GRID)",
+    )
+    check_p.add_argument(
+        "--seeds", default="", help="override seed list (comma-separated)"
+    )
+    check_p.add_argument(
+        "--accesses", type=int, default=None,
+        help="override per-job access count",
+    )
+    check_p.add_argument(
+        "--paranoid", action="store_true",
+        help="check invariants after every engine event (slow)",
+    )
+    check_p.add_argument(
+        "--check-interval", type=float, default=None,
+        help="override the checker interval in simulated cycles",
+    )
+    check_p.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the JSON report here (CI artifact)",
+    )
+    check_p.set_defaults(func=_cmd_check)
     return parser
 
 

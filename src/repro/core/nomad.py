@@ -69,9 +69,11 @@ class NomadPolicy(TieringPolicy):
         self.tpm = tpm
         self.alloc_fail_factor = alloc_fail_factor
         self.shadow_index = ShadowIndex(machine)
-        self.pcq = PromotionCandidateQueue(pcq_capacity, obs=machine.obs)
+        self.pcq = PromotionCandidateQueue(
+            pcq_capacity, obs=machine.obs, debug=machine.debug
+        )
         self.mpq = MigrationPendingQueue(
-            mpq_capacity, mpq_max_attempts, obs=machine.obs
+            mpq_capacity, mpq_max_attempts, obs=machine.obs, debug=machine.debug
         )
         self.pcq_scan_limit = pcq_scan_limit
         self.migrator = TransactionalMigrator(

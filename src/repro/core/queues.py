@@ -20,6 +20,7 @@ from typing import Deque, Dict, Optional, TYPE_CHECKING
 from ..mem.frame import Frame
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..debug import DebugManager
     from ..mmu.address_space import AddressSpace
     from ..obs.tracepoints import ObsManager
 
@@ -48,12 +49,16 @@ class PromotionCandidateQueue:
     """Bounded FIFO of candidate frames with O(1) membership."""
 
     def __init__(
-        self, capacity: int = 4096, obs: Optional["ObsManager"] = None
+        self,
+        capacity: int = 4096,
+        obs: Optional["ObsManager"] = None,
+        debug: Optional["DebugManager"] = None,
     ) -> None:
         if capacity <= 0:
             raise ValueError("PCQ capacity must be positive")
         self.capacity = capacity
         self.obs = obs
+        self.debug = debug
         self._queue: Deque[MigrationRequest] = deque()
         self._members: Dict[int, MigrationRequest] = {}
 
@@ -116,10 +121,12 @@ class MigrationPendingQueue:
         capacity: int = 4096,
         max_attempts: int = 4,
         obs: Optional["ObsManager"] = None,
+        debug: Optional["DebugManager"] = None,
     ) -> None:
         self.capacity = capacity
         self.max_attempts = max_attempts
         self.obs = obs
+        self.debug = debug
         self._queue: Deque[MigrationRequest] = deque()
         self._members: Dict[int, MigrationRequest] = {}
         self.dropped = 0
@@ -134,7 +141,11 @@ class MigrationPendingQueue:
         """Enqueue; False if the queue is full or the frame already queued."""
         if id(request.frame) in self._members:
             return False
-        if len(self._queue) >= self.capacity:
+        if len(self._queue) >= self.capacity or (
+            # Injection: behave as if at capacity (mpq.full).
+            self.debug is not None
+            and self.debug.should_fail("mpq.full")
+        ):
             self.dropped += 1
             if self.obs is not None:
                 self.obs.emit(
@@ -163,7 +174,11 @@ class MigrationPendingQueue:
     def retry(self, request: MigrationRequest) -> bool:
         """Requeue an aborted transaction for a later attempt."""
         request.attempts += 1
-        if request.attempts >= self.max_attempts:
+        if request.attempts >= self.max_attempts or (
+            # Injection: drop as if the attempt budget were spent.
+            self.debug is not None
+            and self.debug.should_fail("mpq.retry_exhausted")
+        ):
             self.dropped += 1
             if self.obs is not None:
                 self.obs.emit(

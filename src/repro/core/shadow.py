@@ -129,6 +129,10 @@ class ShadowIndex:
         freed = 0
         cycles = 0.0
         while freed < nr:
+            if m.debug.should_fail("shadow.reclaim_fail"):
+                # Injection: the batch stops early, as if every
+                # remaining shadow were pinned or already raced away.
+                break
             found = self.xarray.first_marked(XA_MARK_0)
             if found is None:
                 break

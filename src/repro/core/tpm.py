@@ -157,7 +157,14 @@ class TransactionalMigrator:
             blocked += m.tlb_shootdown(space, vpn, cpu)
 
             # Step 6: commit check -- was the page dirtied during copy?
-            dirtied = bool(old_flags & PTE_DIRTY) or pt.written_since(vpn, t_open)
+            # The tpm.dirty injection site forces the abort path as if a
+            # store had raced the copy; the injected dirt self-heals
+            # because the retry's step 1 clears PTE_DIRTY again.
+            dirtied = (
+                bool(old_flags & PTE_DIRTY)
+                or pt.written_since(vpn, t_open)
+                or m.debug.should_fail("tpm.dirty")
+            )
 
             if dirtied:
                 # Step 8: abort -- restore the original PTE verbatim.
@@ -306,9 +313,11 @@ class TransactionalMigrator:
                 c = costs.folio_copy_cycles(SLOW_TIER, FAST_TIER, pages)
                 copy_cycles += c
                 yield spend(c, "tpm_copy")
-                dirty = pt.any_flags_range(
-                    vpn, fp, PTE_DIRTY
-                ) or pt.written_since_range(vpn, fp, t_open)
+                dirty = (
+                    pt.any_flags_range(vpn, fp, PTE_DIRTY)
+                    or pt.written_since_range(vpn, fp, t_open)
+                    or m.debug.should_fail("tpm.chunk_dirty")
+                )
                 m.obs.emit(
                     "tpm.chunk",
                     vpn=vpn,

@@ -1,0 +1,202 @@
+"""Kernel-style debug subsystem: fault injection + invariant checking.
+
+Three cooperating pieces, all off by default:
+
+* :mod:`repro.debug.fault` -- deterministic fault injection with the
+  kernel's ``fault_attr`` knobs (probability/interval/times/space),
+  evaluated at named sites wired through the allocator, TPM, queues,
+  shadow reclaim, kswapd, and the MMU cost paths;
+* :mod:`repro.debug.invariants` -- a CONFIG_DEBUG_VM-style registry of
+  whole-machine consistency checks, runnable after every engine event
+  (paranoid mode), on a simulated-time interval, or on demand;
+* :mod:`repro.debug.chaos` -- the ``repro check`` corpus runner that
+  sweeps a fault grid x seed set with invariants enabled.
+
+:class:`DebugManager` mirrors :class:`~repro.obs.tracepoints.ObsManager`:
+it is *always* constructed on the machine (call sites use
+``machine.debug.should_fail(...)`` unconditionally) but with
+``MachineConfig.debug_enabled=False`` every query is a constant-time
+no-op that draws no randomness, charges no cycles, and bumps no
+counters -- a disabled machine is bit-identical to one built before
+this subsystem existed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+from .fault import FAULT_SITES, FaultAttr, FaultInjector
+from .invariants import (
+    INVARIANTS,
+    InvariantChecker,
+    InvariantViolationError,
+    Violation,
+    register_invariant,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..system import Machine
+
+__all__ = [
+    "DebugConfig",
+    "DebugManager",
+    "FAULT_SITES",
+    "FaultAttr",
+    "FaultInjector",
+    "INVARIANTS",
+    "InvariantChecker",
+    "InvariantViolationError",
+    "Violation",
+    "register_invariant",
+]
+
+
+@dataclass
+class DebugConfig:
+    """Knobs for the debug subsystem (inert unless ``debug_enabled``).
+
+    ``faults`` maps site names (see :data:`FAULT_SITES`) to their
+    :class:`FaultAttr`. ``check_interval`` (simulated cycles) runs the
+    invariant checker as a periodic daemon; ``paranoid`` runs it after
+    *every* engine event instead. ``checks`` selects a subset of
+    :data:`INVARIANTS` (None = all). ``event_jitter`` randomizes the
+    engine's same-timestamp tie-breaking to shake out hidden ordering
+    assumptions. Everything is derived from ``seed`` so a failing run
+    replays exactly.
+    """
+
+    seed: int = 0
+    faults: Dict[str, FaultAttr] = field(default_factory=dict)
+    check_interval: Optional[float] = None
+    paranoid: bool = False
+    checks: Optional[Sequence[str]] = None
+    raise_on_violation: bool = False
+    event_jitter: bool = False
+
+    def __post_init__(self) -> None:
+        for name in self.faults:
+            if name not in FAULT_SITES:
+                raise ValueError(
+                    f"unknown fault site {name!r}; known: {sorted(FAULT_SITES)}"
+                )
+        if self.check_interval is not None and self.check_interval <= 0:
+            raise ValueError(
+                f"check_interval must be positive, got {self.check_interval}"
+            )
+        if self.checks is not None:
+            for name in self.checks:
+                if name not in INVARIANTS:
+                    raise ValueError(
+                        f"unknown invariant {name!r}; "
+                        f"known: {sorted(INVARIANTS)}"
+                    )
+
+
+class DebugManager:
+    """Per-machine debug faucet (the ObsManager of fault injection).
+
+    Constructed unconditionally by :class:`~repro.system.Machine`; when
+    ``enabled`` is False every method is a cheap no-op and nothing --
+    RNG, hooks, daemons -- is instantiated, so the simulation stream is
+    untouched.
+    """
+
+    def __init__(
+        self,
+        machine: "Machine",
+        config: Optional[DebugConfig] = None,
+        enabled: bool = False,
+    ) -> None:
+        self.machine = machine
+        self.config = config or DebugConfig()
+        self.enabled = enabled
+        self.injector: Optional[FaultInjector] = None
+        self.checker: Optional[InvariantChecker] = None
+        self._check_proc = None
+        if not enabled:
+            return
+        cfg = self.config
+        self.injector = FaultInjector(
+            seed=cfg.seed, attrs=cfg.faults, on_inject=self._on_inject
+        )
+        self.checker = InvariantChecker(
+            machine,
+            checks=cfg.checks,
+            raise_on_violation=cfg.raise_on_violation,
+        )
+        # Allocation-failure sites hook the nodes directly so the free
+        # path of mem/node.py carries no per-alloc debug branch beyond
+        # one attribute test against None.
+        machine.tiers.fast.fault_hook = self._alloc_hook
+        machine.tiers.slow.fault_hook = self._alloc_hook
+        if cfg.event_jitter:
+            # Independent stream from the injector's: tie-break draws
+            # must not perturb which faults inject for a given seed.
+            machine.engine.set_tie_jitter(
+                np.random.default_rng(cfg.seed ^ 0x5DEECE66D)
+            )
+        if cfg.paranoid:
+            machine.engine.post_step_hook = self._post_step
+        elif cfg.check_interval is not None:
+            self._check_proc = machine.engine.spawn(
+                self._check_loop(cfg.check_interval), name="debug.checker"
+            )
+
+    # ------------------------------------------------------------------
+    # Fault-site queries (hot path: constant-time no-ops when disabled)
+    # ------------------------------------------------------------------
+    def should_fail(self, site: str) -> bool:
+        """One evaluation of an injection site."""
+        if self.injector is None:
+            return False
+        return self.injector.should_fail(site)
+
+    def delay(self, site: str) -> float:
+        """Extra cycles a delay site contributes (0.0 when disabled)."""
+        if self.injector is None:
+            return 0.0
+        return self.injector.delay(site)
+
+    def _alloc_hook(self, node_id: int, order: int) -> bool:
+        from ..mem.tiers import FAST_TIER
+
+        site = "mem.alloc_fast" if node_id == FAST_TIER else "mem.alloc_slow"
+        return self.injector.should_fail(site)
+
+    def _on_inject(self, site: str) -> None:
+        self.machine.stats.bump("debug.fault_injections")
+        self.machine.obs.emit("debug.inject", site=site)
+
+    # ------------------------------------------------------------------
+    # Invariant checking
+    # ------------------------------------------------------------------
+    def check_now(self) -> List[Violation]:
+        """Run the invariant checks once; returns new violations."""
+        if self.checker is None:
+            return []
+        return self.checker.check_now()
+
+    @property
+    def violations(self) -> List[Violation]:
+        return self.checker.violations if self.checker is not None else []
+
+    def _post_step(self) -> None:
+        self.checker.check_now()
+
+    def _check_loop(self, period: float):
+        while True:
+            yield period
+            self.checker.check_now()
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """Digest for chaos reports: fault stats + checker findings."""
+        out: Dict[str, object] = {"enabled": self.enabled}
+        if self.injector is not None:
+            out["faults"] = self.injector.stats()
+        if self.checker is not None:
+            out["invariants"] = self.checker.summary()
+        return out

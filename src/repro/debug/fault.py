@@ -1,0 +1,218 @@
+"""Deterministic fault injection, modelled on the kernel's ``fault_attr``.
+
+Linux guards its rare paths with CONFIG_FAULT_INJECTION: named injection
+points (``fail_page_alloc``, ``failslab``, ``fail_make_request``) whose
+behaviour is tuned through a common set of debugfs knobs. This module is
+the simulator's analog. Every injection point is *declared* in
+:data:`FAULT_SITES` (like the tracepoint catalog, a typo'd site name
+raises instead of silently never firing) and configured with a
+:class:`FaultAttr` carrying the kernel's knob set:
+
+* ``probability`` -- chance an eligible evaluation injects (the kernel
+  expresses this in percent; here it is a [0, 1] fraction);
+* ``interval`` -- only every Nth evaluation of the site is eligible;
+* ``times`` -- total number of injections allowed (-1 = unlimited);
+* ``space`` -- evaluations that must pass before the site arms (the
+  kernel's byte budget, counted in evaluations here);
+* ``jitter_cycles`` -- for delay sites only: the maximum extra latency
+  one injection adds (drawn uniformly so repeated injections differ).
+
+Randomness comes from one ``numpy`` generator seeded from the debug
+config, so a failing chaos run is replayed exactly by re-running with
+the same seed. Nothing here touches simulation state: a site asks
+"should this operation fail?" and the *call site* owns the failure
+semantics, exactly like ``should_fail()`` in lib/fault-inject.c.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+__all__ = [
+    "FAULT_SITES",
+    "register_fault_site",
+    "FaultAttr",
+    "FaultInjector",
+]
+
+# name -> one-line description of what an injection does at that site.
+FAULT_SITES: Dict[str, str] = {}
+
+
+def register_fault_site(name: str, doc: str) -> None:
+    """Declare an injection site (typo protection for call sites)."""
+    if name in FAULT_SITES:
+        raise ValueError(f"fault site {name!r} registered twice")
+    FAULT_SITES[name] = doc
+
+
+# ----------------------------------------------------------------------
+# The catalog. One entry per wired call site; grouped by subsystem.
+# ----------------------------------------------------------------------
+register_fault_site(
+    "mem.alloc_fast",
+    "fast-tier page/folio allocation returns no frame (fail_page_alloc)",
+)
+register_fault_site(
+    "mem.alloc_slow",
+    "slow-tier page/folio allocation returns no frame",
+)
+register_fault_site(
+    "tpm.dirty",
+    "the TPM commit check observes a (forced) dirty race and aborts",
+)
+register_fault_site(
+    "tpm.chunk_dirty",
+    "a huge-folio chunk re-check observes a (forced) store and aborts",
+)
+register_fault_site(
+    "mpq.full",
+    "an MPQ push behaves as if the queue were at capacity",
+)
+register_fault_site(
+    "mpq.retry_exhausted",
+    "an MPQ retry drops the request as if its attempts were exhausted",
+)
+register_fault_site(
+    "shadow.reclaim_fail",
+    "a shadow-reclaim batch stops before freeing anything further",
+)
+register_fault_site(
+    "reclaim.demote_fail",
+    "kswapd skips one demotion candidate as if migration had failed",
+)
+register_fault_site(
+    "mmu.tlb_delay",
+    "delay site: a TLB shootdown takes up to jitter_cycles longer",
+)
+register_fault_site(
+    "mmu.pte_delay",
+    "delay site: one fault-path PTE update takes up to jitter_cycles longer",
+)
+
+
+@dataclass
+class FaultAttr:
+    """Knobs for one injection site (the kernel's ``struct fault_attr``)."""
+
+    probability: float = 1.0
+    interval: int = 1
+    times: int = -1
+    space: int = 0
+    jitter_cycles: float = 0.0
+    # Mutable runtime state (per-run copies are made by the injector).
+    _remaining_times: int = field(default=-1, repr=False)
+    _remaining_space: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.interval < 1:
+            raise ValueError(f"interval must be >= 1, got {self.interval}")
+        if self.times < -1:
+            raise ValueError(f"times must be >= -1, got {self.times}")
+        if self.space < 0:
+            raise ValueError(f"space must be >= 0, got {self.space}")
+        if self.jitter_cycles < 0:
+            raise ValueError(
+                f"jitter_cycles must be >= 0, got {self.jitter_cycles}"
+            )
+        self._remaining_times = self.times
+        self._remaining_space = self.space
+
+
+class FaultInjector:
+    """Evaluates injection sites against their configured attributes.
+
+    One injector per machine. Sites without a configured
+    :class:`FaultAttr` never inject (and cost one dict probe to say so).
+    ``on_inject`` is called with the site name for every injection so
+    the owning :class:`~repro.debug.DebugManager` can count and trace.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        attrs: Optional[Dict[str, FaultAttr]] = None,
+        on_inject: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        attrs = dict(attrs or {})
+        for name in attrs:
+            if name not in FAULT_SITES:
+                raise ValueError(
+                    f"unknown fault site {name!r}; "
+                    f"known: {sorted(FAULT_SITES)}"
+                )
+        # Private per-run copies so one config dict can parameterize a
+        # whole grid of machines without sharing times/space budgets.
+        self.attrs: Dict[str, FaultAttr] = {
+            name: FaultAttr(
+                probability=a.probability,
+                interval=a.interval,
+                times=a.times,
+                space=a.space,
+                jitter_cycles=a.jitter_cycles,
+            )
+            for name, a in attrs.items()
+        }
+        self.rng = np.random.default_rng(seed)
+        self.on_inject = on_inject
+        self.calls: Counter = Counter()
+        self.injected: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    def should_fail(self, site: str) -> bool:
+        """One evaluation of ``site``; True means the caller must fail."""
+        attr = self.attrs.get(site)
+        if attr is None:
+            if site not in FAULT_SITES:
+                raise ValueError(f"unknown fault site {site!r}")
+            self.calls[site] += 1
+            return False
+        self.calls[site] += 1
+        if attr._remaining_space > 0:
+            attr._remaining_space -= 1
+            return False
+        if attr._remaining_times == 0:
+            return False
+        if attr.interval > 1 and self.calls[site] % attr.interval:
+            return False
+        if attr.probability <= 0.0:
+            return False
+        # probability == 1.0 injects without consuming randomness, so
+        # "always fail" setups are seed-independent.
+        if attr.probability < 1.0 and self.rng.random() >= attr.probability:
+            return False
+        if attr._remaining_times > 0:
+            attr._remaining_times -= 1
+        self.injected[site] += 1
+        if self.on_inject is not None:
+            self.on_inject(site)
+        return True
+
+    def delay(self, site: str) -> float:
+        """Extra cycles a delay site adds (0.0 when it does not inject)."""
+        if not self.should_fail(site):
+            return 0.0
+        attr = self.attrs[site]
+        if attr.jitter_cycles <= 0.0:
+            return 0.0
+        return float(self.rng.uniform(0.0, attr.jitter_cycles))
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-site evaluation/injection counts (for chaos reports)."""
+        sites = sorted(set(self.calls) | set(self.injected))
+        return {
+            site: {
+                "calls": int(self.calls[site]),
+                "injected": int(self.injected[site]),
+            }
+            for site in sites
+        }

@@ -174,6 +174,10 @@ class Kswapd:
                     cycles += c
                     progressed = progressed or ok
                     continue
+                if m.debug.should_fail("reclaim.demote_fail"):
+                    # Injection: skip this candidate as if its migration
+                    # had failed (locked destination, racing unmap...).
+                    continue
                 nr = frame.nr_pages
                 ok, c = policy.demote_page(frame, self.cpu)
                 cycles += c

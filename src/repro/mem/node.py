@@ -21,7 +21,7 @@ FIFO; ``alloc`` skips them lazily via the membership set.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Set
+from typing import Callable, Deque, List, Optional, Set
 
 import numpy as np
 
@@ -57,6 +57,11 @@ class MemoryNode:
         # grabbed them) and a bitmap for vectorised aligned-run search.
         self._free_set: Set[int] = set(self._free)
         self._free_map = np.ones(nr_pages, dtype=bool)
+        # Debug fault injection (repro.debug): when installed, called as
+        # ``hook(node_id, order)`` before every allocation; returning
+        # True makes the allocation fail as if the node were exhausted
+        # (the kernel's fail_page_alloc). None costs one attribute test.
+        self.fault_hook: Optional[Callable[[int, int], bool]] = None
         # Watermarks in pages, scaled like the kernel's watermark_scale_factor.
         base = max(1, int(nr_pages * watermark_scale))
         self.wmark_min = base
@@ -92,6 +97,8 @@ class MemoryNode:
     # ------------------------------------------------------------------
     def alloc(self) -> Optional[Frame]:
         """Pop a free frame, or None if the node is exhausted."""
+        if self.fault_hook is not None and self.fault_hook(self.node_id, 0):
+            return None
         while self._free:
             pfn = self._free.popleft()
             if pfn not in self._free_set:
@@ -113,6 +120,8 @@ class MemoryNode:
         """
         if order == 0:
             return self.alloc()
+        if self.fault_hook is not None and self.fault_hook(self.node_id, order):
+            return None
         nr = 1 << order
         if len(self._free_set) < nr:
             return None

@@ -166,6 +166,12 @@ class AccessEngine:
             kind = self._classify(pt, vpn)
             fault = Fault(space, vpn, write, kind, cpu.name)
             handled_cycles = m.handle_fault(fault, cpu)
+            # Debug jitter: a PTE update in the fault path took longer
+            # (contended page-table lock, slow IPI acknowledge...).
+            delay = m.debug.delay("mmu.pte_delay")
+            if delay:
+                cpu.account("fault", delay)
+                handled_cycles += delay
             faults += 1
             fault_cycles += handled_cycles
             elapsed += handled_cycles

@@ -76,6 +76,9 @@ COUNTERS: Dict[str, str] = {
     "nomad.tpm_chunk_aborts": (
         "huge-page transactions aborted by the per-chunk dirty re-check"
     ),
+    # ---- debug subsystem (repro.debug; bumped only when enabled) -----
+    "debug.fault_injections": "debug fault-injection sites that fired",
+    "debug.invariant_violations": "invariant violations found by the checker",
     # ---- TPP policy --------------------------------------------------
     "tpp.hint_faults": "hint faults consumed by the TPP handler",
     "tpp.promotions": "TPP synchronous promotions",

@@ -123,6 +123,18 @@ register_tracepoint(
     "migrate.sync_fallback", ("vpn", "mapcount"),
     "kpromote fell back to synchronous migration (multi-mapped page)",
 )
+register_tracepoint(
+    "debug.inject", ("site",),
+    "a debug fault-injection site fired (repro.debug.fault)",
+)
+register_tracepoint(
+    "debug.violation", ("check", "detail"),
+    "an invariant check found an inconsistency (repro.debug.invariants)",
+)
+register_tracepoint(
+    "debug.check", ("checks", "violations"),
+    "one invariant-checker pass completed (new violations only)",
+)
 
 
 @dataclass(frozen=True)

@@ -106,10 +106,19 @@ class Engine:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._queue: List[Tuple[float, int, Process, Any]] = []
+        self._queue: List[Tuple[float, float, int, Process, Any]] = []
         self._seq = itertools.count()
         self._processes: List[Process] = []
         self._stopped = False
+        # Same-timestamp tie-breaking. Normally a constant 0.0 ranks
+        # entries purely by sequence number (FIFO, the historical
+        # behaviour, bit-exact). The debug subsystem's jitter mode
+        # installs an RNG here to randomize ordering among events that
+        # share a timestamp, shaking out hidden ordering assumptions.
+        self._tie_rng = None
+        # Debug hook: called (no args) after every process resumption.
+        # The paranoid invariant checker installs itself here.
+        self.post_step_hook = None
 
     # ------------------------------------------------------------------
     # Public API
@@ -145,7 +154,7 @@ class Engine:
         while self._queue and not self._stopped:
             if until_event is not None and until_event.triggered:
                 break
-            when, _seq, proc, value = self._queue[0]
+            when, _tie, _seq, proc, value = self._queue[0]
             if until is not None and when > until:
                 self.now = until
                 break
@@ -154,6 +163,8 @@ class Engine:
                 continue
             self.now = max(self.now, when)
             self._step(proc, value)
+            if self.post_step_hook is not None:
+                self.post_step_hook()
             count += 1
             if max_events is not None and count >= max_events:
                 break
@@ -183,10 +194,23 @@ class Engine:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def set_tie_jitter(self, rng) -> None:
+        """Randomize same-timestamp event ordering (debug jitter mode).
+
+        ``rng`` needs a ``random()`` method; pass ``None`` to restore
+        deterministic FIFO tie-breaking. Must be set before events are
+        queued to keep the heap's key shape consistent -- in practice
+        the debug subsystem installs it at machine construction.
+        """
+        self._tie_rng = rng
+
     def _schedule(self, proc: Process, delay: float, value: Any) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r} from {proc.name!r}")
-        heapq.heappush(self._queue, (self.now + delay, next(self._seq), proc, value))
+        tie = 0.0 if self._tie_rng is None else self._tie_rng.random()
+        heapq.heappush(
+            self._queue, (self.now + delay, tie, next(self._seq), proc, value)
+        )
 
     def _step(self, proc: Process, value: Any) -> None:
         try:

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from .debug import DebugConfig, DebugManager
 from .kernel.lru import LruManager
 from .kernel.numa_fault import NumaHintScanner
 from .kernel.reclaim import Kswapd
@@ -75,6 +76,14 @@ class MachineConfig:
     # historical base-page behaviour bit-exactly; THP experiments opt in.
     thp_order: int = 9
     thp_enabled: bool = False
+    # Debug subsystem (fault injection + invariant checking, see
+    # repro.debug). Off by default: a debug_enabled=False machine is
+    # bit-identical to one built before the subsystem existed. ``debug``
+    # carries the knobs (fault sites, check cadence, jitter); None with
+    # debug_enabled=True means "checking infrastructure armed, no
+    # faults configured".
+    debug_enabled: bool = False
+    debug: Optional["DebugConfig"] = None
 
     def __post_init__(self) -> None:
         """Validate at construction so bad knobs fail loudly, not as
@@ -110,6 +119,10 @@ class MachineConfig:
                 f"thp_order {self.thp_order} exceeds the address space "
                 f"({pages} pages)"
             )
+        if self.debug is not None and not isinstance(self.debug, DebugConfig):
+            raise ValueError(
+                f"debug must be a DebugConfig, got {type(self.debug)!r}"
+            )
 
 
 class Machine:
@@ -140,6 +153,13 @@ class Machine:
             platform.slow_pages,
             watermark_scale=self.config.watermark_scale,
             bus=self.bus,
+        )
+        # Debug faucet: like obs, always constructed; inert (and
+        # bit-neutral) unless config.debug_enabled. Built right after
+        # the tiers so its allocation hooks and engine jitter are in
+        # place before any daemon schedules its first event.
+        self.debug = DebugManager(
+            self, self.config.debug, enabled=self.config.debug_enabled
         )
         self.lru = LruManager(self.tiers, self.stats)
         self.tlb_directory = TlbDirectory()
@@ -323,6 +343,7 @@ class Machine:
         remote = [self.cpus.get(name) for name in holders]
         self.cpus.broadcast_ipi(initiator, remote)
         cost = self.costs.shootdown_cycles(len(remote))
+        cost += self.debug.delay("mmu.tlb_delay")
         self.stats.bump("tlb.shootdowns")
         self.stats.bump("tlb.shootdown_ipis", len(remote))
         return cost

@@ -140,3 +140,76 @@ def test_mpq_retry_bounded():
     assert not mpq.retry(req)  # attempt 3 -> dropped
     assert mpq.dropped == 1
     assert len(mpq) == 0
+
+
+# ----------------------------------------------------------------------
+# Edge cases with tracepoints: the drop/evict paths must both return
+# the documented value AND tell the trace stream why.
+# ----------------------------------------------------------------------
+def traced_obs():
+    """An enabled ObsManager on a minimal machine-shaped host."""
+    from types import SimpleNamespace
+
+    from repro.obs.tracepoints import ObsManager
+
+    host = SimpleNamespace(engine=SimpleNamespace(now=0.0))
+    return ObsManager(host).enable(sample_period=None)
+
+
+def test_mpq_retry_into_full_queue_drops_as_full():
+    # An aborted transaction with attempts to spare retries into a queue
+    # that filled up meanwhile: the re-push fails as a capacity drop,
+    # not a retry exhaustion, and the tracepoint says so.
+    obs = traced_obs()
+    mpq = MigrationPendingQueue(capacity=1, max_attempts=4, obs=obs)
+    blocker = request(pfn=1)
+    assert mpq.push(blocker)
+    victim = request(pfn=2, vpn=7)
+    assert not mpq.retry(victim)
+    assert victim.attempts == 1  # attempt was consumed by the retry
+    assert mpq.dropped == 1
+    drops = obs.select("mpq.drop")
+    assert len(drops) == 1
+    assert drops[0].args == {"vpn": 7, "reason": "full", "depth": 1}
+    # The queue itself is untouched by the failed retry.
+    assert len(mpq) == 1 and blocker.frame in mpq
+
+
+def test_mpq_retry_exhaustion_traces_max_attempts():
+    obs = traced_obs()
+    mpq = MigrationPendingQueue(max_attempts=2, obs=obs)
+    req = request(vpn=9)
+    assert mpq.retry(req)  # attempt 1: requeued (and traced)
+    mpq.pop()
+    assert not mpq.retry(req)  # attempt 2: dropped
+    retries = obs.select("mpq.retry")
+    assert [r.args["attempts"] for r in retries] == [1]
+    drops = obs.select("mpq.drop")
+    assert len(drops) == 1
+    assert drops[0].args["reason"] == "max_attempts"
+    assert drops[0].args["vpn"] == 9
+
+
+def test_pcq_push_returns_evicted_request_and_traces_it():
+    obs = traced_obs()
+    pcq = PromotionCandidateQueue(capacity=2, obs=obs)
+    oldest = request(pfn=1, vpn=11)
+    pcq.push(oldest)
+    assert pcq.push(request(pfn=2)) is None  # room left: nothing evicted
+    evicted = pcq.push(request(pfn=3))
+    assert evicted is oldest
+    assert oldest.frame not in pcq and len(pcq) == 2
+    evts = obs.select("pcq.evict")
+    assert len(evts) == 1
+    assert evts[0].args["vpn"] == 11
+
+
+def test_pcq_duplicate_push_never_evicts():
+    # Re-pushing a queued frame at capacity must be a no-op, not an
+    # eviction of somebody else.
+    pcq = PromotionCandidateQueue(capacity=2)
+    a, b = request(pfn=1), request(pfn=2)
+    pcq.push(a)
+    pcq.push(b)
+    assert pcq.push(MigrationRequest(a.frame, a.space, a.vpn, a.generation)) is None
+    assert a.frame in pcq and b.frame in pcq

@@ -1,0 +1,84 @@
+"""Bit-identity of the debug subsystem when it is off (and when inert).
+
+Two pins:
+
+* a machine with ``debug_enabled=False`` (the default) reproduces the
+  committed perf baseline exactly -- sim cycles and counter digest --
+  so merely carrying the debug code changes nothing;
+* a machine with the *checker* enabled but no faults configured also
+  matches exactly: checks read state without mutating it, clean passes
+  bump no counters, and the interval daemon's events do not reorder the
+  simulation.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.runner import run_experiment
+from repro.debug import DebugConfig
+from repro.obs.export import counter_digest
+from repro.system import MachineConfig
+from repro.workloads import ZipfianMicrobench
+
+BASELINE = Path(__file__).resolve().parents[2] / "benchmarks/baselines/quick.json"
+JOB_ID = "cell/A/nomad/small/w0/a20000/s42"
+
+
+def run_cell(config=None):
+    result = run_experiment(
+        "A",
+        "nomad",
+        lambda: ZipfianMicrobench.scenario(
+            "small", write_ratio=0.0, total_accesses=20_000, seed=42
+        ),
+        config=config,
+        instrument=True,
+    )
+    return result.report.cycles, counter_digest(result.report.counters)
+
+
+@pytest.fixture(scope="module")
+def baseline_job():
+    report = json.loads(BASELINE.read_text())
+    jobs = {job["id"]: job for job in report["jobs"]}
+    assert JOB_ID in jobs, f"baseline lost its anchor job {JOB_ID}"
+    return jobs[JOB_ID]
+
+
+def test_disabled_debug_matches_committed_baseline(baseline_job):
+    cycles, digest = run_cell()
+    assert cycles == baseline_job["sim_cycles"]
+    assert digest == baseline_job["counter_digest"]
+
+
+def test_inert_checker_is_bit_identical(baseline_job):
+    config = MachineConfig(
+        debug_enabled=True,
+        debug=DebugConfig(check_interval=100_000.0),
+    )
+    cycles, digest = run_cell(config)
+    assert cycles == baseline_job["sim_cycles"]
+    assert digest == baseline_job["counter_digest"]
+
+
+def test_paranoid_checker_is_bit_identical_on_a_short_run():
+    # Paranoid mode checks after every engine event; far too slow for
+    # the 20k-access anchor cell, so pin a shorter one against itself.
+    def short(config=None):
+        result = run_experiment(
+            "A",
+            "nomad",
+            lambda: ZipfianMicrobench.scenario(
+                "small", write_ratio=0.3, total_accesses=1_500, seed=42
+            ),
+            config=config,
+        )
+        return result.report.cycles, counter_digest(result.report.counters)
+
+    plain = short()
+    paranoid = short(
+        MachineConfig(debug_enabled=True, debug=DebugConfig(paranoid=True))
+    )
+    assert paranoid == plain

@@ -1,0 +1,139 @@
+"""FaultAttr knob semantics and FaultInjector determinism."""
+
+import pytest
+
+from repro.debug.fault import FAULT_SITES, FaultAttr, FaultInjector, register_fault_site
+
+
+def injector(**attrs):
+    return FaultInjector(seed=1234, attrs={k: FaultAttr(**v) for k, v in attrs.items()})
+
+
+# ----------------------------------------------------------------------
+# FaultAttr validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(probability=-0.1),
+        dict(probability=1.5),
+        dict(interval=0),
+        dict(times=-2),
+        dict(space=-1),
+        dict(jitter_cycles=-10.0),
+    ],
+)
+def test_attr_rejects_bad_knobs(kwargs):
+    with pytest.raises(ValueError):
+        FaultAttr(**kwargs)
+
+
+def test_site_registry_rejects_duplicates():
+    assert "tpm.dirty" in FAULT_SITES
+    with pytest.raises(ValueError):
+        register_fault_site("tpm.dirty", "again")
+
+
+def test_injector_rejects_unknown_site_in_attrs():
+    with pytest.raises(ValueError):
+        injector(**{"no.such.site": dict(probability=1.0)})
+
+
+def test_should_fail_rejects_unknown_site():
+    inj = injector()
+    with pytest.raises(ValueError):
+        inj.should_fail("no.such.site")
+
+
+# ----------------------------------------------------------------------
+# Knob semantics
+# ----------------------------------------------------------------------
+def test_probability_one_always_fires_without_rng():
+    inj = injector(**{"tpm.dirty": dict(probability=1.0)})
+    state = inj.rng.bit_generator.state
+    assert all(inj.should_fail("tpm.dirty") for _ in range(20))
+    # Deterministic sites must not consume randomness: the stream other
+    # probabilistic sites see is independent of how often this one runs.
+    assert inj.rng.bit_generator.state == state
+
+
+def test_probability_zero_never_fires():
+    inj = injector(**{"tpm.dirty": dict(probability=0.0)})
+    assert not any(inj.should_fail("tpm.dirty") for _ in range(20))
+
+
+def test_unconfigured_site_is_counted_but_never_fires():
+    inj = injector()
+    assert not inj.should_fail("mpq.full")
+    assert inj.stats()["mpq.full"] == {"calls": 1, "injected": 0}
+
+
+def test_interval_fires_every_nth_call():
+    inj = injector(**{"tpm.dirty": dict(probability=1.0, interval=3)})
+    hits = [inj.should_fail("tpm.dirty") for _ in range(9)]
+    assert hits == [False, False, True] * 3
+
+
+def test_times_caps_total_injections():
+    inj = injector(**{"tpm.dirty": dict(probability=1.0, times=2)})
+    hits = [inj.should_fail("tpm.dirty") for _ in range(5)]
+    assert hits == [True, True, False, False, False]
+
+
+def test_space_delays_arming():
+    inj = injector(**{"tpm.dirty": dict(probability=1.0, space=3)})
+    hits = [inj.should_fail("tpm.dirty") for _ in range(5)]
+    assert hits == [False, False, False, True, True]
+
+
+def test_probabilistic_site_is_seed_deterministic():
+    runs = []
+    for _ in range(2):
+        inj = FaultInjector(seed=7, attrs={"tpm.dirty": FaultAttr(probability=0.5)})
+        runs.append([inj.should_fail("tpm.dirty") for _ in range(64)])
+    assert runs[0] == runs[1]
+    assert any(runs[0]) and not all(runs[0])
+
+
+def test_injector_copies_attrs_between_runs():
+    attr = FaultAttr(probability=1.0, times=1)
+    for _ in range(2):
+        inj = FaultInjector(seed=0, attrs={"tpm.dirty": attr})
+        # If runtime state leaked into the shared attr, the second
+        # injector would start with times already exhausted.
+        assert inj.should_fail("tpm.dirty")
+        assert not inj.should_fail("tpm.dirty")
+
+
+def test_on_inject_callback_fires_per_injection():
+    fired = []
+    inj = FaultInjector(
+        seed=0,
+        attrs={"tpm.dirty": FaultAttr(probability=1.0, times=2)},
+        on_inject=fired.append,
+    )
+    for _ in range(4):
+        inj.should_fail("tpm.dirty")
+    assert fired == ["tpm.dirty", "tpm.dirty"]
+
+
+# ----------------------------------------------------------------------
+# Delay sites
+# ----------------------------------------------------------------------
+def test_delay_returns_zero_when_not_firing():
+    inj = injector(**{"mmu.tlb_delay": dict(probability=0.0, jitter_cycles=500)})
+    assert inj.delay("mmu.tlb_delay") == 0.0
+
+
+def test_delay_bounded_by_jitter_cycles():
+    inj = injector(**{"mmu.tlb_delay": dict(probability=1.0, jitter_cycles=500)})
+    delays = [inj.delay("mmu.tlb_delay") for _ in range(32)]
+    assert all(0.0 <= d <= 500.0 for d in delays)
+    assert any(d > 0.0 for d in delays)
+
+
+def test_stats_tracks_calls_and_injections():
+    inj = injector(**{"tpm.dirty": dict(probability=1.0, interval=2)})
+    for _ in range(6):
+        inj.should_fail("tpm.dirty")
+    assert inj.stats()["tpm.dirty"] == {"calls": 6, "injected": 3}

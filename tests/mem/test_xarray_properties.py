@@ -1,0 +1,98 @@
+"""Property-style XArray test: random operation sequences vs a model.
+
+The model is the obvious thing the radix tree is optimizing: a dict for
+the entries plus one set per mark. After every operation the tree must
+agree with the model on loads, membership, mark state, and both
+iteration orders. A mismatch prints the seed so the failing sequence
+replays exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mem.xarray import XA_MARK_0, XA_MARK_1, XA_MARK_2, XArray
+
+MARKS = (XA_MARK_0, XA_MARK_1, XA_MARK_2)
+
+# Indices cluster in a few ranges so sequences revisit nodes (stores
+# over stores, erases that prune shared interior nodes) instead of
+# scattering one entry per leaf.
+RANGES = ((0, 64), (4000, 4100), (260_000, 260_050))
+
+
+def random_index(rng):
+    lo, hi = RANGES[int(rng.integers(len(RANGES)))]
+    return int(rng.integers(lo, hi))
+
+
+def apply_random_op(rng, xa, model, marks):
+    op = rng.random()
+    index = random_index(rng)
+    if op < 0.45:  # store (possibly overwriting; marks survive)
+        value = int(rng.integers(1_000_000))
+        assert xa.store(index, value) == model.get(index)
+        model[index] = value
+    elif op < 0.70:  # erase (possibly absent)
+        assert xa.erase(index) == model.pop(index, None)
+        for mark in MARKS:
+            marks[mark].discard(index)
+    elif op < 0.85:  # set a mark (raises on absent index)
+        mark = MARKS[int(rng.integers(len(MARKS)))]
+        if index in model:
+            xa.set_mark(index, mark)
+            marks[mark].add(index)
+        else:
+            with pytest.raises(KeyError):
+                xa.set_mark(index, mark)
+    else:  # clear a mark (absent index is a no-op)
+        mark = MARKS[int(rng.integers(len(MARKS)))]
+        xa.clear_mark(index, mark)
+        marks[mark].discard(index)
+
+
+def check_agreement(xa, model, marks):
+    assert len(xa) == len(model)
+    items = list(xa.items())
+    assert items == sorted(model.items())  # ascending index order
+    for index, value in items:
+        assert index in xa
+        assert xa.load(index) == value
+    for mark in MARKS:
+        marked = list(xa.marked_items(mark))
+        assert marked == sorted((i, model[i]) for i in marks[mark])
+        first = xa.first_marked(mark)
+        assert first == (marked[0] if marked else None)
+        for index, _ in items:
+            assert xa.get_mark(index, mark) == (index in marks[mark])
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_sequences_match_the_model(seed):
+    rng = np.random.default_rng(seed)
+    xa = XArray()
+    model = {}
+    marks = {mark: set() for mark in MARKS}
+    for step in range(400):
+        apply_random_op(rng, xa, model, marks)
+        if step % 25 == 0:
+            check_agreement(xa, model, marks)
+    check_agreement(xa, model, marks)
+
+
+def test_dense_fill_then_marked_drain():
+    # The shadow index's reclaim pattern: fill, mark everything
+    # reclaimable, drain via first_marked like a reclaim loop.
+    xa = XArray()
+    for i in range(300):
+        xa.store(i * 7, i)
+        xa.set_mark(i * 7, XA_MARK_0)
+    drained = []
+    while True:
+        found = xa.first_marked(XA_MARK_0)
+        if found is None:
+            break
+        index, value = found
+        drained.append(value)
+        xa.erase(index)
+    assert drained == list(range(300))
+    assert len(xa) == 0

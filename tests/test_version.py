@@ -1,0 +1,47 @@
+"""The package version is single-sourced from pyproject.toml."""
+
+import re
+from pathlib import Path
+
+import repro
+
+PYPROJECT = Path(__file__).resolve().parents[1] / "pyproject.toml"
+
+
+def pyproject_version():
+    match = re.search(
+        r'^version\s*=\s*"([^"]+)"', PYPROJECT.read_text(), re.MULTILINE
+    )
+    assert match, "pyproject.toml lost its version field"
+    return match.group(1)
+
+
+def test_version_matches_pyproject():
+    # The anti-drift check: there is exactly one place to bump.
+    assert repro.__version__ == pyproject_version()
+
+
+def test_version_is_pep440ish():
+    assert re.fullmatch(r"\d+(\.\d+)*([ab]|rc)?\d*(\+\S+)?", repro.__version__)
+
+
+def test_resolver_survives_missing_metadata_and_file(monkeypatch, tmp_path):
+    # Neither an installed distribution nor a readable pyproject: the
+    # resolver must degrade to the sentinel, never raise at import time.
+    import repro as pkg
+
+    real_resolve = pkg._resolve_version
+    monkeypatch.setattr(
+        Path, "read_text", lambda self, *a, **k: (_ for _ in ()).throw(OSError())
+    )
+    try:
+        import importlib.metadata as ilm
+    except ImportError:
+        ilm = None
+    if ilm is not None:
+        monkeypatch.setattr(
+            ilm,
+            "version",
+            lambda name: (_ for _ in ()).throw(ilm.PackageNotFoundError(name)),
+        )
+    assert real_resolve() == "0+unknown"
