@@ -62,6 +62,13 @@ def main(argv=None) -> int:
         "--fail-on-wall", action="store_true",
         help="treat wall-time band violations as errors, not warnings",
     )
+    parser.add_argument(
+        "--min-cps-ratio", type=float, default=None, metavar="RATIO",
+        help="perf smoke: fail unless the fresh suite's cycles/sec "
+        "throughput is at least RATIO x the baseline's (off by default; "
+        "pick a ratio well below the locally measured speedup, since CI "
+        "hardware differs from the baseline recorder)",
+    )
     args = parser.parse_args(argv)
 
     baseline_path = resolve(args.baseline)
@@ -79,6 +86,7 @@ def main(argv=None) -> int:
         wall_tolerance=args.wall_tolerance,
         wall_floor_s=args.wall_floor,
         fail_on_wall=args.fail_on_wall,
+        min_cps_ratio=args.min_cps_ratio,
     )
 
     print(f"baseline: {baseline_path} ({len(baseline.get('jobs', []))} jobs)")

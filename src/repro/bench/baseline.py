@@ -38,6 +38,7 @@ __all__ = [
     "write_bench_report",
     "load_report",
     "compare_bench",
+    "report_cycles_per_sec",
 ]
 
 BENCH_SCHEMA = "repro-bench/1"
@@ -69,6 +70,20 @@ PROFILES: Dict[str, Sequence[SweepSpec]] = {
             seeds=(42,),
             instrument=True,
             thp_modes=(True,),
+        ),
+        # Streaming suite: a first-touch cell with zero runtime faults
+        # after populate, so the two-speed engine's vectorized batch
+        # commit carries nearly every access. It pins the fast path's
+        # simulated quantities bit-for-bit and gives the CI perf smoke
+        # a cell where fast-vs-slow throughput actually separates.
+        SweepSpec(
+            platforms=("A",),
+            policies=("no-migration",),
+            scenarios=("small",),
+            write_ratios=(0.5,),
+            accesses=(200_000,),
+            seeds=(42,),
+            instrument=True,
         ),
         SweepSpec(experiments=("tab1", "fig2"), accesses=(15_000,)),
     ),
@@ -114,6 +129,12 @@ def run_bench(
     agg = aggregate(records)
     import numpy
 
+    total_wall = sum(float(r["wall_time_s"]) for r in records)
+    total_cycles = sum(
+        float(job["sim_cycles"])
+        for job in agg["jobs"]
+        if job.get("sim_cycles")
+    )
     return {
         "schema": BENCH_SCHEMA,
         "profile": profile,
@@ -123,8 +144,15 @@ def run_bench(
             "wall_time_s": {
                 r["id"]: round(float(r["wall_time_s"]), 4) for r in records
             },
-            "total_wall_time_s": round(
-                sum(float(r["wall_time_s"]) for r in records), 4
+            "total_wall_time_s": round(total_wall, 4),
+            # Suite throughput: simulated cycles executed per wall-clock
+            # second across all jobs. This is the number the two-speed
+            # engine moves and the CI perf smoke keys off; it is
+            # hardware-dependent, so the regression checker only applies
+            # a generous ratio band (see compare_bench).
+            "total_sim_cycles": total_cycles,
+            "cycles_per_sec": (
+                round(total_cycles / total_wall, 1) if total_wall > 0 else 0.0
             ),
         },
         "meta": {
@@ -174,12 +202,37 @@ _EXACT_FIELDS = (
 )
 
 
+def report_cycles_per_sec(report: Dict[str, Any]) -> Optional[float]:
+    """Suite throughput (simulated cycles per wall second) of a report.
+
+    Prefers the recorded ``timing.cycles_per_sec`` field; reports written
+    before the field existed are reconstructed from their per-job cycles
+    and total wall time, so pre-refactor baselines still serve as the
+    perf-smoke reference. Returns None if the report has no usable
+    timing.
+    """
+    timing = report.get("timing", {})
+    cps = timing.get("cycles_per_sec")
+    if cps:
+        return float(cps)
+    wall = float(timing.get("total_wall_time_s") or 0.0)
+    if wall <= 0:
+        return None
+    cycles = sum(
+        float(job["sim_cycles"])
+        for job in report.get("jobs", [])
+        if job.get("sim_cycles")
+    )
+    return cycles / wall if cycles > 0 else None
+
+
 def compare_bench(
     baseline: Dict[str, Any],
     fresh: Dict[str, Any],
     wall_tolerance: float = 0.5,
     wall_floor_s: float = 0.05,
     fail_on_wall: bool = False,
+    min_cps_ratio: Optional[float] = None,
 ) -> Tuple[List[str], List[str]]:
     """Compare a fresh bench report against a committed baseline.
 
@@ -187,6 +240,12 @@ def compare_bench(
     way is an error; wall time beyond ``baseline * (1 + wall_tolerance)``
     (and above ``wall_floor_s``, below which timing is pure noise) is a
     warning unless ``fail_on_wall``.
+
+    ``min_cps_ratio`` enables the perf smoke: the fresh suite's
+    cycles-per-second throughput must reach at least that multiple of
+    the baseline's, or an error is raised. Use a ratio comfortably below
+    the locally measured speedup -- CI hardware differs from the machine
+    that recorded the baseline.
     """
     errors: List[str] = []
     warnings: List[str] = []
@@ -250,5 +309,21 @@ def compare_bench(
                 f"{100.0 * wall_tolerance:.0f}%)"
             )
             (errors if fail_on_wall else warnings).append(msg)
+
+    if min_cps_ratio is not None:
+        base_cps = report_cycles_per_sec(baseline)
+        fresh_cps = report_cycles_per_sec(fresh)
+        if base_cps is None or fresh_cps is None:
+            warnings.append(
+                "perf smoke skipped: a report records no usable timing"
+            )
+        elif fresh_cps < base_cps * min_cps_ratio:
+            errors.append(
+                f"perf smoke: suite throughput {fresh_cps / 1e6:.1f}M "
+                f"cycles/s is below {min_cps_ratio:.2f}x the baseline's "
+                f"{base_cps / 1e6:.1f}M cycles/s "
+                f"(ratio {fresh_cps / base_cps:.2f}x) -- the batched "
+                "fast path regressed or is disabled"
+            )
 
     return errors, warnings

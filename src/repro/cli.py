@@ -382,7 +382,16 @@ def build_parser() -> argparse.ArgumentParser:
         func=_cmd_list
     )
 
-    run_p = sub.add_parser("run", help="run one figure/table experiment")
+    run_p = sub.add_parser(
+        "run",
+        help="run one figure/table experiment",
+        epilog="Runs execute on the two-speed engine: batched fast-path "
+        "access execution with the event engine dropping in only on "
+        "faults. Results are bit-identical either way; set "
+        "REPRO_FASTPATH=0 (or MachineConfig(fastpath_enabled=False)) to "
+        "force the per-chunk slow path when bisecting a suspected "
+        "fast-path issue.",
+    )
     run_p.add_argument("experiment", help="e.g. fig7, tab3 (see `list`)")
     run_p.add_argument("--accesses", type=int, default=120_000)
     run_p.add_argument("--platform", default=None, help="override platform (A-D)")
@@ -452,6 +461,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p = sub.add_parser(
         "sweep",
         help="fan a grid of cells/experiments out across a worker pool",
+        epilog="Worker processes inherit REPRO_FASTPATH, so exporting "
+        "REPRO_FASTPATH=0 bisects the whole grid onto the per-chunk "
+        "slow path (simulated results are bit-identical; only wall "
+        "time changes).",
     )
     sweep_p.add_argument(
         "--spec", default=None,
@@ -481,7 +494,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.set_defaults(func=_cmd_sweep)
 
     bench_p = sub.add_parser(
-        "bench", help="run a pinned perf suite and write BENCH_<ts>.json"
+        "bench",
+        help="run a pinned perf suite and write BENCH_<ts>.json",
+        epilog="The report records suite throughput "
+        "(timing.cycles_per_sec) alongside per-job walls. CI reruns the "
+        "suite with REPRO_FASTPATH=0 and compares the two reports: "
+        "every simulated field must match bit-for-bit and the fast "
+        "path must not crater throughput (see "
+        "scripts/check_bench_regression.py --min-cps-ratio).",
     )
     bench_p.add_argument(
         "--profile", default="quick", choices=("quick", "full")

@@ -46,6 +46,9 @@ __all__ = ["NomadPolicy"]
 
 ALLOC_FAIL_RECLAIM_FACTOR = 10  # Section 3.2's heuristic
 
+# Hot-path constant for _is_hot: referenced-or-active as one flag mask.
+_REF_OR_ACTIVE = FrameFlags.REFERENCED | FrameFlags.ACTIVE
+
 
 class NomadPolicy(TieringPolicy):
     """Non-exclusive memory tiering via transactional page migration."""
@@ -82,6 +85,9 @@ class NomadPolicy(TieringPolicy):
         self.kpromote = Kpromote(
             machine, self.mpq, self.migrator, throttle_enabled=throttle
         )
+        # Reuse-evidence gap (see _is_hot), hoisted: config and cost
+        # model are frozen for the machine's lifetime.
+        self._hot_gap = machine.config.chunk_size * machine.costs.read_latency[1]
         if machine.folio_pages > 1:
             # With huge folios, hint faults are ~folio_pages times rarer,
             # so fault-driven PCQ scanning starves and then dumps its
@@ -183,14 +189,12 @@ class NomadPolicy(TieringPolicy):
         chunk past the enqueue time.
         """
         frame = request.frame
-        if not (frame.referenced or frame.active):
+        if not frame.flags & _REF_OR_ACTIVE:
             return False
-        m = self.machine
-        gap = m.config.chunk_size * m.costs.read_latency[1]
-        threshold = request.enqueue_ts + gap
+        threshold = request.enqueue_ts + self._hot_gap
         for space, vpn in frame.rmap:
             pt = space.page_table
-            if frame.is_huge:
+            if frame.order:
                 nr = frame.nr_pages
                 if (
                     pt.any_flags_range(vpn, nr, PTE_ACCESSED)
@@ -198,7 +202,7 @@ class NomadPolicy(TieringPolicy):
                 ):
                     return True
             elif (
-                pt.test_flags(vpn, PTE_ACCESSED)
+                pt.flags[vpn] & PTE_ACCESSED
                 and pt.last_access[vpn] > threshold
             ):
                 return True

@@ -92,16 +92,19 @@ class PromotionCandidateQueue:
         fault, piggybacked on queue maintenance).
         """
         hot = []
-        for _ in range(min(limit, len(self._queue))):
-            request = self._queue.popleft()
-            del self._members[id(request.frame)]
-            if not request.frame.mapped or request.frame.generation != request.generation:
+        queue = self._queue
+        members = self._members
+        for _ in range(min(limit, len(queue))):
+            request = queue.popleft()
+            frame = request.frame
+            del members[id(frame)]
+            if not frame.rmap or frame.generation != request.generation:
                 continue  # stale: freed or reallocated since enqueue
             if is_hot(request):
                 hot.append(request)
             else:
-                self._queue.append(request)
-                self._members[id(request.frame)] = request
+                queue.append(request)
+                members[id(frame)] = request
         return hot
 
     def discard(self, frame: Frame) -> None:

@@ -169,6 +169,7 @@ class ShadowIndex:
                     restored = (f | np.uint32(PTE_WRITE)) & np.uint32(
                         ~PTE_SOFT_SHADOW_RW & 0xFFFFFFFF
                     )
+                    pt.version += 1
                     pt.flags[sl] = np.where(soft, restored, f)
             return
         for space, vpn in master.rmap:

@@ -12,6 +12,7 @@ bypasses this (see :mod:`repro.core.queues`).
 
 from __future__ import annotations
 
+from itertools import islice
 from typing import Dict, Iterator, List, Optional
 
 from ..mem.frame import Frame, FrameFlags
@@ -60,12 +61,7 @@ class OrderedFrameSet:
         return None
 
     def head_batch(self, n: int) -> List[Frame]:
-        out: List[Frame] = []
-        for frame in self._frames.values():
-            if len(out) >= n:
-                break
-            out.append(frame)
-        return out
+        return list(islice(self._frames.values(), n))
 
     def __iter__(self) -> Iterator[Frame]:
         return iter(list(self._frames.values()))
@@ -92,6 +88,16 @@ class LruManager:
         frame.set_flag(FrameFlags.LRU)
         frame.clear_flag(FrameFlags.ACTIVE)
         self.inactive[frame.node_id].add_tail(frame)
+
+    def add_new_pages(self, frames) -> None:
+        """Bulk :meth:`add_new_page` in order (setup-time populate)."""
+        inactive = self.inactive
+        for frame in frames:
+            if frame.on_lru:
+                raise RuntimeError(f"pfn {frame.pfn} already on LRU")
+            frame.set_flag(FrameFlags.LRU)
+            frame.clear_flag(FrameFlags.ACTIVE)
+            inactive[frame.node_id].add_tail(frame)
 
     def remove(self, frame: Frame) -> None:
         if not frame.on_lru:

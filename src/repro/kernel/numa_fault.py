@@ -80,6 +80,7 @@ class NumaHintScanner:
             pt = space.page_table
             armed = (pt.flags & np.uint32(PTE_PROT_NONE)) != 0
             if armed.any():
+                pt.version += 1
                 pt.flags[armed] &= ~np.uint32(PTE_PROT_NONE)
 
     # ------------------------------------------------------------------
@@ -156,6 +157,7 @@ class NumaHintScanner:
                         heads = np.unique(targets[huge] & mask)
                         base = targets[~huge]
                         if len(base):
+                            pt.version += 1
                             pt.flags[base] |= np.uint32(PTE_PROT_NONE)
                             cost += m.costs.pte_update * len(base)
                             m.stats.bump("numa.pages_armed", len(base))
@@ -166,6 +168,7 @@ class NumaHintScanner:
                         m.stats.bump("numa.folios_armed", len(heads))
                         armed += len(base) + len(heads) * fp
                     else:
+                        pt.version += 1
                         pt.flags[targets] |= np.uint32(PTE_PROT_NONE)
                         armed += len(targets)
                         cost += m.costs.pte_update * len(targets)

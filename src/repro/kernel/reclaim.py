@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..mem.frame import Frame
+from ..mem.frame import Frame, FrameFlags
 from ..mmu.pte import PTE_ACCESSED
 from ..sim.bus import LowWatermark
 
@@ -30,6 +30,9 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["Kswapd"]
 
 SCAN_BATCH = 32
+
+_LOCKED = FrameFlags.LOCKED
+_REFERENCED = FrameFlags.REFERENCED
 
 
 class Kswapd:
@@ -149,15 +152,17 @@ class Kswapd:
                 return freed, cycles, True
 
         # 2. Scan the inactive list tail.
+        lru_op = m.costs.lru_op
+        recently_accessed = self._recently_accessed
         batch = m.lru.inactive_head_batch(self.node_id, SCAN_BATCH)
         for frame in batch:
-            cycles += m.costs.lru_op
-            if frame.locked or not frame.mapped:
+            cycles += lru_op
+            if frame.flags & _LOCKED or not frame.rmap:
                 continue
             protected = (
-                self._recently_accessed(frame)
+                recently_accessed(frame)
                 if priority == 0
-                else frame.referenced if priority == 1 else False
+                else bool(frame.flags & _REFERENCED) if priority == 1 else False
             )
             if protected:
                 # Second chance: clear accessed bits, feed LRU aging.
@@ -167,7 +172,7 @@ class Kswapd:
                 cycles += m.costs.pte_update * frame.mapcount
                 continue
             if policy is not None:
-                if frame.is_huge and policy.wants_split(frame):
+                if frame.order and policy.wants_split(frame):
                     # Split the cold folio so reclaim can work page-wise
                     # instead of demoting 2MB of possibly-mixed pages.
                     ok, c = m.split_folio(frame, self.cpu, reason="reclaim")
@@ -191,8 +196,8 @@ class Kswapd:
         nr_active = m.lru.nr_active(self.node_id)
         if nr_active > 0 and nr_inactive < max(SCAN_BATCH, nr_active // 2):
             for frame in m.lru.active_head_batch(self.node_id, SCAN_BATCH):
-                cycles += m.costs.lru_op
-                if self._recently_accessed(frame):
+                cycles += lru_op
+                if recently_accessed(frame):
                     self._clear_accessed(frame)
                     m.lru.rotate(frame)
                     cycles += m.costs.pte_update * frame.mapcount
@@ -202,20 +207,23 @@ class Kswapd:
 
     @staticmethod
     def _recently_accessed(frame: Frame) -> bool:
-        for space, vpn in frame.rmap:
-            pt = space.page_table
-            if frame.is_huge:
-                if pt.any_flags_range(vpn, frame.nr_pages, PTE_ACCESSED):
+        if frame.order:
+            nr = frame.nr_pages
+            for space, vpn in frame.rmap:
+                if space.page_table.any_flags_range(vpn, nr, PTE_ACCESSED):
                     return True
-            elif pt.test_flags(vpn, PTE_ACCESSED):
+            return False
+        for space, vpn in frame.rmap:
+            if space.page_table.flags[vpn] & PTE_ACCESSED:
                 return True
         return False
 
     @staticmethod
     def _clear_accessed(frame: Frame) -> None:
-        for space, vpn in frame.rmap:
-            pt = space.page_table
-            if frame.is_huge:
-                pt.clear_flags_range(vpn, frame.nr_pages, PTE_ACCESSED)
-            else:
-                pt.clear_flags(vpn, PTE_ACCESSED)
+        if frame.order:
+            nr = frame.nr_pages
+            for space, vpn in frame.rmap:
+                space.page_table.clear_flags_range(vpn, nr, PTE_ACCESSED)
+        else:
+            for space, vpn in frame.rmap:
+                space.page_table.clear_flags(vpn, PTE_ACCESSED)

@@ -110,6 +110,30 @@ class MemoryNode:
             return frame
         return None
 
+    def alloc_bulk(self, k: int) -> List[Frame]:
+        """Pop up to ``k`` free frames in exact FIFO order.
+
+        Same frame sequence as ``k`` successive :meth:`alloc` calls, for
+        the setup-time bulk populate path. Deliberately skips the debug
+        fault hook -- callers gate on ``fault_hook is None`` so injection
+        runs keep the faithful per-page path.
+        """
+        out: List[Frame] = []
+        free = self._free
+        fset = self._free_set
+        frames = self.frames
+        while free and len(out) < k:
+            pfn = free.popleft()
+            if pfn not in fset:
+                continue  # stale FIFO entry: folio allocation took it
+            fset.remove(pfn)
+            frame = frames[pfn]
+            frame.reset()
+            out.append(frame)
+        if out:
+            self._free_map[[f.pfn for f in out]] = False
+        return out
+
     def alloc_folio(self, order: int) -> Optional[Frame]:
         """Allocate ``1 << order`` physically contiguous frames.
 

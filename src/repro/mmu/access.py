@@ -25,8 +25,10 @@ from typing import Optional, TYPE_CHECKING
 
 import numpy as np
 
+from bisect import bisect_right
+
 from ..sim.bus import ChunkExecuted
-from ..sim.stats import NR_LATENCY_BINS, latency_histogram
+from ..sim.stats import _LATENCY_EDGES_LIST, NR_LATENCY_BINS, latency_histogram
 from .faults import Fault, FaultType, UnhandledFault
 from .pte import (
     PTE_ACCESSED,
@@ -44,6 +46,15 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["AccessEngine", "ChunkResult"]
 
 _MAX_FAULT_RETRIES = 8
+
+# Hoisted uint32 constants: building np.uint32 per segment costs more
+# than the bitwise op itself on short fault-split segments.
+_PRESENT_OR_PROT_NONE = np.uint32(PTE_PRESENT | PTE_PROT_NONE)
+_PRESENT = np.uint32(PTE_PRESENT)
+_WRITE = np.uint32(PTE_WRITE)
+_HUGE = np.uint32(PTE_HUGE)
+_ACCESSED = np.uint32(PTE_ACCESSED)
+_DIRTY = np.uint32(PTE_DIRTY)
 
 
 @dataclass
@@ -65,6 +76,11 @@ class AccessEngine:
 
     def __init__(self, machine) -> None:
         self.machine = machine
+        # Per-tier latency vectors, hoisted out of run_chunk: the cost
+        # model is frozen, so converting its tuples on every chunk was
+        # pure overhead. Shared with the batched fast path.
+        self.rlat = np.asarray(machine.costs.read_latency)
+        self.wlat = np.asarray(machine.costs.write_latency)
 
     # ------------------------------------------------------------------
     def run_chunk(
@@ -77,10 +93,9 @@ class AccessEngine:
         """Execute one chunk starting at the engine's current time."""
         m = self.machine
         pt = space.page_table
-        costs = m.costs
         tier_of = m.tiers.tier_of_gpfn
-        rlat = np.asarray(costs.read_latency)
-        wlat = np.asarray(costs.write_latency)
+        rlat = self.rlat
+        wlat = self.wlat
 
         t0 = m.engine.now + cpu.drain_stall()
         elapsed = t0 - m.engine.now
@@ -96,55 +111,73 @@ class AccessEngine:
         pos = 0
         retries = 0
         last_fault_vpn = -1
+        # Per-chunk invariants hoisted out of the segment-rescan loop;
+        # the arrays themselves are mutated in place by fault handlers
+        # (never rebound), so the local bindings stay live.
+        pt_flags = pt.flags
+        pt_gpfn = pt.gpfn
+        has_writes = bool(writes.any())
+        check_huge = m.folio_pages > 1
+        publish_chunks = m.bus.has_subscribers(ChunkExecuted)
+        note_chunk = m.tlb_directory.note_chunk
+        asid = space.asid
+        cpu_name = cpu.name
         while pos < n:
             seg_vpns = vpns[pos:]
             seg_w = writes[pos:]
-            f = pt.flags[seg_vpns]
-            ok = (f & PTE_PRESENT).astype(bool)
-            ok &= (f & PTE_PROT_NONE) == 0
-            ok &= ~seg_w | ((f & PTE_WRITE) != 0)
-            bad = ~ok
-            k = int(bad.argmax()) if bad.any() else len(seg_vpns)
+            f = pt_flags[seg_vpns]
+            # bad = not-present | prot-none | (write & !writable); the
+            # first two collapse into one masked compare.
+            bad = (f & _PRESENT_OR_PROT_NONE) != _PRESENT
+            if has_writes:
+                bad |= seg_w & ((f & _WRITE) == 0)
+            idx = int(bad.argmax())
+            k = idx if bad[idx] else len(seg_vpns)
 
             if k > 0:
                 seg = seg_vpns[:k]
-                w = seg_w[:k]
-                g = pt.gpfn[seg]
+                g = pt_gpfn[seg]
                 t = tier_of[g]
-                lat = np.where(w, wlat[t], rlat[t])
+                if has_writes:
+                    w = seg_w[:k]
+                    lat = np.where(w, wlat[t], rlat[t])
+                else:
+                    lat = rlat[t]
                 ts = t0 + elapsed + np.cumsum(lat)
                 # Architectural bit updates (idempotent OR is safe with
                 # duplicate indices under fancy indexing).
-                pt.flags[seg] |= np.uint32(PTE_ACCESSED)
-                wr = seg[w]
-                if len(wr):
-                    pt.flags[wr] |= np.uint32(PTE_DIRTY)
-                    np.maximum.at(pt.last_write, wr, ts[w])
+                pt_flags[seg] |= _ACCESSED
+                nw = 0
+                if has_writes:
+                    wr = seg[w]
+                    nw = len(wr)
+                    if nw:
+                        pt_flags[wr] |= _DIRTY
+                        np.maximum.at(pt.last_write, wr, ts[w])
                 np.maximum.at(pt.last_access, seg, ts)
                 # TLB entries are per translation: base pages fill one
                 # entry per vpn, huge mappings one PMD entry keyed by the
                 # folio head vpn (so a single shootdown at the head
                 # invalidates the whole 2MB translation).
-                huge = (f[:k] & PTE_HUGE) != 0
-                if huge.any():
-                    mask = np.int64(~(m.folio_pages - 1))
-                    noted = np.where(huge, seg & mask, seg)
-                    m.tlb_directory.note_chunk(
-                        cpu.name, space.asid, np.unique(noted)
-                    )
+                if check_huge:
+                    huge = (f[:k] & _HUGE) != 0
+                    if huge.any():
+                        mask = np.int64(~(m.folio_pages - 1))
+                        noted = np.where(huge, seg & mask, seg)
+                        note_chunk(cpu_name, asid, noted)
+                    else:
+                        note_chunk(cpu_name, asid, seg)
                 else:
-                    m.tlb_directory.note_chunk(
-                        cpu.name, space.asid, np.unique(seg)
-                    )
-                if m.bus.has_subscribers(ChunkExecuted):
-                    m.bus.publish(ChunkExecuted(space, seg, w, ts))
+                    note_chunk(cpu_name, asid, seg)
+                if publish_chunks:
+                    m.bus.publish(ChunkExecuted(space, seg, seg_w[:k], ts))
                 hist += latency_histogram(lat)
                 seg_cycles = float(lat.sum())
-                wc = float(lat[w].sum())
+                wc = float(lat[w].sum()) if nw else 0.0
                 write_cycles += wc
                 read_cycles += seg_cycles - wc
-                nwrites += int(w.sum())
-                reads += k - int(w.sum())
+                nwrites += nw
+                reads += k - nw
                 elapsed += seg_cycles
                 pos += k
                 retries = 0
@@ -175,7 +208,7 @@ class AccessEngine:
             faults += 1
             fault_cycles += handled_cycles
             elapsed += handled_cycles
-            hist += latency_histogram(np.array([handled_cycles]))
+            hist[bisect_right(_LATENCY_EDGES_LIST, handled_cycles)] += 1
 
         cpu.account("user", read_cycles + write_cycles)
         return ChunkResult(

@@ -44,6 +44,14 @@ class PageTable:
         self.gpfn = np.full(nr_vpns, -1, dtype=np.int64)
         self.last_write = np.full(nr_vpns, _NEVER, dtype=np.float64)
         self.last_access = np.full(nr_vpns, _NEVER, dtype=np.float64)
+        # Structural-mutation epoch. Every operation that can change
+        # which accesses would fault (mapping, unmapping, permission or
+        # hint bits, a gpfn move) bumps it; the batched fast path
+        # (repro.sim.fastpath) caches translation-derived state keyed by
+        # this counter and revalidates when it changes. The access
+        # path's own accessed/dirty ORs and timestamp stores do NOT bump
+        # it -- they never change fault-ness or page placement.
+        self.version = 0
 
     # ------------------------------------------------------------------
     # Entry-level primitives
@@ -55,8 +63,28 @@ class PageTable:
             raise RuntimeError(f"vpn {vpn} is already mapped")
         if gpfn < 0:
             raise ValueError(f"invalid gpfn {gpfn}")
+        self.version += 1
         self.gpfn[vpn] = gpfn
         self.flags[vpn] = np.uint32(flags | PTE_PRESENT)
+
+    def map_many(self, vpns: np.ndarray, gpfns: np.ndarray, flags: int) -> None:
+        """Install many base mappings in one vectorized store.
+
+        Bulk equivalent of calling :meth:`map` per entry (one version
+        bump instead of N -- the version is an equality-compared epoch,
+        not a mutation count). Every entry must currently be empty.
+        """
+        if len(vpns) == 0:
+            return
+        if int(vpns.min()) < 0 or int(vpns.max()) >= self.nr_vpns:
+            raise IndexError(f"vpns outside [0, {self.nr_vpns})")
+        if (self.flags[vpns] & PTE_PRESENT).any():
+            raise RuntimeError("map_many over already-mapped entries")
+        if (gpfns < 0).any():
+            raise ValueError("invalid gpfn in map_many")
+        self.version += 1
+        self.gpfn[vpns] = gpfns
+        self.flags[vpns] = np.uint32(flags | PTE_PRESENT)
 
     def get_and_clear(self, vpn: int) -> Tuple[int, int]:
         """Atomically read and zero the entry (Nomad TPM step 4).
@@ -66,6 +94,7 @@ class PageTable:
         self._check(vpn)
         flags = int(self.flags[vpn])
         gpfn = int(self.gpfn[vpn])
+        self.version += 1
         self.flags[vpn] = 0
         self.gpfn[vpn] = -1
         return flags, gpfn
@@ -75,6 +104,7 @@ class PageTable:
         self._check(vpn)
         if self.flags[vpn] & PTE_PRESENT:
             raise RuntimeError(f"vpn {vpn} was remapped during the transaction")
+        self.version += 1
         self.flags[vpn] = np.uint32(flags)
         self.gpfn[vpn] = gpfn
 
@@ -88,15 +118,18 @@ class PageTable:
     # -- flag manipulation ----------------------------------------------
     def set_flags(self, vpn: int, flags: int) -> None:
         self._check(vpn)
+        self.version += 1
         self.flags[vpn] |= np.uint32(flags)
 
     def clear_flags(self, vpn: int, flags: int) -> None:
         self._check(vpn)
+        self.version += 1
         self.flags[vpn] &= np.uint32(~flags & 0xFFFFFFFF)
 
     def test_flags(self, vpn: int, flags: int) -> bool:
-        self._check(vpn)
-        return bool(self.flags[vpn] & np.uint32(flags))
+        if not 0 <= vpn < self.nr_vpns:
+            raise IndexError(f"vpn {vpn} outside [0, {self.nr_vpns})")
+        return self.flags[vpn].item() & flags != 0
 
     # -- queries ----------------------------------------------------------
     def is_present(self, vpn: int) -> bool:
@@ -153,6 +186,7 @@ class PageTable:
             raise RuntimeError(f"folio at vpn {head_vpn} overlaps a mapping")
         if head_gpfn < 0:
             raise ValueError(f"invalid gpfn {head_gpfn}")
+        self.version += 1
         self.gpfn[sl] = np.arange(head_gpfn, head_gpfn + nr, dtype=np.int64)
         self.flags[sl] = flags | np.uint32(PTE_PRESENT | PTE_HUGE)
 
@@ -166,6 +200,7 @@ class PageTable:
         sl = slice(head_vpn, head_vpn + nr)
         flags = self.flags[sl].copy()
         gpfns = self.gpfn[sl].copy()
+        self.version += 1
         self.flags[sl] = 0
         self.gpfn[sl] = -1
         return flags, gpfns
@@ -180,6 +215,7 @@ class PageTable:
             raise RuntimeError(
                 f"folio at vpn {head_vpn} was remapped during the transaction"
             )
+        self.version += 1
         self.flags[sl] = flags
         self.gpfn[sl] = np.asarray(gpfns, dtype=np.int64)
 
@@ -199,10 +235,12 @@ class PageTable:
 
     def set_flags_range(self, head_vpn: int, nr: int, flags: int) -> None:
         self._check_folio(head_vpn, nr)
+        self.version += 1
         self.flags[head_vpn : head_vpn + nr] |= np.uint32(flags)
 
     def clear_flags_range(self, head_vpn: int, nr: int, flags: int) -> None:
         self._check_folio(head_vpn, nr)
+        self.version += 1
         self.flags[head_vpn : head_vpn + nr] &= np.uint32(~flags & 0xFFFFFFFF)
 
     def any_flags_range(self, head_vpn: int, nr: int, flags: int) -> bool:

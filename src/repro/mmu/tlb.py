@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Dict, Set, Tuple
 
+import numpy as np
+
 __all__ = ["Tlb", "TlbDirectory"]
 
 
@@ -58,26 +60,52 @@ class TlbDirectory:
     """
 
     def __init__(self) -> None:
-        self._cpus_by_page: Dict[Tuple[int, int], Set[str]] = {}
+        # One boolean page-mask per (asid, cpu): ``mask[vpn]`` is True
+        # when that CPU may cache a translation for the page. The access
+        # path notes whole chunks with one fancy store (duplicates are
+        # harmless), where a per-page dict of sets paid a Python loop per
+        # access.
+        self._masks: Dict[int, Dict[str, np.ndarray]] = {}
         self.shootdowns = 0
         self.ipis_sent = 0
 
+    def _mask(self, asid: int, cpu_name: str, min_size: int) -> np.ndarray:
+        cpus = self._masks.setdefault(asid, {})
+        mask = cpus.get(cpu_name)
+        if mask is None or len(mask) < min_size:
+            grown = np.zeros(max(min_size, 1024), dtype=bool)
+            if mask is not None:
+                grown[: len(mask)] = mask
+            cpus[cpu_name] = mask = grown
+        return mask
+
     def note_access(self, cpu_name: str, asid: int, vpn: int) -> None:
-        self._cpus_by_page.setdefault((asid, vpn), set()).add(cpu_name)
+        self._mask(asid, cpu_name, vpn + 1)[vpn] = True
 
     def note_chunk(self, cpu_name: str, asid: int, vpns) -> None:
-        """Bulk version used by the vectorized access path."""
-        by_page = self._cpus_by_page
-        for vpn in vpns:
-            by_page.setdefault((asid, int(vpn)), set()).add(cpu_name)
+        """Bulk version used by the vectorized access path.
+
+        ``vpns`` may contain duplicates; the mask store is idempotent.
+        """
+        if len(vpns) == 0:
+            return
+        self._mask(asid, cpu_name, int(vpns.max()) + 1)[vpns] = True
 
     def holders(self, asid: int, vpn: int) -> Set[str]:
-        return set(self._cpus_by_page.get((asid, vpn), ()))
+        return {
+            cpu
+            for cpu, mask in self._masks.get(asid, {}).items()
+            if vpn < len(mask) and mask[vpn]
+        }
 
     def shootdown(self, asid: int, vpn: int) -> Set[str]:
         """Invalidate all cached translations of a page; returns the
         CPUs that had to be interrupted."""
-        cpus = self._cpus_by_page.pop((asid, vpn), set())
+        cpus = set()
+        for cpu, mask in self._masks.get(asid, {}).items():
+            if vpn < len(mask) and mask[vpn]:
+                cpus.add(cpu)
+                mask[vpn] = False
         self.shootdowns += 1
         self.ipis_sent += len(cpus)
         return cpus

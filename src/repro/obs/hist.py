@@ -20,6 +20,7 @@ Bucket semantics (shared by every user):
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
@@ -29,10 +30,8 @@ __all__ = ["Histogram", "bucket_values", "percentile_from_counts"]
 
 def bucket_values(edges: np.ndarray, values: np.ndarray) -> np.ndarray:
     """Bucket ``values`` into ``len(edges) + 1`` counts."""
-    counts = np.zeros(len(edges) + 1, dtype=np.int64)
     idx = np.searchsorted(edges, values, side="right")
-    np.add.at(counts, idx, 1)
-    return counts
+    return np.bincount(idx, minlength=len(edges) + 1)
 
 
 def percentile_from_counts(
@@ -61,7 +60,7 @@ class Histogram:
     convention).
     """
 
-    __slots__ = ("name", "edges", "counts", "total", "sum")
+    __slots__ = ("name", "edges", "counts", "total", "sum", "_edges_list")
 
     def __init__(
         self,
@@ -84,6 +83,10 @@ class Histogram:
         self.counts = np.asarray(counts, dtype=np.int64)
         self.total = int(self.counts.sum())
         self.sum = 0.0
+        # Python-float copy of the edges: scalar observation bins via
+        # bisect (same comparisons as searchsorted side="right", without
+        # the per-call ufunc dispatch).
+        self._edges_list = self.edges.tolist()
 
     @classmethod
     def geometric(
@@ -94,7 +97,7 @@ class Histogram:
 
     # ------------------------------------------------------------------
     def observe(self, value: float, n: int = 1) -> None:
-        idx = int(np.searchsorted(self.edges, value, side="right"))
+        idx = bisect_right(self._edges_list, value)
         self.counts[idx] += n
         self.total += n
         self.sum += value * n

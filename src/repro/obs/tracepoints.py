@@ -51,6 +51,15 @@ class TracepointSpec:
     fields: Tuple[str, ...]
     doc: str
 
+    @property
+    def fieldset(self) -> frozenset:
+        return _FIELDSETS[self.name]
+
+
+# Per-spec frozen field sets, built at registration: the strict emit
+# check compares against these instead of rebuilding a set per event.
+_FIELDSETS: Dict[str, frozenset] = {}
+
 
 TRACEPOINTS: Dict[str, TracepointSpec] = {}
 
@@ -60,6 +69,7 @@ def register_tracepoint(name: str, fields: Tuple[str, ...], doc: str) -> Tracepo
         raise ValueError(f"tracepoint {name!r} registered twice")
     spec = TracepointSpec(name, tuple(fields), doc)
     TRACEPOINTS[name] = spec
+    _FIELDSETS[name] = frozenset(fields)
     return spec
 
 
@@ -271,10 +281,11 @@ class ObsManager:
         if not self.enabled:
             return
         if self.strict:
-            spec = TRACEPOINTS.get(name)
-            if spec is None:
+            expected = _FIELDSETS.get(name)
+            if expected is None:
                 raise ValueError(f"unknown tracepoint {name!r}")
-            if set(fields) != set(spec.fields):
+            if fields.keys() != expected:
+                spec = TRACEPOINTS[name]
                 raise ValueError(
                     f"tracepoint {name!r} expects fields {spec.fields}, "
                     f"got {tuple(sorted(fields))}"

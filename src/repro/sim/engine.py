@@ -119,6 +119,15 @@ class Engine:
         # Debug hook: called (no args) after every process resumption.
         # The paranoid invariant checker installs itself here.
         self.post_step_hook = None
+        # Bounded inline time-advance (the two-speed fast path): while a
+        # process holds control inside run(), it may ask to move the
+        # clock forward without a heap round-trip via try_advance().
+        # These mirror the active run() invocation's bounds so an inline
+        # advance can never skip an event, overrun `until`, or miss an
+        # `until_event` / stop() request.
+        self._run_until: Optional[float] = None
+        self._run_until_event: Optional[Event] = None
+        self._inline_ok = False
 
     # ------------------------------------------------------------------
     # Public API
@@ -151,29 +160,89 @@ class Engine:
         Returns the final clock value.
         """
         count = 0
-        while self._queue and not self._stopped:
-            if until_event is not None and until_event.triggered:
-                break
-            when, _tie, _seq, proc, value = self._queue[0]
-            if until is not None and when > until:
-                self.now = until
-                break
-            heapq.heappop(self._queue)
-            if not proc.alive:
-                continue
-            self.now = max(self.now, when)
-            self._step(proc, value)
-            if self.post_step_hook is not None:
-                self.post_step_hook()
-            count += 1
-            if max_events is not None and count >= max_events:
-                break
-        self._stopped = False
-        return self.now
+        prev_bounds = (self._run_until, self._run_until_event, self._inline_ok)
+        self._run_until = until
+        self._run_until_event = until_event
+        # Inline advances bypass the per-resumption bookkeeping, so they
+        # are only legal when nothing observes individual resumptions:
+        # no event budget, no jitter RNG draws per push, no post-step
+        # invariant hook.
+        self._inline_ok = max_events is None
+        try:
+            while self._queue and not self._stopped:
+                if until_event is not None and until_event.triggered:
+                    break
+                when, _tie, _seq, proc, value = self._queue[0]
+                if until is not None and when > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._queue)
+                if not proc.alive:
+                    continue
+                self.now = max(self.now, when)
+                self._step(proc, value)
+                if self.post_step_hook is not None:
+                    self.post_step_hook()
+                count += 1
+                if max_events is not None and count >= max_events:
+                    break
+            self._stopped = False
+            return self.now
+        finally:
+            self._run_until, self._run_until_event, self._inline_ok = prev_bounds
 
     def stop(self) -> None:
         """Request that :meth:`run` return after the current step."""
         self._stopped = True
+
+    def try_advance(self, target: float) -> bool:
+        """Advance the clock to ``target`` without a heap round-trip.
+
+        The two-speed fast path calls this from inside a process step in
+        place of ``yield cycles``: when it returns True the clock has
+        moved to ``target`` and the caller may keep executing inline;
+        when it returns False the caller must yield normally so the run
+        loop can service whatever made the shortcut illegal.
+
+        Skipping the push+pop is bit-exact because a fresh push always
+        carries a larger sequence number than every queued entry: on a
+        timestamp tie the queued entry wins, so the caller resumes with
+        nothing in between exactly when ``queue head > target`` --
+        which is the condition tested here (conservatively, ties yield).
+        Inline advance is refused whenever a resumption would have been
+        observable: jitter tie-breaking draws RNG per push, the paranoid
+        post-step hook runs per resumption, ``max_events`` counts
+        resumptions, and ``stop()`` / a triggered ``until_event`` /
+        ``until`` must regain control at the next boundary.
+        """
+        if (
+            not self._inline_ok
+            or self._stopped
+            or self._tie_rng is not None
+            or self.post_step_hook is not None
+        ):
+            return False
+        ue = self._run_until_event
+        if ue is not None and ue.triggered:
+            return False
+        ru = self._run_until
+        if ru is not None and target > ru:
+            return False
+        if self._queue and self._queue[0][0] <= target:
+            return False
+        if target < self.now:
+            raise SimulationError(f"try_advance to the past: {target} < {self.now}")
+        self.now = target
+        return True
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the earliest queued event, or None if idle.
+
+        Lets the fast path size a vectorized batch to end strictly
+        before the next wakeup instead of discovering the conflict by a
+        failed :meth:`try_advance`.
+        """
+        return self._queue[0][0] if self._queue else None
 
     def kill(self, proc: Process) -> None:
         """Terminate a process without resuming it again."""

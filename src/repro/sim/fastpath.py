@@ -1,0 +1,368 @@
+"""Two-speed access execution: batched fast path, event-engine slow path.
+
+The overwhelming majority of accesses in a tiering workload are plain
+TLB/PTE hits that change no tiering state; only faults, hint faults,
+shootdowns, and daemon passes interact with the rest of the machine.
+:class:`FastPathExecutor` exploits that: it looks ahead over the
+workload's chunk stream, validates a whole batch of chunks against the
+page table in one vectorized pass, and commits the non-faulting prefix
+chunk by chunk -- advancing the clock inline through
+:meth:`repro.sim.engine.Engine.try_advance` instead of a heap
+round-trip per chunk. The first access that needs the kernel drops the
+enclosing chunk into the unmodified
+:class:`~repro.mmu.access.AccessEngine` slow path, after which the
+batch scan resumes.
+
+Bit-exactness contract (the bench-regression gate enforces it):
+
+* every per-chunk quantity (timestamps, cycle sums, histograms, window
+  samples, counter bumps) is computed with the same operations in the
+  same order as the slow path, per chunk -- only *validation* is
+  batched, never the floating-point commit arithmetic;
+* batched state (ok-masks, per-access latencies) is keyed to
+  ``PageTable.version``; any structural PTE mutation -- a fault
+  handled, a migration committed or aborted, a daemon pass, a
+  shootdown-driven remap -- bumps it and forces revalidation;
+* the executor yields to the event engine whenever an event is due at
+  or before the end of the chunk just executed, so daemons wake
+  mid-batch at exactly the cycle they would have under the slow path.
+
+The batch size adapts: it doubles after every fully clean batch (up to
+``max_batch`` chunks) and resets to one whenever a chunk faults, so
+fault-dense phases pay almost no lookahead waste while hit-dominated
+phases amortize validation across thousands of accesses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, TYPE_CHECKING
+
+import numpy as np
+
+from ..mmu.pte import (
+    PTE_ACCESSED,
+    PTE_DIRTY,
+    PTE_HUGE,
+    PTE_PRESENT,
+    PTE_PROT_NONE,
+    PTE_WRITE,
+)
+from .bus import ChunkExecuted
+from .stats import LATENCY_BIN_EDGES, NR_LATENCY_BINS, WindowSample
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.cpu import Cpu
+    from ..workloads.base import Workload
+
+__all__ = ["FastPathExecutor"]
+
+
+class FastPathExecutor:
+    """Drives one application thread's chunk stream at two speeds."""
+
+    def __init__(self, machine, max_batch: int = 32) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.machine = machine
+        self.max_batch = max_batch
+        # Perf telemetry (not part of any simulated quantity).
+        self.fast_chunks = 0
+        self.slow_chunks = 0
+        self.revalidations = 0
+        self.vector_batches = 0
+
+    # ------------------------------------------------------------------
+    def run_stream(
+        self, workload: "Workload", cpu: "Cpu", stream, sink
+    ) -> Iterator[float]:
+        """The two-speed application thread process.
+
+        Drop-in replacement for ``RunScheduler._thread_proc`` when the
+        thread exclusively owns ``stream`` (a
+        :class:`~repro.workloads.base.ChunkStream`; sibling threads
+        sharing one iterator would see lookahead reorder their
+        chunk-to-thread assignment).
+        """
+        m = self.machine
+        engine = m.engine
+        space = workload.space
+        pt = space.page_table
+        compute = workload.compute_cycles_per_access
+        access = m.access
+        stats = m.stats
+        bus = m.bus
+        tier_of = m.tiers.tier_of_gpfn
+        rlat = access.rlat
+        wlat = access.wlat
+        note_chunk = m.tlb_directory.note_chunk
+        folio_mask = np.int64(~(m.folio_pages - 1))
+        acc_bit = np.uint32(PTE_ACCESSED)
+        dirty_bit = np.uint32(PTE_DIRTY)
+        pt_flags = pt.flags
+        pt_gpfn = pt.gpfn
+
+        batch = 1
+
+        while True:
+            window = stream.peek(batch)
+            if not window:
+                return
+
+            # -- validate the peeked chunks in one pass ----------------
+            if len(window) == 1:
+                cat_vpns, cat_w = window[0]
+            else:
+                cat_vpns = np.concatenate([p[0] for p in window])
+                cat_w = np.concatenate([p[1] for p in window])
+            f = pt_flags[cat_vpns]
+            ok = (f & PTE_PRESENT).astype(bool)
+            ok &= (f & PTE_PROT_NONE) == 0
+            ok &= ~cat_w | ((f & PTE_WRITE) != 0)
+            bad = ~ok
+            nclean = int(bad.argmax()) if bad.any() else len(cat_vpns)
+            if nclean:
+                # Tier-priced latency and histogram bin per clean access.
+                t = tier_of[pt_gpfn[cat_vpns[:nclean]]]
+                lat_all = np.where(cat_w[:nclean], wlat[t], rlat[t])
+                bins_all = np.searchsorted(
+                    LATENCY_BIN_EDGES, lat_all, side="right"
+                )
+            epoch = pt.version
+            total = len(cat_vpns)
+            faulted = nclean < total
+            nc = len(window)
+            n0 = len(window[0][0])
+            uniform = nc > 1 and all(len(p[0]) == n0 for p in window)
+            # Vectorized commit needs equal-length chunks (the reshape)
+            # and no ChunkExecuted subscriber (a subscriber observes
+            # state between chunks). ncc counts the window's leading
+            # fully-clean chunks; their per-chunk latency sums are
+            # row-wise pairwise reductions over contiguous slices of
+            # lat_all, bit-identical to the per-chunk 1D sums, and are
+            # computed once per validation (they only depend on the
+            # epoch, not on the clock).
+            can_vector = uniform and not bus.has_subscribers(ChunkExecuted)
+            if can_vector:
+                ncc = nclean // n0
+                seg_sums_all = (
+                    lat_all[: ncc * n0].reshape(ncc, n0).sum(axis=1).tolist()
+                    if ncc
+                    else []
+                )
+            else:
+                ncc = 0
+
+            # -- commit the validated prefix ---------------------------
+            # One validation pass feeds many commits: the inner loop
+            # walks the window, vector-committing runs of clean chunks
+            # that fit before the next queued event and falling back to
+            # single-chunk commits (or a yield) at the event horizon.
+            # Every yield hands control to the engine; on resumption the
+            # epoch check at the top of the loop forces a full
+            # revalidation if any event structurally touched the page
+            # table, otherwise the same validated arrays keep serving.
+            off = 0
+            stale = False
+            committed = 0
+            while committed < nc:
+                if pt.version != epoch:
+                    stale = True
+                    break
+
+                if can_vector and ncc - committed >= 2:
+                    # Chain per-chunk wall times exactly as the scalar
+                    # path would -- scalar Python floats, only the first
+                    # chunk carries an IPI stall (no event runs inside
+                    # the batch to add one) -- stopping at the first
+                    # chunk that would end at or past the next queued
+                    # event (try_advance yields on ties, so daemons
+                    # still wake at their exact cycle).
+                    head = engine.next_event_time()
+                    now = engine.now
+                    pend = cpu.pending_stall
+                    starts = []
+                    bases = []
+                    ends = []
+                    for c in range(ncc - committed):
+                        stall = pend if c == 0 else 0.0
+                        t0 = now + stall
+                        elapsed = t0 - now
+                        cycles = elapsed + seg_sums_all[committed + c]
+                        if compute:
+                            cycles += compute * n0
+                        end = now + cycles
+                        if head is not None and end >= head:
+                            break
+                        starts.append(now)
+                        bases.append(t0 + elapsed)
+                        now = end
+                        ends.append(end)
+                    j = len(ends)
+                    if j >= 2 and engine.try_advance(ends[-1]):
+                        # The whole run commits at once. The collapsed
+                        # array ops are bit-identical to the per-chunk
+                        # sequence: row-wise cumsum on contiguous rows
+                        # equals the per-chunk 1D cumsums, maximum.at
+                        # and the accessed/dirty ORs are commutative and
+                        # idempotent, and the per-chunk histograms come
+                        # from one offset bincount.
+                        cpu.drain_stall()
+                        for _ in range(j):
+                            stream.popleft()
+                        mj = j * n0
+                        sl = slice(off, off + mj)
+                        vp = cat_vpns[sl]
+                        wv = cat_w[sl]
+                        lat2d = lat_all[sl].reshape(j, n0)
+                        ts_flat = (
+                            np.asarray(bases)[:, None]
+                            + np.cumsum(lat2d, axis=1)
+                        ).reshape(-1)
+                        pt_flags[vp] |= acc_bit
+                        any_w = bool(wv.any())
+                        if any_w:
+                            wr_all = vp[wv]
+                            pt_flags[wr_all] |= dirty_bit
+                            np.maximum.at(pt.last_write, wr_all, ts_flat[wv])
+                        np.maximum.at(pt.last_access, vp, ts_flat)
+                        huge = (f[sl] & PTE_HUGE) != 0
+                        if huge.any():
+                            noted = np.where(huge, vp & folio_mask, vp)
+                            note_chunk(cpu.name, space.asid, noted)
+                        else:
+                            note_chunk(cpu.name, space.asid, vp)
+                        hist2d = np.bincount(
+                            (
+                                bins_all[sl].reshape(j, n0)
+                                + np.arange(j)[:, None] * NR_LATENCY_BINS
+                            ).reshape(-1),
+                            minlength=j * NR_LATENCY_BINS,
+                        ).reshape(j, NR_LATENCY_BINS)
+                        if any_w:
+                            w2d = wv.reshape(j, n0)
+                            all_w = bool(wv.all())
+                            nw_rows = w2d.sum(axis=1)
+                        for c in range(j):
+                            seg_cycles = seg_sums_all[committed + c]
+                            if not any_w:
+                                wc = 0.0
+                                nw = 0
+                            elif all_w:
+                                wc = seg_cycles
+                                nw = int(nw_rows[c])
+                            else:
+                                wc = float(lat2d[c][w2d[c]].sum())
+                                nw = int(nw_rows[c])
+                            cpu.account("user", (seg_cycles - wc) + wc)
+                            if compute:
+                                cpu.account("compute", compute * n0)
+                            sample = WindowSample(
+                                start=starts[c],
+                                end=ends[c],
+                                reads=n0 - nw,
+                                writes=nw,
+                                read_cycles=seg_cycles - wc,
+                                write_cycles=wc,
+                                latency_hist=hist2d[c],
+                            )
+                            stats.record_window(sample)
+                            sink(sample)
+                        self.fast_chunks += j
+                        self.vector_batches += 1
+                        committed += j
+                        off += mj
+                        continue
+
+                # Single-chunk commit against the validated prefix.
+                vpns, writes = window[committed]
+                n = len(vpns)
+                if off + n > nclean:
+                    break
+                stream.popleft()
+                committed += 1
+                now = engine.now
+                stall = cpu.drain_stall()
+                t0 = now + stall
+                elapsed = t0 - now
+                lat = lat_all[off : off + n]
+                ts = t0 + elapsed + np.cumsum(lat)
+                pt_flags[vpns] |= acc_bit
+                wr = vpns[writes]
+                if len(wr):
+                    pt_flags[wr] |= dirty_bit
+                    np.maximum.at(pt.last_write, wr, ts[writes])
+                np.maximum.at(pt.last_access, vpns, ts)
+                fc = f[off : off + n]
+                huge = (fc & PTE_HUGE) != 0
+                if huge.any():
+                    noted = np.where(huge, vpns & folio_mask, vpns)
+                    note_chunk(cpu.name, space.asid, noted)
+                else:
+                    note_chunk(cpu.name, space.asid, vpns)
+                if bus.has_subscribers(ChunkExecuted):
+                    bus.publish(ChunkExecuted(space, vpns, writes, ts))
+                hist = np.bincount(
+                    bins_all[off : off + n], minlength=NR_LATENCY_BINS
+                )
+                seg_cycles = float(lat.sum())
+                wc = float(lat[writes].sum())
+                nw = int(writes.sum())
+                cpu.account("user", (seg_cycles - wc) + wc)
+                cycles = elapsed + seg_cycles
+                if compute:
+                    extra = compute * n
+                    cpu.account("compute", extra)
+                    cycles += extra
+                sample = WindowSample(
+                    start=now,
+                    end=now + cycles,
+                    reads=n - nw,
+                    writes=nw,
+                    read_cycles=seg_cycles - wc,
+                    write_cycles=wc,
+                    latency_hist=hist,
+                )
+                stats.record_window(sample)
+                sink(sample)
+                self.fast_chunks += 1
+                off += n
+                if not engine.try_advance(now + cycles):
+                    yield cycles
+                # An event serviced during the yield may have remapped
+                # pages; the epoch check at the top of the loop catches
+                # that before the next chunk trusts the validated
+                # prefix.
+
+            if stale:
+                self.revalidations += 1
+                continue
+
+            if faulted and committed < len(window):
+                # The head chunk contains the first offending access:
+                # drop into the event-engine slow path wholesale.
+                vpns, writes = window[committed]
+                stream.popleft()
+                start = engine.now
+                result = access.run_chunk(space, cpu, vpns, writes)
+                cycles = result.cycles
+                if compute:
+                    extra = compute * len(vpns)
+                    cpu.account("compute", extra)
+                    cycles += extra
+                sample = WindowSample(
+                    start=start,
+                    end=start + cycles,
+                    reads=result.reads,
+                    writes=result.writes,
+                    read_cycles=result.read_cycles,
+                    write_cycles=result.write_cycles,
+                    latency_hist=result.latency_hist,
+                )
+                stats.record_window(sample)
+                sink(sample)
+                self.slow_chunks += 1
+                batch = 1
+                if not engine.try_advance(start + cycles):
+                    yield cycles
+            elif not faulted:
+                batch = min(batch * 2, self.max_batch)

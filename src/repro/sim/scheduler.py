@@ -154,6 +154,14 @@ class RunScheduler:
         sinks: List[List[WindowSample]] = [[] for _ in workloads]
         procs = []
         proc_groups: List[List] = [[] for _ in workloads]
+        # Two-speed execution applies when each thread exclusively owns
+        # its chunk stream (threads > 1 share one iterator, so lookahead
+        # would reorder chunk-to-thread assignment) and the run is not
+        # cycle-bounded (lookahead would advance workload RNG past the
+        # budget cut-off, changing a follow-up run's draws).
+        use_fastpath = (
+            m.config.fastpath_enabled and threads == 1 and run_cycles is None
+        )
         if threads > 1:
             workload = workloads[0]
             shared_chunks = workload.chunks()
@@ -170,7 +178,10 @@ class RunScheduler:
         else:
             for i, (workload, cpu_name) in enumerate(zip(workloads, app_cpus)):
                 proc = m.engine.spawn(
-                    self._app_proc(workload, m.cpus.get(cpu_name), sinks[i].append),
+                    self._app_proc(
+                        workload, m.cpus.get(cpu_name), sinks[i].append,
+                        fastpath=use_fastpath,
+                    ),
                     name=f"app:{workload.name}",
                 )
                 procs.append(proc)
@@ -204,9 +215,17 @@ class RunScheduler:
     # ------------------------------------------------------------------
     # Application processes
     # ------------------------------------------------------------------
-    def _app_proc(self, workload: "Workload", cpu: "Cpu", sink) -> Iterator[float]:
+    def _app_proc(
+        self, workload: "Workload", cpu: "Cpu", sink, fastpath: bool = False
+    ) -> Iterator[float]:
         workload.bind(self.machine)
-        yield from self._thread_proc(workload, cpu, workload.chunks(), sink)
+        if fastpath:
+            from .fastpath import FastPathExecutor
+
+            executor = FastPathExecutor(self.machine)
+            yield from executor.run_stream(workload, cpu, workload.stream(), sink)
+        else:
+            yield from self._thread_proc(workload, cpu, workload.chunks(), sink)
         workload.on_finish()
 
     def _thread_proc(self, workload: "Workload", cpu: "Cpu", chunks, sink) -> Iterator[float]:

@@ -10,6 +10,7 @@ Every quantity the paper reports is derived from the data collected here:
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
@@ -27,10 +28,17 @@ __all__ = ["Stats", "WindowSample", "PhaseReport", "LATENCY_BIN_EDGES"]
 # histograms the observability layer keeps).
 LATENCY_BIN_EDGES = np.geomspace(50.0, 1_000_000.0, num=57)
 NR_LATENCY_BINS = len(LATENCY_BIN_EDGES) + 1
+_LATENCY_EDGES_LIST = LATENCY_BIN_EDGES.tolist()
 
 
 def latency_histogram(latencies: np.ndarray) -> np.ndarray:
     """Bucket an array of per-access latencies (cycles)."""
+    if len(latencies) == 1:
+        # The fault path buckets one latency at a time; bisect gives the
+        # same bin as searchsorted side="right" without ufunc dispatch.
+        counts = np.zeros(NR_LATENCY_BINS, dtype=np.int64)
+        counts[bisect_right(_LATENCY_EDGES_LIST, float(latencies[0]))] = 1
+        return counts
     return bucket_values(LATENCY_BIN_EDGES, latencies)
 
 

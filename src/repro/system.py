@@ -23,7 +23,8 @@ PTEs disarmed) after which ``set_policy()`` accepts a new one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from .debug import DebugConfig, DebugManager
@@ -46,7 +47,7 @@ from .mmu.pte import (
 )
 from .mmu.tlb import TlbDirectory
 from .obs.tracepoints import ObsManager
-from .sim.bus import DemandPage, HintFault, NotifierBus, WpFault
+from .sim.bus import DemandPage, HintFault, LowWatermark, NotifierBus, WpFault
 from .sim.cpu import Cpu, CpuSet
 from .sim.engine import Engine
 from .sim.platform import Platform
@@ -54,6 +55,27 @@ from .sim.scheduler import RunReport, RunScheduler
 from .sim.stats import Stats
 
 __all__ = ["Machine", "MachineConfig", "RunReport"]
+
+# Per-kind stat keys, precomputed: the fault dispatcher is hot enough
+# that building the f-string per fault shows up in profiles.
+_FAULT_STAT_KEY = {kind: f"fault.{kind.value}" for kind in FaultType}
+
+
+def _default_fastpath() -> bool:
+    """Config default for ``fastpath_enabled``.
+
+    Honours the ``REPRO_FASTPATH`` environment variable (``0``/``off``/
+    ``false`` force the pure event-engine compat mode everywhere,
+    including bench worker processes) so any run can be bisected against
+    the slow path without touching code. The fast path changes wall
+    time only -- simulated results are bit-identical either way.
+    """
+    return os.environ.get("REPRO_FASTPATH", "1").strip().lower() not in (
+        "0",
+        "off",
+        "false",
+        "no",
+    )
 
 
 @dataclass
@@ -76,6 +98,13 @@ class MachineConfig:
     # historical base-page behaviour bit-exactly; THP experiments opt in.
     thp_order: int = 9
     thp_enabled: bool = False
+    # Two-speed engine (repro.sim.fastpath): batch-validate chunk runs
+    # and advance the clock inline between non-faulting chunks, dropping
+    # into the event-engine slow path only on faults. Bit-identical to
+    # the slow path by construction (the bench-regression gate pins it);
+    # turn off -- or export REPRO_FASTPATH=0 -- to bisect any suspected
+    # divergence against the pure event-engine execution.
+    fastpath_enabled: bool = field(default_factory=_default_fastpath)
     # Debug subsystem (fault injection + invariant checking, see
     # repro.debug). Off by default: a debug_enabled=False machine is
     # bit-identical to one built before the subsystem existed. ``debug``
@@ -122,6 +151,10 @@ class MachineConfig:
         if self.debug is not None and not isinstance(self.debug, DebugConfig):
             raise ValueError(
                 f"debug must be a DebugConfig, got {type(self.debug)!r}"
+            )
+        if not isinstance(self.fastpath_enabled, bool):
+            raise ValueError(
+                f"fastpath_enabled must be a bool, got {self.fastpath_enabled!r}"
             )
 
 
@@ -234,7 +267,7 @@ class Machine:
             cycles = costs.fault_trap + costs.fault_handle
         cpu.account("fault", cycles)
         self.stats.bump("fault.total")
-        self.stats.bump(f"fault.{fault.kind.value}")
+        self.stats.bump(_FAULT_STAT_KEY[fault.kind])
 
         if fault.kind is FaultType.NOT_PRESENT:
             cycles += self._demand_page(fault, cpu)
@@ -340,12 +373,16 @@ class Machine:
         """
         holders = self.tlb_directory.shootdown(space.asid, vpn)
         holders.discard(initiator.name)
-        remote = [self.cpus.get(name) for name in holders]
-        self.cpus.broadcast_ipi(initiator, remote)
-        cost = self.costs.shootdown_cycles(len(remote))
+        if holders:
+            remote = [self.cpus.get(name) for name in holders]
+            self.cpus.broadcast_ipi(initiator, remote)
+            nr_remote = len(remote)
+        else:
+            nr_remote = 0
+        cost = self.costs.shootdown_cycles(nr_remote)
         cost += self.debug.delay("mmu.tlb_delay")
         self.stats.bump("tlb.shootdowns")
-        self.stats.bump("tlb.shootdown_ipis", len(remote))
+        self.stats.bump("tlb.shootdown_ipis", nr_remote)
         return cost
 
     # ------------------------------------------------------------------
@@ -406,6 +443,14 @@ class Machine:
         on_tier = 0
         flags = PTE_WRITE if writable else 0
         order = self.config.thp_order
+        if self.folio_pages == 1:
+            varr = np.asarray(vpns, dtype=np.int64)
+            if (
+                len(varr) >= 64
+                and all(n.fault_hook is None for n in self.tiers.nodes)
+                and bool((np.diff(varr) > 0).all())
+            ):
+                return self._populate_bulk(space, varr, tier, flags)
         for vpn in vpns:
             vpn = int(vpn)
             if space.page_table.is_present(vpn):
@@ -435,6 +480,58 @@ class Machine:
             else:
                 on_tier += 1
             space.page_table.map(vpn, self.tiers.gpfn(frame), flags)
+            frame.add_rmap(space, vpn)
+            self.lru.add_new_page(frame)
+        return on_tier
+
+    def _populate_bulk(
+        self, space: AddressSpace, vpns: np.ndarray, tier: int, flags: int
+    ) -> int:
+        """Vectorized base-page populate.
+
+        Bit-identical to the per-page loop above for strictly increasing
+        vpns on a base-page machine: same FIFO frame assignment, same
+        spill-to-other-tier order, and a watermark wakeup at the same
+        simulation instant (repeat publishes in the loop are idempotent
+        no-ops on kswapd's already-triggered wakeup event). Gated off
+        when a debug allocation hook is installed so fault-injection
+        runs keep the faithful per-page path.
+        """
+        pt = space.page_table
+        todo = vpns[(pt.flags[vpns] & PTE_PRESENT) == 0]
+        if len(todo) == 0:
+            return 0
+        tiers = self.tiers
+        other = SLOW_TIER if tier == FAST_TIER else FAST_TIER
+        frames = tiers.nodes[tier].alloc_bulk(len(todo))
+        on_tier = len(frames)
+        if frames and tiers.nodes[tier].below_low():
+            self.bus.publish(LowWatermark(tier))
+        if len(frames) < len(todo):
+            spill = tiers.nodes[other].alloc_bulk(len(todo) - len(frames))
+            if spill:
+                frames += spill
+                if tiers.nodes[other].below_low():
+                    self.bus.publish(LowWatermark(other))
+        mapped = len(frames)
+        if mapped:
+            base = tiers._base
+            gpfns = np.fromiter(
+                (f.pfn for f in frames), dtype=np.int64, count=mapped
+            )
+            gpfns[:on_tier] += base[tier]
+            gpfns[on_tier:] += base[other]
+            pt.map_many(todo[:mapped], gpfns, flags)
+            for frame, vpn in zip(frames, todo[:mapped].tolist()):
+                frame.add_rmap(space, vpn)
+            self.lru.add_new_pages(frames)
+        # Both nodes exhausted: the remainder takes the last-ditch
+        # per-page path (AllocFail publication, possible OOM). These
+        # frames never count toward ``on_tier`` -- exactly like the
+        # per-page loop's fallback branch.
+        for vpn in todo[mapped:].tolist():
+            frame = tiers.alloc_page(tier)
+            pt.map(vpn, tiers.gpfn(frame), flags)
             frame.add_rmap(space, vpn)
             self.lru.add_new_page(frame)
         return on_tier

@@ -8,7 +8,9 @@ deterministic.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple, TYPE_CHECKING
+from collections import deque
+from itertools import islice
+from typing import Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -16,7 +18,59 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..mmu.address_space import AddressSpace
     from ..system import Machine
 
-__all__ = ["Workload", "ZipfGenerator"]
+__all__ = ["ChunkStream", "Workload", "ZipfGenerator"]
+
+
+class ChunkStream:
+    """Bounded-lookahead view over a chunk iterator.
+
+    The two-speed fast path (:mod:`repro.sim.fastpath`) validates
+    several upcoming chunks in one vectorized pass, so it needs to see
+    ahead of the chunk it is about to execute. Peeking buffers whole
+    chunks: the underlying ``generate(n)`` call sequence (and with it
+    every seeded workload's RNG draw pattern) is exactly what a plain
+    ``for chunk in workload.chunks()`` loop would produce -- lookahead
+    only shifts *when* a chunk is generated, never the argument
+    sequence, which is what keeps buffered streaming bit-identical.
+    """
+
+    def __init__(self, it: Iterator[Tuple[np.ndarray, np.ndarray]]) -> None:
+        self._it = it
+        self._buf: deque = deque()
+        self._done = False
+
+    def peek(self, k: int) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """The next up-to-``k`` chunks, without consuming them."""
+        while not self._done and len(self._buf) < k:
+            try:
+                self._buf.append(next(self._it))
+            except StopIteration:
+                self._done = True
+        if len(self._buf) <= k:
+            return list(self._buf)
+        return list(islice(self._buf, k))
+
+    def popleft(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Consume the oldest peeked chunk."""
+        return self._buf.popleft()
+
+    @property
+    def exhausted(self) -> bool:
+        """True once both the buffer and the source are empty."""
+        return self._done and not self._buf
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        while True:
+            if self._buf:
+                yield self._buf.popleft()
+                continue
+            if self._done:
+                return
+            try:
+                yield next(self._it)
+            except StopIteration:
+                self._done = True
+                return
 
 
 class ZipfGenerator:
@@ -112,6 +166,10 @@ class Workload:
                 break
             yield vpns, writes
             remaining -= len(vpns)
+
+    def stream(self) -> ChunkStream:
+        """The chunk iterator wrapped for bounded lookahead (fast path)."""
+        return ChunkStream(self.chunks())
 
     def on_finish(self) -> None:
         self.finished = True

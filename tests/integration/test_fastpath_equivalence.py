@@ -1,0 +1,138 @@
+"""Two-speed engine equivalence: fast path on == off, bit for bit.
+
+The batched fast path (:mod:`repro.sim.fastpath`) promises that enabling
+it changes *nothing* simulated -- cycles, counters, PTE state, window
+aggregates -- only wall-clock speed. These tests pin that promise from
+three angles: hypothesis-driven random traces across every policy, a
+deterministic streaming run that must engage the vectorized batch
+commit, and the THP arm where huge-folio mappings flow through the
+validation masks.
+"""
+
+import dataclasses
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Machine, MachineConfig
+from repro.bench.sweep import counter_digest
+from repro.policies import make_policy
+
+from ..conftest import tiny_platform
+from .test_properties import RandomTraceWorkload, trace_strategy
+
+
+def _run_trace(policy, nr_pages, fast_fraction, trace, fastpath, chunk=32):
+    """One full machine run; returns every simulated quantity we pin."""
+    cfg = MachineConfig(chunk_size=chunk, fastpath_enabled=fastpath)
+    machine = Machine(tiny_platform(fast_gb=1.0, slow_gb=2.0), cfg)
+    machine.set_policy(make_policy(policy, machine))
+    workload = RandomTraceWorkload(nr_pages, fast_fraction, trace)
+    report = machine.run_workload(workload)
+    pt = workload.space.page_table
+    return {
+        "cycles": report.cycles,
+        "digest": counter_digest(report.counters),
+        "counters": dict(report.counters),
+        "avg_access_cycles": report.overall.avg_access_cycles,
+        "bandwidth_gbps": report.overall.bandwidth_gbps,
+        "flags": pt.flags.copy(),
+        "gpfn": pt.gpfn.copy(),
+        "last_access": pt.last_access.copy(),
+        "last_write": pt.last_write.copy(),
+    }
+
+
+def _assert_identical(fast, slow):
+    assert fast["cycles"] == slow["cycles"]
+    assert fast["digest"] == slow["digest"]
+    assert fast["counters"] == slow["counters"]
+    assert fast["avg_access_cycles"] == slow["avg_access_cycles"]
+    assert fast["bandwidth_gbps"] == slow["bandwidth_gbps"]
+    for key in ("flags", "gpfn", "last_access", "last_write"):
+        np.testing.assert_array_equal(fast[key], slow[key], err_msg=key)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    policy=st.sampled_from(["no-migration", "tpp", "memtis-default", "nomad"]),
+    nr_pages=st.integers(min_value=4, max_value=500),
+    fast_fraction=st.floats(min_value=0.0, max_value=1.0),
+    trace=trace_strategy,
+    chunk=st.sampled_from([8, 32, 100]),
+)
+def test_fastpath_matches_slow_path(policy, nr_pages, fast_fraction, trace, chunk):
+    """Property: any trace, any policy, any chunking -- identical runs."""
+    fast = _run_trace(policy, nr_pages, fast_fraction, trace, True, chunk)
+    slow = _run_trace(policy, nr_pages, fast_fraction, trace, False, chunk)
+    _assert_identical(fast, slow)
+
+
+def test_vectorized_batch_commit_engages_and_matches(monkeypatch):
+    """A fault-free streaming run must take the vectorized batch path --
+    guarding against silent de-vectorization -- and still match the slow
+    path exactly."""
+    from repro.sim import fastpath as fp
+
+    captured = []
+    orig_init = fp.FastPathExecutor.__init__
+
+    def spy(self, machine, max_batch=32):
+        orig_init(self, machine, max_batch)
+        captured.append(self)
+
+    monkeypatch.setattr(fp.FastPathExecutor, "__init__", spy)
+
+    # Sequential sweeps over an all-fast working set: zero runtime
+    # faults after populate, uniform chunks -- the vectorized cell.
+    trace = [(i % 64, i % 3 == 0) for i in range(4000)]
+    fast = _run_trace("no-migration", 64, 1.0, trace, True, chunk=50)
+    assert captured, "fast path never constructed despite fastpath_enabled"
+    assert sum(e.vector_batches for e in captured) > 0, (
+        "vectorized batch commit never engaged on a fault-free stream"
+    )
+    assert sum(e.slow_chunks for e in captured) == 0
+    slow = _run_trace("no-migration", 64, 1.0, trace, False, chunk=50)
+    _assert_identical(fast, slow)
+
+
+def test_fastpath_matches_slow_path_with_thp():
+    """Huge-folio mappings (PTE_HUGE set) flow through the fast path's
+    validation and folio-head TLB noting; on/off must stay identical."""
+    from repro.bench.experiments.thp import thp_config
+    from repro.bench.runner import run_experiment
+    from repro.workloads import ZipfianMicrobench
+
+    def arm(fastpath):
+        cfg = dataclasses.replace(thp_config(True), fastpath_enabled=fastpath)
+        result = run_experiment(
+            "A",
+            "tpp",
+            lambda: ZipfianMicrobench.scenario(
+                "small", write_ratio=0.5, total_accesses=20_000, seed=7,
+                thp=True,
+            ),
+            config=cfg,
+        )
+        report = result.report
+        return report.cycles, counter_digest(report.counters)
+
+    assert arm(True) == arm(False)
+
+
+def test_repro_fastpath_env_knob(monkeypatch):
+    """REPRO_FASTPATH is the no-rebuild bisection switch: falsy spellings
+    disable the fast path for every new MachineConfig, anything else (or
+    unset) leaves it on."""
+    for value in ("0", "off", "FALSE", "no"):
+        monkeypatch.setenv("REPRO_FASTPATH", value)
+        assert MachineConfig().fastpath_enabled is False, value
+    for value in ("1", "on", "yes", ""):
+        monkeypatch.setenv("REPRO_FASTPATH", value)
+        assert MachineConfig().fastpath_enabled is True, value
+    monkeypatch.delenv("REPRO_FASTPATH")
+    assert MachineConfig().fastpath_enabled is True
+    # An explicit constructor argument beats the environment.
+    monkeypatch.setenv("REPRO_FASTPATH", "0")
+    assert MachineConfig(fastpath_enabled=True).fastpath_enabled is True
