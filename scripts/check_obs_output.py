@@ -16,7 +16,13 @@ Checks, with no dependencies beyond the standard library:
 * ``trace.json`` -- loadable Chrome Trace JSON with a non-empty
   ``traceEvents`` list of known phase types, sorted by timestamp;
 * ``gauges.csv`` -- a header plus at least two samples (the gauge
-  time-series acceptance floor).
+  time-series acceptance floor);
+* ``spans.jsonl`` -- every line is one completed lifecycle span with
+  exactly the span schema keys, a known kind, and ``start <= end``;
+* ``spans_trace.json`` -- the span Perfetto export (same Chrome Trace
+  checks as ``trace.json``, plus: spans must be slices, not instants);
+* ``timeseries.csv`` -- the exact :data:`TIMESERIES_COLUMNS` header,
+  rectangular rows, and non-overlapping monotonic window bounds.
 
 Exits non-zero listing every failure, so CI output shows the full
 breakage at once.
@@ -33,7 +39,13 @@ sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 from repro.obs.counters import COUNTERS  # noqa: E402
 from repro.obs.export import metric_name  # noqa: E402
 from repro.obs.sampler import GAUGES  # noqa: E402
+from repro.obs.spans import SPAN_KINDS  # noqa: E402
+from repro.obs.timeseries import TIMESERIES_COLUMNS  # noqa: E402
 from repro.obs.tracepoints import TRACEPOINTS  # noqa: E402
+
+SPAN_KEYS = {
+    "kind", "key", "start", "end", "outcome", "phases", "attrs", "children",
+}
 
 PROM_SAMPLE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)(?P<labels>\{[^}]*\})? (?P<value>\S+)$"
@@ -148,6 +160,81 @@ def check_gauges(path):
             err(f"{path}:{i}: ragged row ({len(row)} != {width} columns)")
 
 
+def check_spans(path):
+    for i, line in enumerate(path.read_text().splitlines(), 1):
+        try:
+            span = json.loads(line)
+        except json.JSONDecodeError as e:
+            err(f"{path}:{i}: not JSON: {e}")
+            continue
+        if set(span) != SPAN_KEYS:
+            err(f"{path}:{i}: keys {sorted(span)}, want {sorted(SPAN_KEYS)}")
+            continue
+        if span["kind"] not in SPAN_KINDS:
+            err(f"{path}:{i}: unknown span kind {span['kind']!r}")
+        if not isinstance(span["start"], (int, float)) or not isinstance(
+            span["end"], (int, float)
+        ):
+            err(f"{path}:{i}: non-numeric start/end")
+        elif span["start"] > span["end"]:
+            err(f"{path}:{i}: start {span['start']} > end {span['end']}")
+        if not isinstance(span["phases"], dict):
+            err(f"{path}:{i}: phases is {type(span['phases']).__name__}")
+        for j, child in enumerate(span.get("children", ())):
+            if child["start"] > child["end"]:
+                err(f"{path}:{i}: child {j} start > end")
+            if child["start"] < span["start"] or child["end"] > span["end"]:
+                err(f"{path}:{i}: child {j} outside parent bounds")
+
+
+def check_spans_chrome(path):
+    check_chrome(path)
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return  # already reported by check_chrome
+    events = doc.get("traceEvents") or []
+    instants = [e for e in events if e.get("ph") == "i"]
+    if instants:
+        err(
+            f"{path}: {len(instants)} instant event(s); spans must export "
+            "as complete ('X') slices"
+        )
+
+
+def check_timeseries(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    if not rows:
+        err(f"{path}: empty")
+        return
+    if tuple(rows[0]) != TIMESERIES_COLUMNS:
+        err(
+            f"{path}: header {rows[0]} != TIMESERIES_COLUMNS "
+            f"{list(TIMESERIES_COLUMNS)}"
+        )
+        return
+    if len(rows) < 2:
+        err(f"{path}: want >= 1 window row, got 0")
+    width = len(TIMESERIES_COLUMNS)
+    prev_end = None
+    for i, row in enumerate(rows[1:], 2):
+        if len(row) != width:
+            err(f"{path}:{i}: ragged row ({len(row)} != {width} columns)")
+            continue
+        try:
+            t_start, t_end = float(row[0]), float(row[1])
+        except ValueError:
+            err(f"{path}:{i}: non-numeric window bounds {row[:2]}")
+            continue
+        if t_start >= t_end:
+            err(f"{path}:{i}: empty/backward window [{t_start}, {t_end}]")
+        if prev_end is not None and t_start < prev_end:
+            err(f"{path}:{i}: window overlaps previous (t_start {t_start} "
+                f"< prev t_end {prev_end})")
+        prev_end = t_end
+
+
 def main(argv):
     if len(argv) != 2:
         print(__doc__)
@@ -158,6 +245,9 @@ def main(argv):
         "metrics.prom": check_prometheus,
         "trace.json": check_chrome,
         "gauges.csv": check_gauges,
+        "spans.jsonl": check_spans,
+        "spans_trace.json": check_spans_chrome,
+        "timeseries.csv": check_timeseries,
     }
     for fname, check in checks.items():
         path = out_dir / fname

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Sanity-check the ``selfprof`` section of a BENCH_*.json report.
+
+Usage::
+
+    python scripts/check_selfprof.py BENCH.json [--min-frac 0.5]
+
+The self-profiler attributes host wall time to disjoint subsystem
+buckets (app, kswapd, kpromote, scanner, obs, other), so the hard
+invariant is that the attributed sum never exceeds total wall time --
+if it does, the buckets overlap and the attribution is meaningless.
+That is an **error** here.
+
+Low coverage (lots of unattributed time: engine heap work, report
+assembly, import cost) is merely suspicious -- hardware and load
+dependent -- so ``--min-frac`` violations only **warn**; the exit code
+stays zero.
+"""
+
+import argparse
+import json
+import sys
+
+# Scheduling noise allowance: attributed_s and total_wall_s are rounded
+# independently, so allow a microsecond-scale epsilon before declaring
+# the partition broken.
+EPSILON_S = 1e-4
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", help="BENCH_*.json path")
+    parser.add_argument(
+        "--min-frac", type=float, default=0.5,
+        help="warn when attributed/total coverage falls below this",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.report) as f:
+        report = json.load(f)
+    prof = report.get("selfprof")
+    if not prof:
+        print(f"FAIL {args.report}: no selfprof section")
+        return 1
+
+    total = float(prof.get("total_wall_s", 0.0))
+    subsystems = prof.get("subsystems", {})
+    attributed = sum(float(s.get("seconds", 0.0)) for s in subsystems.values())
+
+    print(f"selfprof cell: {prof.get('cell', '?')}")
+    print(f"  total wall: {total:.4f}s, attributed: {attributed:.4f}s "
+          f"({prof.get('attributed_frac', 0.0):.0%})")
+    for name, sub in sorted(subsystems.items()):
+        print(f"    {name:<10} {sub.get('seconds', 0.0):>9.4f}s "
+              f"({sub.get('frac', 0.0):>6.1%}, "
+              f"{sub.get('steps', 0)} steps)")
+
+    if total <= 0:
+        print(f"FAIL {args.report}: total_wall_s is {total}")
+        return 1
+    if attributed > total + EPSILON_S:
+        print(
+            f"FAIL {args.report}: attributed {attributed:.4f}s exceeds "
+            f"total wall {total:.4f}s -- subsystem buckets overlap"
+        )
+        return 1
+    if attributed / total < args.min_frac:
+        print(
+            f"WARN {args.report}: only {attributed / total:.0%} of wall "
+            f"time attributed (floor {args.min_frac:.0%}) -- engine "
+            "overhead outside process steps is unusually high"
+        )
+    else:
+        print("ok: attribution is a valid partition of wall time")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -35,6 +35,7 @@ __all__ = [
     "PROFILES",
     "bench_jobs",
     "run_bench",
+    "selfprof_probe",
     "write_bench_report",
     "load_report",
     "compare_bench",
@@ -119,6 +120,50 @@ def bench_jobs(profile: str) -> List[JobSpec]:
     return jobs
 
 
+# The cell the wall-clock self-profile probe runs after the suite: one
+# representative Nomad write-heavy cell, executed in-process (the sweep
+# pool cannot carry a profiler across process boundaries). Simulated
+# quantities from the probe are discarded -- only host-time attribution
+# is reported -- so the probe can never perturb the pinned job records.
+_SELFPROF_CELL = {
+    "platform": "A",
+    "policy": "nomad",
+    "scenario": "small",
+    "write_ratio": 1.0,
+    "accesses": 20_000,
+    "seed": 42,
+}
+
+
+def selfprof_probe(cell: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Run one profiled cell; return host-time attribution per subsystem.
+
+    The returned dict is the :meth:`SelfProfiler.summary` digest plus a
+    ``cell`` id naming what was profiled (see docs/benchmarking.md).
+    """
+    from ..workloads import ZipfianMicrobench
+    from .runner import build_machine
+
+    spec = dict(_SELFPROF_CELL)
+    spec.update(cell or {})
+    machine = build_machine(spec["platform"], spec["policy"])
+    profiler = machine.obs.enable_selfprof()
+    workload = ZipfianMicrobench.scenario(
+        spec["scenario"],
+        write_ratio=spec["write_ratio"],
+        total_accesses=spec["accesses"],
+        seed=spec["seed"],
+    )
+    machine.run_workload(workload)
+    profiler.stop()
+    out = profiler.summary()
+    out["cell"] = (
+        f"{spec['platform']}/{spec['policy']}/{spec['scenario']}"
+        f"/w{spec['write_ratio']:g}/a{spec['accesses']}/s{spec['seed']}"
+    )
+    return out
+
+
 def run_bench(
     profile: str = "quick",
     workers: int = 1,
@@ -140,6 +185,9 @@ def run_bench(
         "profile": profile,
         "jobs": agg["jobs"],
         "summary": agg["summary"],
+        # Host-time attribution (wall-clock only; compare_bench ignores
+        # it -- scripts/check_selfprof.py sanity-checks the partition).
+        "selfprof": selfprof_probe(),
         "timing": {
             "wall_time_s": {
                 r["id"]: round(float(r["wall_time_s"]), 4) for r in records

@@ -5,6 +5,12 @@ methodology -- a time series sampled while a policy fights memory
 pressure -- but from the observability layer's gauge sampler instead of
 post-hoc bandwidth windows: MPQ depth, live shadow pages, and free fast
 frames over simulated time.
+
+``abort_timeline`` consumes the *windowed* time-series aggregator
+instead: per-window TPM commit/abort counts, the abort rate, and the
+window's migration-latency percentiles under a write-heavy (thrashing)
+workload -- the curve behind the paper's observation that dirty-page
+races are what throttles transactional promotion under write pressure.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ from ...workloads import ZipfianMicrobench
 from ..runner import build_machine
 from .registry import register, rows_printer
 
-__all__ = ["timeline_gauges"]
+__all__ = ["timeline_gauges", "abort_timeline"]
 
 # Gauges plotted by the timeline experiment (column order).
 _TIMELINE_GAUGES = (
@@ -60,5 +66,54 @@ register(
     "gauge timeline (MPQ depth, shadow pages, free fast frames) from an instrumented run",
     timeline_gauges,
     rows_printer("Gauge timeline (observability sampler)"),
+    platform_arg=True,
+)
+
+
+def abort_timeline(
+    accesses: int,
+    platform: Optional[str],
+    policy: str = "nomad",
+    write_ratio: float = 1.0,
+    window_cycles: float = 200_000.0,
+) -> List[dict]:
+    """Abort-rate-under-thrashing curve from the windowed aggregator.
+
+    All writes (the paper's worst case for transactional migration):
+    every promotion races the application's stores, so the per-window
+    abort rate tracks how hard the workload is thrashing the hot set.
+    """
+    machine = build_machine(platform or "A", policy)
+    agg = machine.obs.enable_timeseries(window_cycles=window_cycles)
+    workload = ZipfianMicrobench.scenario(
+        "medium", write_ratio=write_ratio, total_accesses=accesses
+    )
+    machine.run_workload(workload)
+    agg.finish()
+
+    rows = []
+    for row in agg.as_rows():
+        rows.append(
+            {
+                "time_mcycles": row["t_end"] / 1e6,
+                "commits": row["tpm_commits"],
+                "aborts": row["tpm_aborts"],
+                "abort_rate": round(row["abort_rate"], 4),
+                "mpq_depth": row["nomad_mpq_depth"],
+                "tpm_p50_cycles": round(row["tpm_p50_cycles"], 1),
+                "tpm_p99_cycles": round(row["tpm_p99_cycles"], 1),
+            }
+        )
+    if len(rows) > _MAX_ROWS:
+        step = len(rows) / _MAX_ROWS
+        rows = [rows[int(i * step)] for i in range(_MAX_ROWS)] + [rows[-1]]
+    return rows
+
+
+register(
+    "abort_timeline",
+    "per-window TPM abort rate + migration latency under a thrashing (all-write) workload",
+    abort_timeline,
+    rows_printer("TPM abort-rate timeline (windowed time series)"),
     platform_arg=True,
 )

@@ -9,6 +9,8 @@ Usage::
     python -m repro micro --policy nomad --scenario medium --write-ratio 0.5
     python -m repro trace --format chrome --output trace.json
     python -m repro obs --output-dir out/obs
+    python -m repro spans --format chrome --output spans.json
+    python -m repro top --scenario medium --write-ratio 0.7
     python -m repro sweep --platforms A,C --policies tpp,nomad --workers 4
     python -m repro bench --quick --workers 2
     python -m repro check --profile quick --report check.json
@@ -18,8 +20,13 @@ Usage::
 counters; ``trace`` dumps one cell's event stream (legacy counter CSV
 or the structured tracepoint formats); ``obs`` runs a fully
 instrumented cell and writes every exporter output (JSONL events,
-Chrome Trace for Perfetto, Prometheus text, gauge CSV); ``sweep``
-fans a declarative grid out across a worker pool; ``bench`` runs a
+Chrome Trace for Perfetto, Prometheus text, gauge CSV, span JSONL,
+windowed time-series CSV); ``spans`` dumps one cell's stitched
+lifecycle spans (migration transactions, queue residencies, shadow
+lifetimes) as JSONL or a Perfetto-loadable trace; ``top`` runs a cell
+with a live terminal dashboard tailing the windowed time series;
+``sweep`` fans a declarative grid out across a worker pool; ``bench``
+runs a
 pinned perf suite and writes a ``BENCH_<timestamp>.json`` report (see
 docs/benchmarking.md); ``check`` runs the chaos corpus -- a fault grid
 crossed with a seed set, runtime invariants enabled -- and exits
@@ -181,6 +188,9 @@ def _cmd_obs(args) -> int:
     machine.obs.enable(
         capacity=args.capacity, sample_period=args.sample_period
     )
+    # The second tier rides along so one `repro obs` run yields every
+    # artifact the schema checker validates (spans.jsonl, timeseries.csv).
+    machine.obs.enable_timeseries(window_cycles=args.window)
     report = machine.run_workload(workload)
     paths = write_obs_outputs(machine, args.output_dir)
     print_table(
@@ -203,6 +213,48 @@ def _cmd_obs(args) -> int:
     print_table(
         "Exports", ["format", "path"], sorted(paths.items())
     )
+    return 0
+
+
+def _cmd_spans(args) -> int:
+    import json
+
+    from .obs.spans import spans_to_chrome, spans_to_jsonl
+
+    machine, workload = _make_traced_cell(args)
+    tracker = machine.obs.enable_spans(capacity=args.capacity)
+    machine.run_workload(workload)
+    spans = tracker.spans()
+    if args.format == "jsonl":
+        text = spans_to_jsonl(spans)
+    else:  # chrome
+        text = json.dumps(spans_to_chrome(spans, machine.platform.freq_ghz))
+    wrote = _write_output(text, args.output)
+    if wrote:
+        summary = tracker.summary()
+        print_table(
+            f"Spans written to {args.output} "
+            f"({summary['completed']} completed, {summary['dropped']} "
+            f"dropped, {summary['open']} still open)",
+            ["kind:outcome", "count"],
+            sorted(summary["by_outcome"].items()),
+            "{:.0f}",
+        )
+    return 0
+
+
+def _cmd_top(args) -> int:
+    from .obs.top import run_top
+
+    machine, workload = _make_traced_cell(args)
+    frames = run_top(
+        machine,
+        workload,
+        window_cycles=args.window,
+        ansi=False if args.plain else None,
+        refresh_windows=args.refresh,
+    )
+    print(f"done: {frames} frame(s), sim {machine.engine.now:.0f} cycles")
     return 0
 
 
@@ -456,7 +508,68 @@ def build_parser() -> argparse.ArgumentParser:
     obs_p.add_argument(
         "--output-dir", default="obs-out", help="directory for exporter files"
     )
+    obs_p.add_argument(
+        "--window",
+        type=float,
+        default=100_000.0,
+        help="time-series window size in cycles",
+    )
     obs_p.set_defaults(func=_cmd_obs)
+
+    spans_p = sub.add_parser(
+        "spans",
+        help="run a cell and dump its stitched lifecycle spans",
+        epilog="Spans stitch the tracepoint stream into typed intervals: "
+        "TPM transactions (begin..commit/abort with a copy/protocol "
+        "phase breakdown and per-chunk children), MPQ residencies, "
+        "shadow-page lifetimes, and sync-migration fallbacks. The "
+        "chrome format loads in Perfetto with one lane per span kind.",
+    )
+    spans_p.add_argument("--policy", default="nomad")
+    spans_p.add_argument(
+        "--scenario", default="medium", choices=("small", "medium", "large")
+    )
+    spans_p.add_argument("--write-ratio", type=float, default=0.3)
+    spans_p.add_argument("--platform", default="A")
+    spans_p.add_argument("--accesses", type=int, default=60_000)
+    spans_p.add_argument("--capacity", type=int, default=16_384)
+    spans_p.add_argument(
+        "--output", default="-", help="output path ('-' for stdout)"
+    )
+    spans_p.add_argument(
+        "--format",
+        default="jsonl",
+        choices=("jsonl", "chrome"),
+        help="jsonl: one span per line; chrome: Perfetto-loadable slices",
+    )
+    spans_p.set_defaults(func=_cmd_spans)
+
+    top_p = sub.add_parser(
+        "top",
+        help="run a cell with a live terminal dashboard (windowed rates)",
+    )
+    top_p.add_argument("--policy", default="nomad")
+    top_p.add_argument(
+        "--scenario", default="medium", choices=("small", "medium", "large")
+    )
+    top_p.add_argument("--write-ratio", type=float, default=0.3)
+    top_p.add_argument("--platform", default="A")
+    top_p.add_argument("--accesses", type=int, default=60_000)
+    top_p.add_argument(
+        "--window",
+        type=float,
+        default=100_000.0,
+        help="refresh window in simulated cycles",
+    )
+    top_p.add_argument(
+        "--refresh", type=int, default=1,
+        help="redraw every Nth window (coarser refresh)",
+    )
+    top_p.add_argument(
+        "--plain", action="store_true",
+        help="never use ANSI redraw (sequential frames; default off-TTY)",
+    )
+    top_p.set_defaults(func=_cmd_top)
 
     sweep_p = sub.add_parser(
         "sweep",

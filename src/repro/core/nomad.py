@@ -224,7 +224,7 @@ class NomadPolicy(TieringPolicy):
             # whole shadow is stale: restore every saved permission and
             # drop the slow-tier folio in one go (a single PMD update).
             self.shadow_index.restore_master_write(frame)
-            self.shadow_index.discard(frame)
+            self.shadow_index.discard(frame, reason="fault")
             m.stats.bump("nomad.shadow_faults")
             m.stats.bump("thp.shadow_collapses")
             m.obs.emit("shadow.fault", vpn=fault.vpn, gpfn=gpfn)
@@ -234,7 +234,7 @@ class NomadPolicy(TieringPolicy):
         # discard the (about to become stale) shadow copy.
         pt.set_flags(fault.vpn, PTE_WRITE)
         pt.clear_flags(fault.vpn, PTE_SOFT_SHADOW_RW)
-        self.shadow_index.discard(frame)
+        self.shadow_index.discard(frame, reason="fault")
         m.stats.bump("nomad.shadow_faults")
         m.obs.emit("shadow.fault", vpn=fault.vpn, gpfn=gpfn)
         return m.costs.pte_update + m.costs.free_page

@@ -171,6 +171,15 @@ class MigrationPendingQueue:
         while self._queue:
             request = self._queue.popleft()
             del self._members[id(request.frame)]
+            if self.obs is not None:
+                # Queue residency ends here; the wait is the same
+                # quantity kpromote feeds the mpq.wait_cycles histogram.
+                self.obs.emit(
+                    "mpq.dequeue",
+                    vpn=request.vpn,
+                    wait_cycles=self.obs.now - request.mpq_ts,
+                    depth=len(self._queue),
+                )
             return request
         return None
 

@@ -80,9 +80,20 @@ class ShadowIndex:
         self.xarray.set_mark(gpfn, XA_MARK_0)  # reclaimable
         self._pages += shadow.nr_pages
         self.machine.stats.bump("nomad.shadows_created")
+        self.machine.obs.emit(
+            "shadow.create",
+            gpfn=gpfn,
+            vpn=master.rmap[0][1] if master.rmap else -1,
+            pages=shadow.nr_pages,
+        )
 
-    def discard(self, master: Frame) -> Optional[Frame]:
-        """Drop the shadow of ``master`` (freeing the slow-tier frame)."""
+    def discard(self, master: Frame, reason: str = "discard") -> Optional[Frame]:
+        """Drop the shadow of ``master`` (freeing the slow-tier frame).
+
+        ``reason`` only labels the ``shadow.drop`` tracepoint (the
+        shadow-fault collapse path passes ``"fault"``); the mechanism is
+        identical for every caller.
+        """
         gpfn = self.machine.tiers.gpfn(master)
         shadow = self.xarray.erase(gpfn)
         if shadow is None:
@@ -92,6 +103,9 @@ class ShadowIndex:
         self._pages -= shadow.nr_pages
         self.machine.tiers.free_folio(shadow)
         self.machine.stats.bump("nomad.shadows_discarded")
+        self.machine.obs.emit(
+            "shadow.drop", gpfn=gpfn, reason=reason, pages=shadow.nr_pages
+        )
         return shadow
 
     def detach(self, master: Frame) -> Optional[Frame]:
@@ -104,6 +118,9 @@ class ShadowIndex:
         master.clear_flag(FrameFlags.SHADOWED)
         shadow.clear_flag(FrameFlags.IS_SHADOW)
         self._pages -= shadow.nr_pages
+        self.machine.obs.emit(
+            "shadow.drop", gpfn=gpfn, reason="detach", pages=shadow.nr_pages
+        )
         return shadow
 
     def rekey(self, old_master: Frame, new_master: Frame) -> None:
@@ -117,6 +134,18 @@ class ShadowIndex:
         new_master.set_flag(FrameFlags.SHADOWED)
         self.xarray.store(new_gpfn, shadow)
         self.xarray.set_mark(new_gpfn, XA_MARK_0)
+        # Same shadow, new index key: close the old lifetime span and
+        # open a fresh one so span keys stay consistent with the index.
+        self.machine.obs.emit(
+            "shadow.drop", gpfn=old_gpfn, reason="rekey",
+            pages=shadow.nr_pages,
+        )
+        self.machine.obs.emit(
+            "shadow.create",
+            gpfn=new_gpfn,
+            vpn=new_master.rmap[0][1] if new_master.rmap else -1,
+            pages=shadow.nr_pages,
+        )
 
     # ------------------------------------------------------------------
     def reclaim(self, nr: int) -> Tuple[int, float]:
@@ -144,6 +173,12 @@ class ShadowIndex:
             shadow.clear_flag(FrameFlags.IS_SHADOW)
             self._pages -= shadow.nr_pages
             m.tiers.free_folio(shadow)
+            m.obs.emit(
+                "shadow.drop",
+                gpfn=gpfn,
+                reason="reclaim",
+                pages=shadow.nr_pages,
+            )
             freed += shadow.nr_pages
             cycles += m.costs.free_page + m.costs.pte_update
         if freed:

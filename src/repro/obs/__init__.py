@@ -20,6 +20,19 @@ Layout:
 * :mod:`repro.obs.export` -- JSONL / CSV / Prometheus text / Chrome
   Trace Event renderers.
 
+A second tier stitches the raw stream into higher-level views, each off
+by default and bit-neutral when enabled:
+
+* :mod:`repro.obs.spans` -- tracepoints folded into lifecycle spans
+  (TPM transactions with phase breakdowns, MPQ residencies, shadow
+  lifetimes, sync fallbacks), exported as JSONL or Perfetto slices;
+* :mod:`repro.obs.timeseries` -- counters/gauges/span latencies
+  aggregated into fixed simulated-time windows (abort rate, migration
+  rates, per-window p50/p99) for timeline plots and ``repro top``;
+* :mod:`repro.obs.selfprof` -- host wall-clock attribution per
+  subsystem (where does *simulator* time go);
+* :mod:`repro.obs.top` -- the live terminal dashboard.
+
 Typical use::
 
     machine = Machine(platform_a())
@@ -40,6 +53,20 @@ from .export import (
 )
 from .hist import Histogram, bucket_values, percentile_from_counts
 from .sampler import GAUGES, GaugeSampler, default_gauges
+from .selfprof import SelfProfiler
+from .spans import (
+    SPAN_KINDS,
+    Span,
+    SpanTracker,
+    spans_to_chrome,
+    spans_to_jsonl,
+)
+from .timeseries import (
+    TIMESERIES_COLUMNS,
+    TimeSeriesAggregator,
+    timeseries_to_csv,
+    timeseries_to_json,
+)
 from .tracepoints import (
     HISTOGRAM_SPECS,
     ObsManager,
@@ -73,4 +100,14 @@ __all__ = [
     "gauges_to_csv",
     "prometheus_text",
     "write_obs_outputs",
+    "SPAN_KINDS",
+    "Span",
+    "SpanTracker",
+    "spans_to_jsonl",
+    "spans_to_chrome",
+    "TIMESERIES_COLUMNS",
+    "TimeSeriesAggregator",
+    "timeseries_to_csv",
+    "timeseries_to_json",
+    "SelfProfiler",
 ]

@@ -324,4 +324,25 @@ def write_obs_outputs(machine, out_dir) -> Dict[str, str]:
         paths["gauges"] = os.path.join(out_dir, "gauges.csv")
         with open(paths["gauges"], "w") as f:
             f.write(gauges_to_csv(obs.sampler))
+    if obs.spans is not None:
+        from .spans import spans_to_chrome, spans_to_jsonl
+
+        spans = obs.spans.spans()
+        paths["spans"] = os.path.join(out_dir, "spans.jsonl")
+        with open(paths["spans"], "w") as f:
+            f.write(spans_to_jsonl(spans))
+        paths["spans_chrome"] = os.path.join(out_dir, "spans_trace.json")
+        with open(paths["spans_chrome"], "w") as f:
+            json.dump(
+                spans_to_chrome(spans, machine.platform.freq_ghz), f
+            )
+    if obs.timeseries is not None:
+        from .timeseries import timeseries_to_csv, timeseries_to_json
+
+        paths["timeseries"] = os.path.join(out_dir, "timeseries.csv")
+        with open(paths["timeseries"], "w") as f:
+            f.write(timeseries_to_csv(obs.timeseries))
+        paths["timeseries_json"] = os.path.join(out_dir, "timeseries.json")
+        with open(paths["timeseries_json"], "w") as f:
+            f.write(timeseries_to_json(obs.timeseries))
     return paths

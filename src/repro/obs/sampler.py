@@ -37,6 +37,10 @@ GAUGES: Dict[str, str] = {
     "nomad.pcq_depth": "promotion candidate queue depth",
     "nomad.shadow_pages": "live shadow pages",
     "engine.pending": "scheduled engine resumptions",
+    "fastpath.fast_chunks": "access chunks executed on the vectorized fast path",
+    "fastpath.slow_chunks": "access chunks bounced to the event engine",
+    "fastpath.vector_batches": "vectorized batches issued by the fast path",
+    "fastpath.revalidations": "fast-path translation revalidations",
 }
 
 
@@ -59,6 +63,19 @@ def _shadow_pages(machine: "Machine") -> Optional[float]:
     return float(index.nr_shadow_pages) if index is not None else None
 
 
+def _fastpath_total(machine: "Machine", attr: str) -> Optional[float]:
+    """Sum a two-speed telemetry counter across the run's executors.
+
+    ``None`` until the scheduler has registered at least one executor
+    (fast path disabled via REPRO_FASTPATH=0, or the run has no app
+    threads) so non-fastpath runs keep their gauge files unchanged.
+    """
+    executors = getattr(machine, "fastpath_executors", None)
+    if not executors:
+        return None
+    return float(sum(getattr(ex, attr, 0) for ex in executors))
+
+
 def default_gauges() -> Dict[str, Gauge]:
     """The standard gauge set; every name appears in :data:`GAUGES`."""
     # Imported lazily: repro.mem.tiers itself imports repro.sim, which
@@ -76,6 +93,14 @@ def default_gauges() -> Dict[str, Gauge]:
         "nomad.pcq_depth": _pcq_depth,
         "nomad.shadow_pages": _shadow_pages,
         "engine.pending": lambda m: float(m.engine.pending),
+        "fastpath.fast_chunks": lambda m: _fastpath_total(m, "fast_chunks"),
+        "fastpath.slow_chunks": lambda m: _fastpath_total(m, "slow_chunks"),
+        "fastpath.vector_batches": lambda m: _fastpath_total(
+            m, "vector_batches"
+        ),
+        "fastpath.revalidations": lambda m: _fastpath_total(
+            m, "revalidations"
+        ),
     }
 
 

@@ -1,0 +1,217 @@
+"""Windowed time series: counters, gauges, and span latencies per bucket.
+
+The gauge sampler answers "how deep is the queue *now*"; the counters
+answer "how many migrations *ever*". The paper's phase-change arguments
+(Figures 7-10, the abort-rate-under-thrashing analysis) need the thing
+in between: *rates per fixed window of simulated time*. This module
+buckets a run into ``window_cycles``-sized windows and records, per
+window:
+
+* deltas of the migration counters (promotions, demotions, TPM
+  commits/aborts, shadow faults, total faults) and the derived abort
+  rate ``aborts / (commits + aborts)``;
+* boundary gauge readings (MPQ/PCQ depth, live shadow pages, free fast
+  frames) via the same callables the gauge sampler uses;
+* p50/p99 of the TPM migration spans that *closed* inside the window
+  (fed by the span tracker; zero when no spans closed), plus the count
+  of spans closed.
+
+The aggregator is an engine process exactly like the gauge sampler: it
+wakes at each window boundary, reads state, and writes its own rows --
+it never charges cycles or mutates frames, so enabling it is invisible
+to the simulation (the invariance test pins this). Rows live in a
+bounded ring with drop accounting; a live consumer (``repro top``)
+subscribes with :meth:`TimeSeriesAggregator.on_window`.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+from .hist import Histogram
+from .sampler import default_gauges
+from .tracepoints import TraceRing
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..system import Machine
+    from .spans import Span
+
+__all__ = [
+    "TIMESERIES_COLUMNS",
+    "TimeSeriesAggregator",
+    "timeseries_to_csv",
+    "timeseries_to_json",
+]
+
+# Counter deltas tracked per window: column name -> Stats counter.
+_COUNTER_KEYS = {
+    "promotions": "migrate.promotions",
+    "demotions": "migrate.demotions",
+    "tpm_commits": "nomad.tpm_commits",
+    "tpm_aborts": "nomad.tpm_aborts",
+    "shadow_faults": "nomad.shadow_faults",
+    "faults": "fault.total",
+}
+
+# Boundary gauge readings (None while the gauge has no source, e.g. MPQ
+# depth under a non-Nomad policy -- exported as an empty CSV cell).
+_GAUGE_KEYS = (
+    "nomad.mpq_depth",
+    "nomad.pcq_depth",
+    "nomad.shadow_pages",
+    "mem.fast_free_pages",
+)
+
+# The fixed CSV schema (scripts/check_obs_output.py validates it).
+TIMESERIES_COLUMNS = (
+    "t_start",
+    "t_end",
+    *_COUNTER_KEYS,
+    "abort_rate",
+    *(name.replace(".", "_") for name in _GAUGE_KEYS),
+    "tpm_p50_cycles",
+    "tpm_p99_cycles",
+    "spans_closed",
+)
+
+
+class TimeSeriesAggregator:
+    """Engine process folding a run into fixed simulated-time windows."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        window_cycles: float = 100_000.0,
+        capacity: int = 4096,
+    ) -> None:
+        if window_cycles <= 0:
+            raise ValueError("window_cycles must be positive")
+        self.machine = machine
+        self.window_cycles = float(window_cycles)
+        self.rows = TraceRing(capacity=capacity, overwrite=True)
+        self._gauges = {name: default_gauges()[name] for name in _GAUGE_KEYS}
+        self._last = self._counter_snapshot()
+        self._t_start = machine.engine.now
+        self._hist = Histogram.geometric(100.0, 1e8, 49, name="tpm.span_cycles")
+        self._spans_closed = 0
+        self._callbacks: List[Callable[[Dict[str, Any]], None]] = []
+        self.proc = None
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> "TimeSeriesAggregator":
+        if self.proc is None or not self.proc.alive:
+            self.proc = self.machine.engine.spawn(
+                self._run(), name="obs.timeseries"
+            )
+        return self
+
+    def stop(self) -> None:
+        if self.proc is not None and self.proc.alive:
+            self.machine.engine.kill(self.proc)
+        self.proc = None
+
+    def _run(self):
+        while True:
+            yield self.window_cycles
+            self._close_window()
+
+    def on_window(self, callback: Callable[[Dict[str, Any]], None]) -> None:
+        """Call ``callback(row)`` as each window closes (live consumers)."""
+        self._callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    def note_span(self, span: "Span") -> None:
+        """Span-tracker feed: migration latency per closing TPM span."""
+        if span.kind != "tpm":
+            return
+        self._spans_closed += 1
+        self._hist.observe(max(span.duration, 1e-9))
+
+    # ------------------------------------------------------------------
+    def _counter_snapshot(self) -> Dict[str, float]:
+        counters = self.machine.stats.counters
+        return {
+            col: counters.get(name, 0.0)
+            for col, name in _COUNTER_KEYS.items()
+        }
+
+    def _close_window(self) -> None:
+        now = self.machine.engine.now
+        snap = self._counter_snapshot()
+        row: Dict[str, Any] = {
+            "t_start": self._t_start,
+            "t_end": now,
+        }
+        for col in _COUNTER_KEYS:
+            row[col] = snap[col] - self._last[col]
+        ended = row["tpm_commits"] + row["tpm_aborts"]
+        row["abort_rate"] = row["tpm_aborts"] / ended if ended else 0.0
+        for name, gauge in self._gauges.items():
+            row[name.replace(".", "_")] = gauge(self.machine)
+        if self._hist.total:
+            row["tpm_p50_cycles"] = self._hist.percentile(50.0)
+            row["tpm_p99_cycles"] = self._hist.percentile(99.0)
+        else:
+            row["tpm_p50_cycles"] = 0.0
+            row["tpm_p99_cycles"] = 0.0
+        row["spans_closed"] = self._spans_closed
+        self.rows.append(row)
+        for callback in self._callbacks:
+            callback(row)
+        self._last = snap
+        self._t_start = now
+        self._hist = Histogram.geometric(
+            100.0, 1e8, 49, name="tpm.span_cycles"
+        )
+        self._spans_closed = 0
+
+    def finish(self) -> None:
+        """Close the final partial window (idempotent; exporters call it)."""
+        if self._finished:
+            return
+        if self.machine.engine.now > self._t_start:
+            self._close_window()
+        self._finished = True
+
+    # ------------------------------------------------------------------
+    def as_rows(self) -> List[Dict[str, Any]]:
+        return self.rows.records()
+
+    def latest(self) -> Optional[Dict[str, Any]]:
+        records = self.rows.records()
+        return records[-1] if records else None
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+def timeseries_to_csv(agg: TimeSeriesAggregator) -> str:
+    """Fixed-schema CSV, one row per window (empty cell = no gauge)."""
+    agg.finish()
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(TIMESERIES_COLUMNS)
+    for row in agg.as_rows():
+        writer.writerow(
+            ["" if row.get(col) is None else row.get(col, "")
+             for col in TIMESERIES_COLUMNS]
+        )
+    return buf.getvalue()
+
+
+def timeseries_to_json(agg: TimeSeriesAggregator) -> str:
+    """The same windows as a JSON document (list of row objects)."""
+    agg.finish()
+    return json.dumps(
+        {
+            "window_cycles": agg.window_cycles,
+            "dropped": agg.rows.dropped,
+            "rows": agg.as_rows(),
+        },
+        indent=1,
+        sort_keys=True,
+    ) + "\n"

@@ -106,8 +106,20 @@ register_tracepoint(
     "a batch of shadow pages was reclaimed",
 )
 register_tracepoint(
+    "shadow.create", ("gpfn", "vpn", "pages"),
+    "a committed promotion kept its slow-tier source as a shadow copy",
+)
+register_tracepoint(
+    "shadow.drop", ("gpfn", "reason", "pages"),
+    "a shadow was removed (reason: fault/discard/detach/reclaim)",
+)
+register_tracepoint(
     "mpq.enqueue", ("vpn", "depth"),
     "a hot page entered the migration pending queue",
+)
+register_tracepoint(
+    "mpq.dequeue", ("vpn", "wait_cycles", "depth"),
+    "kpromote popped a request for migration (queue residency ended)",
 )
 register_tracepoint(
     "mpq.drop", ("vpn", "reason", "depth"),
@@ -229,6 +241,15 @@ class ObsManager:
         self.ring: Optional[TraceRing] = None
         self.histograms: Dict[str, Histogram] = {}
         self.sampler: Optional["GaugeSampler"] = None
+        # Second observability tier (all off by default; see enable_*):
+        # span stitching, windowed time series, wall-clock self-profile.
+        self.spans = None  # SpanTracker
+        self.timeseries = None  # TimeSeriesAggregator
+        self.selfprof = None  # SelfProfiler
+        # emit() fan-out beyond the ring (the span tracker subscribes
+        # here). Listeners receive the TraceRecord; they must only read
+        # simulation state, never mutate it.
+        self._listeners: List[Any] = []
 
     # ------------------------------------------------------------------
     def enable(
@@ -261,10 +282,74 @@ class ObsManager:
         self.enabled = True
         return self
 
+    # ------------------------------------------------------------------
+    # Second tier: spans, windowed time series, wall-clock self-profile
+    # ------------------------------------------------------------------
+    def enable_spans(self, capacity: int = 16384, overwrite: bool = True):
+        """Stitch tracepoints into lifecycle spans (idempotent).
+
+        Enables the base layer first if needed: spans are derived purely
+        from emitted tracepoints, so the faucet must be open. Returns
+        the :class:`~repro.obs.spans.SpanTracker`.
+        """
+        if self.spans is not None:
+            return self.spans
+        if not self.enabled:
+            self.enable(sample_period=None)
+        from .spans import SpanTracker
+
+        self.spans = SpanTracker(self.machine, capacity=capacity,
+                                 overwrite=overwrite)
+        self._listeners.append(self.spans.feed)
+        return self.spans
+
+    def enable_timeseries(
+        self, window_cycles: float = 100_000.0, capacity: int = 4096
+    ):
+        """Aggregate counters/gauges/span latencies into fixed windows.
+
+        Implies :meth:`enable_spans` (per-window migration-latency
+        percentiles are fed by closing spans). Returns the running
+        :class:`~repro.obs.timeseries.TimeSeriesAggregator`.
+        """
+        if self.timeseries is not None:
+            return self.timeseries
+        tracker = self.enable_spans()
+        from .timeseries import TimeSeriesAggregator
+
+        self.timeseries = TimeSeriesAggregator(
+            self.machine, window_cycles=window_cycles, capacity=capacity
+        )
+        tracker.subscribe(self.timeseries.note_span)
+        self.timeseries.start()
+        return self.timeseries
+
+    def enable_selfprof(self):
+        """Attribute host wall time to subsystems (idempotent).
+
+        Purely wall-clock: the profiler hooks the engine's process
+        resumptions and never reads or writes simulated state, so it is
+        usable even with the rest of the faucet closed. Returns the
+        :class:`~repro.obs.selfprof.SelfProfiler`.
+        """
+        if self.selfprof is not None:
+            return self.selfprof
+        from .selfprof import SelfProfiler
+
+        self.selfprof = SelfProfiler()
+        self.selfprof.start()
+        self.machine.engine.profiler = self.selfprof
+        return self.selfprof
+
     def disable(self) -> None:
         """Stop recording (collected data stays queryable)."""
         if self.sampler is not None:
             self.sampler.stop()
+        if self.timeseries is not None:
+            self.timeseries.stop()
+        if self.selfprof is not None:
+            self.selfprof.stop()
+            self.machine.engine.profiler = None
         self.enabled = False
 
     def __enter__(self) -> "ObsManager":
@@ -290,7 +375,11 @@ class ObsManager:
                     f"tracepoint {name!r} expects fields {spec.fields}, "
                     f"got {tuple(sorted(fields))}"
                 )
-        self.ring.append(TraceRecord(self.machine.engine.now, name, fields))
+        record = TraceRecord(self.machine.engine.now, name, fields)
+        self.ring.append(record)
+        if self._listeners:
+            for listener in self._listeners:
+                listener(record)
 
     def observe(self, name: str, value: float) -> None:
         """Feed one duration sample into the named histogram."""
@@ -341,5 +430,22 @@ class ObsManager:
             out["gauges"] = {
                 name: len(series)
                 for name, series in sorted(self.sampler.series.items())
+            }
+        executors = getattr(self.machine, "fastpath_executors", None)
+        if executors:
+            # Two-speed engagement (PR 6 telemetry, machine-wide totals).
+            out["fastpath"] = {
+                "fast_chunks": sum(e.fast_chunks for e in executors),
+                "slow_chunks": sum(e.slow_chunks for e in executors),
+                "vector_batches": sum(e.vector_batches for e in executors),
+                "revalidations": sum(e.revalidations for e in executors),
+            }
+        if self.spans is not None:
+            out["spans"] = self.spans.summary()
+        if self.timeseries is not None:
+            out["timeseries"] = {
+                "windows": len(self.timeseries.rows),
+                "dropped": self.timeseries.rows.dropped,
+                "window_cycles": self.timeseries.window_cycles,
             }
         return out

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter_ns
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 __all__ = ["Engine", "Event", "Process", "SimulationError"]
@@ -119,6 +120,12 @@ class Engine:
         # Debug hook: called (no args) after every process resumption.
         # The paranoid invariant checker installs itself here.
         self.post_step_hook = None
+        # Optional wall-clock self-profiler (repro.obs.selfprof): when
+        # set, every process resumption is timed and attributed by
+        # process name. Host-clock only -- it cannot move simulated
+        # time, so (unlike post_step_hook) it does not disqualify the
+        # inline fast-path advance.
+        self.profiler = None
         # Bounded inline time-advance (the two-speed fast path): while a
         # process holds control inside run(), it may ask to move the
         # clock forward without a heap round-trip via try_advance().
@@ -180,7 +187,13 @@ class Engine:
                 if not proc.alive:
                     continue
                 self.now = max(self.now, when)
-                self._step(proc, value)
+                profiler = self.profiler
+                if profiler is None:
+                    self._step(proc, value)
+                else:
+                    t0 = perf_counter_ns()
+                    self._step(proc, value)
+                    profiler.note(proc.name, perf_counter_ns() - t0)
                 if self.post_step_hook is not None:
                     self.post_step_hook()
                 count += 1

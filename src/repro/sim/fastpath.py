@@ -343,7 +343,14 @@ class FastPathExecutor:
                 vpns, writes = window[committed]
                 stream.popleft()
                 start = engine.now
-                result = access.run_chunk(space, cpu, vpns, writes)
+                profiler = engine.profiler
+                if profiler is None:
+                    result = access.run_chunk(space, cpu, vpns, writes)
+                else:
+                    # Host-clock detail bucket: how much of the app's
+                    # wall time is spent bailing to the event engine.
+                    with profiler.scope("app.slowpath"):
+                        result = access.run_chunk(space, cpu, vpns, writes)
                 cycles = result.cycles
                 if compute:
                     extra = compute * len(vpns)

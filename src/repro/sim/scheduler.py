@@ -54,7 +54,11 @@ class RunReport:
     * ``cycles`` -- the engine clock when the run ended;
     * ``obs`` -- observability digest (tracepoint counts, ring drops,
       histogram summaries, gauge sample counts) when ``machine.obs``
-      was enabled for the run, else ``None``.
+      was enabled for the run, else ``None``;
+    * ``selfprof`` -- host wall-clock attribution per subsystem when the
+      self-profiler was enabled (``machine.obs.enable_selfprof()``),
+      else ``None``. Host-side only: never feeds back into simulated
+      state.
     """
 
     transient: "PhaseReport"
@@ -66,6 +70,7 @@ class RunReport:
     workload: str = ""
     workload_counters: Dict[str, float] = field(default_factory=dict)
     obs: Optional[Dict[str, Any]] = None
+    selfprof: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serializable digest of the report.
@@ -107,6 +112,7 @@ class RunReport:
                 for cpu, cats in sorted(self.breakdowns.items())
             },
             "obs": self.obs,
+            "selfprof": self.selfprof,
         }
 
 
@@ -210,6 +216,10 @@ class RunScheduler:
             obs_summary = m.obs.summary()
             for report in reports:
                 report.obs = obs_summary
+        if m.obs.selfprof is not None:
+            prof_summary = m.obs.selfprof.summary()
+            for report in reports:
+                report.selfprof = prof_summary
         return reports
 
     # ------------------------------------------------------------------
@@ -223,6 +233,7 @@ class RunScheduler:
             from .fastpath import FastPathExecutor
 
             executor = FastPathExecutor(self.machine)
+            self.machine.fastpath_executors.append(executor)
             yield from executor.run_stream(workload, cpu, workload.stream(), sink)
         else:
             yield from self._thread_proc(workload, cpu, workload.chunks(), sink)

@@ -198,6 +198,10 @@ class Machine:
         self.tlb_directory = TlbDirectory()
         self.access = AccessEngine(self)
         self.spaces: List[AddressSpace] = []
+        # Two-speed executors register here (one per app thread) so
+        # observability can read fast/slow-path engagement without
+        # reaching into scheduler locals.
+        self.fastpath_executors: List = []
         self.policy = None
         self.kswapd = [Kswapd(self, FAST_TIER), Kswapd(self, SLOW_TIER)]
         for daemon in self.kswapd:

@@ -113,7 +113,9 @@ def test_cli_check_exits_nonzero_on_violation(monkeypatch, capsys):
     # Plant a bug so the corpus genuinely finds something.
     from repro.core.shadow import ShadowIndex
 
-    monkeypatch.setattr(ShadowIndex, "discard", lambda self, master: None)
+    monkeypatch.setattr(
+        ShadowIndex, "discard", lambda self, master, reason="discard": None
+    )
     rc = main([
         "check", "--faults", "none", "--seeds", "42", "--accesses", "4000",
     ])

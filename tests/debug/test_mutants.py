@@ -57,7 +57,9 @@ def test_skipped_shadow_discard_is_caught(monkeypatch):
     # but forgets to drop the now-stale shadow copy. The master page can
     # be dirtied while a reclaimable "clean copy" of it still exists --
     # remap-demotion would silently resurrect stale data.
-    monkeypatch.setattr(ShadowIndex, "discard", lambda self, master: None)
+    monkeypatch.setattr(
+        ShadowIndex, "discard", lambda self, master, reason="discard": None
+    )
     machine = chaos_run()
     assert any(
         "writable" in v.detail and "while its shadow lives" in v.detail
@@ -86,8 +88,8 @@ def test_forgotten_shadowed_flag_clear_is_caught(monkeypatch):
     # a remap target existed.
     real_discard = ShadowIndex.discard
 
-    def buggy_discard(self, master):
-        shadow = real_discard(self, master)
+    def buggy_discard(self, master, reason="discard"):
+        shadow = real_discard(self, master, reason=reason)
         if shadow is not None:
             from repro.mem.frame import FrameFlags
 

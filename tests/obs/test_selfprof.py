@@ -1,0 +1,76 @@
+"""Wall-clock self-profiler: attribution is a partition of wall time."""
+
+import time
+
+from repro.bench.runner import build_machine
+from repro.obs.selfprof import SelfProfiler
+from repro.workloads import ZipfianMicrobench
+
+
+def test_categories_bucket_by_process_name():
+    prof = SelfProfiler()
+    assert prof.category("app:zipf:app0") == "app"
+    assert prof.category("kswapd0") == "kswapd"
+    assert prof.category("kpromote") == "kpromote"
+    assert prof.category("numa_scanner:app0") == "scanner"
+    assert prof.category("obs.timeseries") == "obs"
+    assert prof.category("some-test-proc") == "other"
+
+
+def test_note_accumulates_and_summary_partitions():
+    prof = SelfProfiler().start()
+    prof.note("app:w", 1000)
+    prof.note("app:w", 500)
+    prof.note("kswapd0", 200)
+    time.sleep(0.001)
+    prof.stop()
+    s = prof.summary()
+    assert s["subsystems"]["app"]["steps"] == 2
+    assert s["subsystems"]["app"]["seconds"] >= s["subsystems"]["kswapd"]["seconds"]
+    assert s["attributed_s"] <= s["total_wall_s"] + 1e-4
+
+
+def test_scope_lands_in_detail_not_subsystems():
+    prof = SelfProfiler().start()
+    with prof.scope("app.slowpath"):
+        pass
+    prof.stop()
+    s = prof.summary()
+    assert "app.slowpath" in s["detail"]
+    assert "app.slowpath" not in s["subsystems"]
+
+
+def test_profiled_run_attribution_never_exceeds_wall():
+    machine = build_machine("A", "nomad")
+    prof = machine.obs.enable_selfprof()
+    workload = ZipfianMicrobench.scenario(
+        "small", write_ratio=0.5, total_accesses=8_000, seed=5
+    )
+    report = machine.run_workload(workload)
+    prof.stop()
+    s = report.selfprof
+    assert s is not None
+    assert s["total_wall_s"] > 0
+    assert sum(
+        sub["seconds"] for sub in s["subsystems"].values()
+    ) <= s["total_wall_s"] + 1e-4
+    # The app thread and at least one daemon were actually attributed.
+    assert s["subsystems"]["app"]["steps"] > 0
+    assert "kpromote" in s["subsystems"]
+
+
+def test_disable_detaches_profiler_from_engine():
+    machine = build_machine("A", "nomad")
+    machine.obs.enable_selfprof()
+    assert machine.engine.profiler is machine.obs.selfprof
+    machine.obs.disable()
+    assert machine.engine.profiler is None
+
+
+def test_selfprof_probe_shape():
+    from repro.bench.baseline import selfprof_probe
+
+    out = selfprof_probe({"accesses": 4_000})
+    assert out["cell"].startswith("A/nomad/small/")
+    assert out["total_wall_s"] > 0
+    assert set(out["subsystems"]) >= {"app"}

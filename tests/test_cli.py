@@ -16,7 +16,8 @@ def test_experiments_cover_all_figures_and_tables():
     expected = {
         "tab1", "fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11",
         "fig12", "fig13", "fig14", "fig15", "fig16", "tab2", "tab3", "tab4",
-        "abl-variants", "abl-reclaim", "timeline", "thp_vs_base",
+        "abl-variants", "abl-reclaim", "timeline", "abort_timeline",
+        "thp_vs_base",
     }
     assert expected == set(EXPERIMENTS)
 
