@@ -22,7 +22,10 @@ Checks, with no dependencies beyond the standard library:
 * ``spans_trace.json`` -- the span Perfetto export (same Chrome Trace
   checks as ``trace.json``, plus: spans must be slices, not instants);
 * ``timeseries.csv`` -- the exact :data:`TIMESERIES_COLUMNS` header,
-  rectangular rows, and non-overlapping monotonic window bounds.
+  rectangular rows, and non-overlapping monotonic window bounds;
+* ``tenant_timeseries.csv`` -- only when present (multi-tenant runs):
+  the exact :data:`TENANT_TIMESERIES_COLUMNS` header, rectangular rows,
+  and per-tenant non-overlapping monotonic window bounds.
 
 Exits non-zero listing every failure, so CI output shows the full
 breakage at once.
@@ -40,6 +43,7 @@ from repro.obs.counters import COUNTERS  # noqa: E402
 from repro.obs.export import metric_name  # noqa: E402
 from repro.obs.sampler import GAUGES  # noqa: E402
 from repro.obs.spans import SPAN_KINDS  # noqa: E402
+from repro.obs.tenants import TENANT_TIMESERIES_COLUMNS  # noqa: E402
 from repro.obs.timeseries import TIMESERIES_COLUMNS  # noqa: E402
 from repro.obs.tracepoints import TRACEPOINTS  # noqa: E402
 
@@ -235,6 +239,43 @@ def check_timeseries(path):
         prev_end = t_end
 
 
+def check_tenant_timeseries(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    if not rows:
+        err(f"{path}: empty")
+        return
+    if tuple(rows[0]) != TENANT_TIMESERIES_COLUMNS:
+        err(
+            f"{path}: header {rows[0]} != TENANT_TIMESERIES_COLUMNS "
+            f"{list(TENANT_TIMESERIES_COLUMNS)}"
+        )
+        return
+    if len(rows) < 2:
+        err(f"{path}: want >= 1 tenant window row, got 0")
+    width = len(TENANT_TIMESERIES_COLUMNS)
+    tenant_col = TENANT_TIMESERIES_COLUMNS.index("tenant")
+    prev_end = {}
+    for i, row in enumerate(rows[1:], 2):
+        if len(row) != width:
+            err(f"{path}:{i}: ragged row ({len(row)} != {width} columns)")
+            continue
+        try:
+            t_start, t_end = float(row[0]), float(row[1])
+        except ValueError:
+            err(f"{path}:{i}: non-numeric window bounds {row[:2]}")
+            continue
+        tenant = row[tenant_col]
+        if not tenant:
+            err(f"{path}:{i}: empty tenant name")
+        if t_start >= t_end:
+            err(f"{path}:{i}: empty/backward window [{t_start}, {t_end}]")
+        if tenant in prev_end and t_start < prev_end[tenant]:
+            err(f"{path}:{i}: {tenant} window overlaps previous (t_start "
+                f"{t_start} < prev t_end {prev_end[tenant]})")
+        prev_end[tenant] = t_end
+
+
 def main(argv):
     if len(argv) != 2:
         print(__doc__)
@@ -255,6 +296,13 @@ def main(argv):
             err(f"{path}: missing")
         else:
             check(path)
+    # Multi-tenant runs only; its absence is not a failure.
+    optional = {"tenant_timeseries.csv": check_tenant_timeseries}
+    for fname, check in optional.items():
+        path = out_dir / fname
+        if path.is_file():
+            check(path)
+            checks[fname] = check
     if errors:
         for e in errors:
             print(f"FAIL {e}")

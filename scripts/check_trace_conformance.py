@@ -1,0 +1,266 @@
+#!/usr/bin/env python
+"""Trace-conformance gate: pin the trace frontend end to end (CI).
+
+Usage::
+
+    python scripts/check_trace_conformance.py [--corpus-dir DIR] [--bless]
+
+Three layers of pinning over a small fixed-seed trace corpus:
+
+1. **Golden digests** -- every corpus trace is generated (or reused from
+   ``--corpus-dir`` when its digests still verify) and its manifest
+   content digest, access/write counts, and shard layout are compared
+   against the committed fixture ``tests/fixtures/traces/golden.json``.
+   Any drift means generator output changed: either fix the regression
+   or consciously re-bless with ``--bless``.
+2. **Byte identity** -- one corpus trace is regenerated twice into
+   fresh directories and the two trees are compared file-by-file at the
+   byte level: same generator + params + seed must give byte-identical
+   trace files within one environment.
+3. **Fast-path equivalence** -- one corpus trace is replayed through
+   ``python -m repro replay --json`` in two subprocesses, with
+   ``REPRO_FASTPATH=0`` and ``1``; every simulated field of the two
+   JSON reports must match bit-for-bit.
+
+Exits non-zero listing every failure, so CI output shows the full
+breakage at once.
+"""
+
+import argparse
+import filecmp
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.workloads import TraceManifest, build_trace, interleave_tenants  # noqa: E402
+
+GOLDEN_PATH = REPO / "tests" / "fixtures" / "traces" / "golden.json"
+
+# The pinned corpus: small, fixed seeds, one trace per generator family
+# plus one deterministic multi-tenant interleaving. Keys are stable
+# fixture names; changing any entry requires a --bless.
+CORPUS = {
+    "zipf-drift-s7": {
+        "kind": "gen", "generator": "zipf-drift",
+        "nr_pages": 2048, "accesses": 20_000, "seed": 7,
+    },
+    "phase-shift-s11": {
+        "kind": "gen", "generator": "phase-shift",
+        "nr_pages": 2048, "accesses": 20_000, "seed": 11,
+        "params": {"phases": 3},
+    },
+    "diurnal-s13": {
+        "kind": "gen", "generator": "diurnal",
+        "nr_pages": 2048, "accesses": 20_000, "seed": 13,
+    },
+    "interleaved-4x": {
+        "kind": "interleave",
+        "tenants": [
+            {"name": f"tenant{i:02d}", "generator": g, "nr_pages": 512,
+             "accesses": 5_000, "seed": 20 + i}
+            for i, g in enumerate(
+                ("zipf-drift", "phase-shift", "diurnal", "zipf-drift")
+            )
+        ],
+        "quantum": 128,
+    },
+}
+
+# Traces exercised by the regenerate-twice and fastpath-arm layers.
+BYTE_IDENTITY_KEY = "zipf-drift-s7"
+REPLAY_KEY = "zipf-drift-s7"
+REPLAY_FAST_FRACTION = 0.5
+
+errors = []
+
+
+def err(msg):
+    errors.append(msg)
+
+
+def build_corpus_trace(key, out_dir):
+    spec = CORPUS[key]
+    if spec["kind"] == "gen":
+        return build_trace(
+            out_dir,
+            spec["generator"],
+            nr_pages=spec["nr_pages"],
+            accesses=spec["accesses"],
+            seed=spec["seed"],
+            name=key,
+            params=spec.get("params"),
+        )
+    return interleave_tenants(
+        out_dir, spec["tenants"], name=key, quantum=spec["quantum"]
+    )
+
+
+def ensure_corpus(corpus_dir):
+    """Generate (or reuse, when digests verify) every corpus trace."""
+    manifests = {}
+    for key in sorted(CORPUS):
+        out_dir = Path(corpus_dir) / key
+        if (out_dir / "manifest.json").is_file():
+            try:
+                manifest = TraceManifest.load(out_dir)
+                manifest.verify()
+                manifests[key] = manifest
+                continue
+            except (ValueError, OSError):
+                # Stale or corrupt cache entry: regenerate from scratch.
+                import shutil
+
+                shutil.rmtree(out_dir)
+        manifests[key] = build_corpus_trace(key, out_dir)
+    return manifests
+
+
+def fixture_of(manifest):
+    doc = manifest.doc
+    return {
+        "digest": doc["digest"],
+        "accesses": doc["accesses"],
+        "writes": doc["writes"],
+        "vpn_max": doc["vpn_max"],
+        "shards": [s["sha256"] for s in doc["shards"]],
+    }
+
+
+def check_golden(manifests):
+    if not GOLDEN_PATH.is_file():
+        err(f"{GOLDEN_PATH}: missing (run with --bless to create it)")
+        return
+    golden = json.loads(GOLDEN_PATH.read_text())
+    for key in sorted(CORPUS):
+        want = golden.get(key)
+        if want is None:
+            err(f"golden.json: no fixture for corpus trace {key!r} "
+                "(re-bless after adding corpus entries)")
+            continue
+        got = fixture_of(manifests[key])
+        for field in sorted(set(want) | set(got)):
+            if want.get(field) != got.get(field):
+                err(
+                    f"{key}: {field} drifted: golden {want.get(field)!r} "
+                    f"!= generated {got.get(field)!r} (generator output "
+                    "changed; fix it or consciously --bless)"
+                )
+
+
+def check_byte_identity():
+    spec_key = BYTE_IDENTITY_KEY
+    with tempfile.TemporaryDirectory(prefix="repro-trace-conf-") as tmp:
+        a, b = Path(tmp) / "a", Path(tmp) / "b"
+        build_corpus_trace(spec_key, a)
+        build_corpus_trace(spec_key, b)
+        names_a = sorted(p.name for p in a.iterdir())
+        names_b = sorted(p.name for p in b.iterdir())
+        if names_a != names_b:
+            err(f"{spec_key}: regenerated file sets differ: "
+                f"{names_a} vs {names_b}")
+            return
+        match, mismatch, errs = filecmp.cmpfiles(a, b, names_a, shallow=False)
+        for name in mismatch:
+            err(f"{spec_key}: regenerated {name} is not byte-identical")
+        for name in errs:
+            err(f"{spec_key}: could not compare regenerated {name}")
+
+
+def replay_json(trace_dir, fastpath):
+    env = dict(os.environ)
+    env["REPRO_FASTPATH"] = fastpath
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "replay", str(trace_dir),
+            "--policy", "nomad", "--platform", "A",
+            "--fast-fraction", str(REPLAY_FAST_FRACTION), "--json",
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO),
+    )
+    if proc.returncode != 0:
+        err(f"replay (REPRO_FASTPATH={fastpath}) failed rc={proc.returncode}: "
+            f"{proc.stderr.strip()[-500:]}")
+        return None
+    return json.loads(proc.stdout)
+
+
+def check_fastpath_arms(manifests):
+    trace_dir = manifests[REPLAY_KEY].base_dir
+    slow = replay_json(trace_dir, "0")
+    fast = replay_json(trace_dir, "1")
+    if slow is None or fast is None:
+        return
+    # Strip the non-simulated identity fields; everything else must be
+    # bit-identical across engine speeds.
+    for payload in (slow, fast):
+        payload.pop("trace", None)
+    if slow != fast:
+        diffs = [
+            k for k in sorted(set(slow) | set(fast))
+            if slow.get(k) != fast.get(k)
+        ]
+        err(
+            f"{REPLAY_KEY}: REPRO_FASTPATH=0 and =1 replays disagree on "
+            f"{diffs} (two-speed engine must be bit-identical); "
+            f"slow={ {k: slow.get(k) for k in diffs} } "
+            f"fast={ {k: fast.get(k) for k in diffs} }"
+        )
+
+
+def bless(manifests):
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    golden = {key: fixture_of(manifests[key]) for key in sorted(CORPUS)}
+    GOLDEN_PATH.write_text(
+        json.dumps(golden, indent=1, sort_keys=True) + "\n"
+    )
+    print(f"blessed {len(golden)} fixtures -> {GOLDEN_PATH}")
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--corpus-dir", default=None,
+        help="persistent corpus directory (CI cache); default: temp dir",
+    )
+    parser.add_argument(
+        "--bless", action="store_true",
+        help="rewrite tests/fixtures/traces/golden.json from fresh output",
+    )
+    args = parser.parse_args(argv[1:])
+
+    if args.corpus_dir:
+        manifests = ensure_corpus(args.corpus_dir)
+    else:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-trace-corpus-")
+        manifests = ensure_corpus(tmp.name)
+
+    if args.bless:
+        bless(manifests)
+        return 0
+
+    check_golden(manifests)
+    check_byte_identity()
+    check_fastpath_arms(manifests)
+
+    if errors:
+        for e in errors:
+            print(f"FAIL {e}")
+        return 1
+    print(
+        f"ok: {len(CORPUS)} corpus digests, byte identity, fastpath arms"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -48,8 +48,9 @@ BENCH_SCHEMA = "repro-bench/1"
 # concatenated in order; access counts and seeds are fixed so the
 # resulting simulated quantities are reproducible bit-for-bit.
 PROFILES: Dict[str, Sequence[SweepSpec]] = {
-    # CI-sized: 8 micro cells + 4 THP cells + 2 cheap registry
-    # experiments, a few seconds of wall time even serially.
+    # CI-sized: 8 micro cells + 4 THP cells + 1 streaming cell + 1
+    # trace-replay cell + 2 cheap registry experiments, a few seconds of
+    # wall time even serially.
     "quick": (
         SweepSpec(
             platforms=("A",),
@@ -83,6 +84,18 @@ PROFILES: Dict[str, Sequence[SweepSpec]] = {
             scenarios=("small",),
             write_ratios=(0.5,),
             accesses=(200_000,),
+            seeds=(42,),
+            instrument=True,
+        ),
+        # Trace-replay suite: one generated zipf-drift trace streamed
+        # through Nomad, pinning the trace generator's byte output and
+        # the streaming replay path (manifest -> shards -> fast path)
+        # bit-for-bit in CI.
+        SweepSpec(
+            platforms=("A",),
+            policies=("nomad",),
+            trace_generators=("zipf-drift",),
+            accesses=(40_000,),
             seeds=(42,),
             instrument=True,
         ),

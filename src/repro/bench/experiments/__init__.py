@@ -28,6 +28,7 @@ from .analytics import (
 )
 from .ablations import ablation_nomad_variants, ablation_shadow_reclaim_factor
 from .observability import timeline_gauges
+from .tenancy import multi_tenant_fairness
 from .thp import thp_config, thp_vs_base
 
 __all__ = [
@@ -53,6 +54,7 @@ __all__ = [
     "ablation_nomad_variants",
     "ablation_shadow_reclaim_factor",
     "timeline_gauges",
+    "multi_tenant_fairness",
     "thp_config",
     "thp_vs_base",
 ]

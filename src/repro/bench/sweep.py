@@ -83,7 +83,10 @@ class JobSpec:
     ``kind="cell"`` runs one micro-benchmark cell through
     :func:`~repro.bench.runner.run_experiment`; ``kind="experiment"``
     runs one registry experiment (``fig1``, ``tab3``, ...) exactly as
-    the CLI would. ``instrument=True`` enables the observability layer
+    the CLI would; ``kind="trace"`` generates a trace with the named
+    :mod:`~repro.workloads.tracegen` generator (deterministic from the
+    seed) and streams it through the policy -- the replay counterpart of
+    the cell grid. ``instrument=True`` enables the observability layer
     for the run (no effect on simulated results -- see the obs
     invariance test) so latency percentiles are available in the record.
     """
@@ -100,12 +103,16 @@ class JobSpec:
     # Run the cell with transparent huge pages: the workload hints its
     # regions and the machine maps them as capacity-scaled folios.
     thp: bool = False
+    # Trace jobs only: the tracegen generator name.
+    generator: str = ""
 
     def __post_init__(self) -> None:
-        if self.kind not in ("cell", "experiment"):
+        if self.kind not in ("cell", "experiment", "trace"):
             raise ValueError(f"unknown job kind {self.kind!r}")
         if self.kind == "experiment" and not self.experiment:
             raise ValueError("experiment jobs need an experiment name")
+        if self.kind == "trace" and not self.generator:
+            raise ValueError("trace jobs need a generator name")
 
     @property
     def job_id(self) -> str:
@@ -114,6 +121,11 @@ class JobSpec:
             return (
                 f"exp/{self.experiment}/{self.platform or 'default'}"
                 f"/a{self.accesses}"
+            )
+        if self.kind == "trace":
+            return (
+                f"trace/{self.platform}/{self.policy}/{self.generator}"
+                f"/a{self.accesses}/s{self.seed}"
             )
         # The "/thp" suffix only appears for THP jobs so every
         # pre-existing baseline key is untouched.
@@ -155,9 +167,34 @@ class SweepSpec:
     # THP axis: (False,) keeps the historical base-page grid; add True
     # to also run each cell with huge-folio-backed regions.
     thp_modes: Sequence[bool] = (False,)
+    # Trace-replay mode (like experiments, replaces the cell grid): the
+    # grid is platform x policy x generator x accesses x seed.
+    trace_generators: Sequence[str] = ()
 
     def expand(self) -> List[JobSpec]:
         jobs: List[JobSpec] = []
+        if self.trace_generators:
+            for platform in self.platforms:
+                for policy in self.policies:
+                    if self.skip_unavailable and not policy_available(
+                        policy, platform
+                    ):
+                        continue
+                    for generator in self.trace_generators:
+                        for accesses in self.accesses:
+                            for seed in self.seeds:
+                                jobs.append(
+                                    JobSpec(
+                                        kind="trace",
+                                        platform=platform,
+                                        policy=policy,
+                                        generator=generator,
+                                        accesses=accesses,
+                                        seed=seed,
+                                        instrument=self.instrument,
+                                    )
+                                )
+            return jobs
         if self.experiments:
             for name in self.experiments:
                 for platform in self.platforms:
@@ -209,6 +246,7 @@ class SweepSpec:
             "instrument": self.instrument,
             "skip_unavailable": self.skip_unavailable,
             "thp_modes": list(self.thp_modes),
+            "trace_generators": list(self.trace_generators),
         }
 
     @classmethod
@@ -244,7 +282,11 @@ def _run_cell_job(job: JobSpec) -> Dict[str, Any]:
         config=config,
         instrument=job.instrument,
     )
-    report = result.report
+    return _report_payload(result.report)
+
+
+def _report_payload(report) -> Dict[str, Any]:
+    """The deterministic per-run payload shared by cell and trace jobs."""
     payload: Dict[str, Any] = {
         "sim_cycles": report.cycles,
         "counter_digest": counter_digest(report.counters),
@@ -263,6 +305,42 @@ def _run_cell_job(job: JobSpec) -> Dict[str, Any]:
             name: {k: hist[k] for k in ("count", "p50", "p95", "p99")}
             for name, hist in sorted(report.obs["histograms"].items())
         }
+    return payload
+
+
+# Trace jobs replay a generated trace with a footprint that overflows
+# the 4096-page fast tier at half-fast initial placement, so migration
+# policies have real work to do.
+_TRACE_JOB_PAGES = 6144
+_TRACE_JOB_FAST_FRACTION = 0.5
+
+
+def _run_trace_job(job: JobSpec) -> Dict[str, Any]:
+    import tempfile
+
+    from ..workloads import StreamingTraceWorkload, build_trace
+
+    with tempfile.TemporaryDirectory(prefix="repro-trace-job-") as tmp:
+        # Regenerated per job rather than shipped between processes:
+        # generation is deterministic from (generator, params, seed), so
+        # the trace content -- and with it the replay -- is pinned by the
+        # job spec alone.
+        manifest = build_trace(
+            tmp,
+            job.generator,
+            nr_pages=_TRACE_JOB_PAGES,
+            accesses=job.accesses,
+            seed=job.seed,
+            fast_fraction=_TRACE_JOB_FAST_FRACTION,
+        )
+        result = run_experiment(
+            job.platform,
+            job.policy,
+            lambda: StreamingTraceWorkload(manifest),
+            instrument=job.instrument,
+        )
+    payload = _report_payload(result.report)
+    payload["trace_digest"] = manifest.digest
     return payload
 
 
@@ -301,6 +379,8 @@ def execute_job(job: Union[JobSpec, Dict[str, Any]]) -> Dict[str, Any]:
     try:
         if job.kind == "cell":
             record.update(_pyify(_run_cell_job(job)))
+        elif job.kind == "trace":
+            record.update(_pyify(_run_trace_job(job)))
         else:
             record.update(_pyify(_run_experiment_job(job)))
     except Exception as exc:  # noqa: BLE001 -- isolation is the point

@@ -14,6 +14,9 @@ Usage::
     python -m repro sweep --platforms A,C --policies tpp,nomad --workers 4
     python -m repro bench --quick --workers 2
     python -m repro check --profile quick --report check.json
+    python -m repro trace-gen gen zipf-drift --out traces/drift --seed 7
+    python -m repro trace-gen interleave --out traces/mt --tenants 8
+    python -m repro replay traces/drift --policy nomad --json
 
 ``run`` prints the same rows the corresponding paper figure plots;
 ``micro`` runs a single ad-hoc micro-benchmark cell and dumps its
@@ -258,6 +261,175 @@ def _cmd_top(args) -> int:
     return 0
 
 
+def _parse_params(pairs) -> dict:
+    """Parse repeated ``--param key=value`` flags (int/float/str values)."""
+    params = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise SystemExit(f"error: --param wants key=value, got {pair!r}")
+        key, raw = pair.split("=", 1)
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                value = raw
+        params[key.strip()] = value
+    return params
+
+
+def _cmd_trace_gen(args) -> int:
+    from .workloads import (
+        GENERATORS,
+        TraceManifest,
+        build_trace,
+        import_text_trace,
+        interleave_tenants,
+    )
+    from .workloads.tracegen import default_params
+
+    if args.action == "list":
+        width = max(len(name) for name in GENERATORS)
+        for name in sorted(GENERATORS):
+            defaults = ", ".join(
+                f"{k}={v}" for k, v in sorted(default_params(name).items())
+            )
+            print(f"  {name:<{width}}  params: {defaults}")
+        return 0
+
+    if args.action == "gen":
+        try:
+            manifest = build_trace(
+                args.out,
+                args.generator,
+                nr_pages=args.pages,
+                accesses=args.accesses,
+                seed=args.seed,
+                name=args.name,
+                fast_fraction=args.fast_fraction,
+                params=_parse_params(args.param),
+                shard_accesses=args.shard_accesses,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif args.action == "interleave":
+        generators = _csv(args.generators)
+        tenants = [
+            {
+                "name": f"tenant{i:02d}",
+                "generator": generators[i % len(generators)],
+                "nr_pages": args.pages,
+                "accesses": args.accesses,
+                "seed": args.seed + i,
+            }
+            for i in range(args.tenants)
+        ]
+        try:
+            manifest = interleave_tenants(
+                args.out,
+                tenants,
+                name=args.name or "interleaved",
+                quantum=args.quantum,
+                fast_fraction=args.fast_fraction,
+                shard_accesses=args.shard_accesses,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif args.action == "import":
+        try:
+            manifest = import_text_trace(
+                args.src,
+                args.out,
+                name=args.name,
+                nr_pages=args.pages,
+                fast_fraction=args.fast_fraction,
+                shard_accesses=args.shard_accesses,
+            )
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:  # info
+        try:
+            manifest = TraceManifest.load(args.out)
+            if args.verify:
+                manifest.verify()
+        except (ValueError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    doc = manifest.doc
+    rows = [
+        ["name", doc["name"]],
+        ["schema", doc["schema"]],
+        ["accesses", doc["accesses"]],
+        ["writes", doc["writes"]],
+        ["nr_pages", doc["nr_pages"]],
+        ["fast_fraction", doc["fast_fraction"]],
+        ["shards", len(doc["shards"])],
+        ["digest", doc["digest"][:16]],
+    ]
+    if doc.get("generator"):
+        rows.append(["generator", doc["generator"]["name"]])
+    if doc.get("tenants"):
+        rows.append(["tenants", len(doc["tenants"])])
+    verb = "verified" if args.action == "info" else "written"
+    print_table(f"Trace {verb}: {manifest.base_dir}", ["field", "value"], rows)
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    import json
+
+    from .bench.runner import build_machine
+    from .obs.export import counter_digest
+    from .workloads import StreamingTraceWorkload, TraceWorkload
+
+    try:
+        if args.in_ram:
+            kwargs = {}
+            if args.fast_fraction is not None:
+                kwargs["fast_fraction"] = args.fast_fraction
+            workload = TraceWorkload.load(args.trace, **kwargs)
+        else:
+            workload = StreamingTraceWorkload(
+                args.trace, fast_fraction=args.fast_fraction,
+                verify=args.verify,
+            )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    machine = build_machine(args.platform, args.policy)
+    report = machine.run_workload(workload)
+    payload = {
+        "trace": args.trace,
+        "workload": workload.name,
+        "platform": args.platform,
+        "policy": args.policy,
+        "sim_cycles": float(machine.engine.now),
+        "counter_digest": counter_digest(report.counters),
+        "stable_gbps": float(report.stable.bandwidth_gbps),
+        "overall_gbps": float(report.overall.bandwidth_gbps),
+        "avg_access_cycles": float(report.overall.avg_access_cycles),
+        "workload_counters": {
+            k: float(v) for k, v in sorted(report.workload_counters.items())
+        },
+    }
+    if args.json:
+        json.dump(payload, sys.stdout, indent=1, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print_table(
+            f"Replay {workload.name} ({args.policy} on {args.platform})",
+            ["field", "value"],
+            [[k, v] for k, v in payload.items()
+             if k != "workload_counters"],
+        )
+    return 0
+
+
 def _csv(text: str) -> list:
     return [item.strip() for item in text.split(",") if item.strip()]
 
@@ -308,6 +480,9 @@ def _cmd_sweep(args) -> int:
             accesses=[int(x) for x in _csv(args.accesses)],
             seeds=[int(x) for x in _csv(args.seeds)],
             experiments=_csv(args.experiments) if args.experiments else (),
+            trace_generators=(
+                _csv(args.trace_generators) if args.trace_generators else ()
+            ),
             instrument=args.instrument,
         )
     jobs = spec.expand()
@@ -596,6 +771,12 @@ def build_parser() -> argparse.ArgumentParser:
         "micro-benchmark cell axes",
     )
     sweep_p.add_argument(
+        "--trace-generators", default="",
+        help="comma-separated trace generator names; when given, the "
+        "grid is platforms x policies x generators x accesses x seeds "
+        "of trace-replay jobs (mutually exclusive with --experiments)",
+    )
+    sweep_p.add_argument(
         "--instrument", action="store_true",
         help="enable the observability layer per job (latency percentiles)",
     )
@@ -633,6 +814,108 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of a timestamped file",
     )
     bench_p.set_defaults(func=_cmd_bench)
+
+    tg_p = sub.add_parser(
+        "trace-gen",
+        help="generate, interleave, import, or inspect trace files",
+        epilog="Traces are chunked npz shards plus a manifest.json with "
+        "generator provenance and content digests (docs/trace-format.md). "
+        "Generation is fully deterministic: the same generator, "
+        "parameters, and seed always produce byte-identical files, which "
+        "is what the CI trace-conformance gate pins.",
+    )
+    tg_sub = tg_p.add_subparsers(dest="action", required=True)
+
+    tg_list = tg_sub.add_parser(
+        "list", help="list trace generators and their parameters"
+    )
+    tg_list.set_defaults(func=_cmd_trace_gen)
+
+    def tg_common(p, needs_pages_default=None):
+        p.add_argument("--out", required=True, help="trace directory to write")
+        p.add_argument("--pages", type=int, default=needs_pages_default,
+                       help="workload footprint in pages")
+        p.add_argument("--accesses", type=int, default=200_000)
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--name", default=None)
+        p.add_argument("--fast-fraction", type=float, default=1.0,
+                       help="fraction of pages replayers place fast-first")
+        p.add_argument("--shard-accesses", type=int, default=65_536,
+                       help="accesses per npz shard")
+        p.set_defaults(func=_cmd_trace_gen)
+
+    tg_gen = tg_sub.add_parser(
+        "gen", help="generate one trace from a parameterized generator"
+    )
+    tg_gen.add_argument(
+        "generator", help="generator name (see `trace-gen list`)"
+    )
+    tg_gen.add_argument(
+        "--param", action="append", metavar="KEY=VALUE",
+        help="generator parameter override (repeatable)",
+    )
+    tg_common(tg_gen, needs_pages_default=8192)
+
+    tg_int = tg_sub.add_parser(
+        "interleave",
+        help="deterministically interleave N tenant streams into one trace",
+    )
+    tg_int.add_argument("--tenants", type=int, default=8)
+    tg_int.add_argument(
+        "--generators", default="zipf-drift,phase-shift,diurnal",
+        help="comma-separated generator cycle assigned tenant-by-tenant",
+    )
+    tg_int.add_argument(
+        "--quantum", type=int, default=256,
+        help="round-robin quantum in accesses",
+    )
+    tg_common(tg_int, needs_pages_default=1024)
+
+    tg_imp = tg_sub.add_parser(
+        "import", help="import a text/CSV `vpn[,rw]` dump as a trace"
+    )
+    tg_imp.add_argument("src", help="text file: one `vpn[,r|w]` per line")
+    tg_common(tg_imp)
+
+    tg_info = tg_sub.add_parser(
+        "info", help="print (and optionally verify) a trace manifest"
+    )
+    tg_info.add_argument("out", help="trace directory or manifest.json")
+    tg_info.add_argument(
+        "--verify", action="store_true",
+        help="recompute shard digests and fail on any mismatch",
+    )
+    tg_info.set_defaults(func=_cmd_trace_gen)
+
+    replay_p = sub.add_parser(
+        "replay",
+        help="replay a trace file through a policy and report its digest",
+        epilog="Streams the trace shard-by-shard (constant memory). The "
+        "counter digest is deterministic, so two replays of one trace "
+        "must match bit-for-bit -- the CI conformance gate replays each "
+        "corpus trace under REPRO_FASTPATH=0 and 1 and diffs the JSON.",
+    )
+    replay_p.add_argument("trace", help="trace directory or manifest.json")
+    replay_p.add_argument("--policy", default="nomad")
+    replay_p.add_argument("--platform", default="A")
+    replay_p.add_argument(
+        "--fast-fraction", type=float, default=None,
+        help="override the manifest's initial fast-tier placement fraction",
+    )
+    replay_p.add_argument(
+        "--in-ram", action="store_true",
+        help="materialize the whole trace up front (TraceWorkload) instead "
+        "of streaming",
+    )
+    replay_p.add_argument(
+        "--verify", action="store_true",
+        help="verify shard digests against the manifest before replaying",
+    )
+    replay_p.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON report on stdout",
+    )
+    replay_p.set_defaults(func=_cmd_replay)
 
     check_p = sub.add_parser(
         "check",

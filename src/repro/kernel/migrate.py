@@ -55,10 +55,14 @@ def sync_migrate_page(
     costs = m.costs
     cycles = 0.0
     src_tier = frame.node_id
+    # Captured before the copy moves the rmap to the new frame, so the
+    # success-path trace still names the page (tenant attribution).
+    first_vpn = frame.rmap[0][1] if frame.rmap else -1
 
     def traced(result: MigrationResult) -> MigrationResult:
         m.obs.emit(
             "migrate.sync",
+            vpn=first_vpn,
             src_tier=src_tier,
             dst_tier=dst_tier,
             success=result.success,

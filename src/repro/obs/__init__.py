@@ -29,6 +29,9 @@ by default and bit-neutral when enabled:
 * :mod:`repro.obs.timeseries` -- counters/gauges/span latencies
   aggregated into fixed simulated-time windows (abort rate, migration
   rates, per-window p50/p99) for timeline plots and ``repro top``;
+* :mod:`repro.obs.tenants` -- the same windows split per tenant for
+  multi-tenant co-runs, attributed by disjoint vpn ranges (fairness
+  experiments);
 * :mod:`repro.obs.selfprof` -- host wall-clock attribution per
   subsystem (where does *simulator* time go);
 * :mod:`repro.obs.top` -- the live terminal dashboard.
@@ -60,6 +63,13 @@ from .spans import (
     SpanTracker,
     spans_to_chrome,
     spans_to_jsonl,
+)
+from .tenants import (
+    TENANT_TIMESERIES_COLUMNS,
+    TenantRange,
+    TenantSeriesAggregator,
+    tenant_timeseries_to_csv,
+    tenant_timeseries_to_json,
 )
 from .timeseries import (
     TIMESERIES_COLUMNS,
@@ -109,5 +119,10 @@ __all__ = [
     "TimeSeriesAggregator",
     "timeseries_to_csv",
     "timeseries_to_json",
+    "TENANT_TIMESERIES_COLUMNS",
+    "TenantRange",
+    "TenantSeriesAggregator",
+    "tenant_timeseries_to_csv",
+    "tenant_timeseries_to_json",
     "SelfProfiler",
 ]

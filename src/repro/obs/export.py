@@ -345,4 +345,17 @@ def write_obs_outputs(machine, out_dir) -> Dict[str, str]:
         paths["timeseries_json"] = os.path.join(out_dir, "timeseries.json")
         with open(paths["timeseries_json"], "w") as f:
             f.write(timeseries_to_json(obs.timeseries))
+    if obs.tenant_series is not None:
+        from .tenants import tenant_timeseries_to_csv, tenant_timeseries_to_json
+
+        paths["tenant_timeseries"] = os.path.join(
+            out_dir, "tenant_timeseries.csv"
+        )
+        with open(paths["tenant_timeseries"], "w") as f:
+            f.write(tenant_timeseries_to_csv(obs.tenant_series))
+        paths["tenant_timeseries_json"] = os.path.join(
+            out_dir, "tenant_timeseries.json"
+        )
+        with open(paths["tenant_timeseries_json"], "w") as f:
+            f.write(tenant_timeseries_to_json(obs.tenant_series))
     return paths

@@ -1,0 +1,307 @@
+"""Per-tenant windowed time series for multi-tenant co-runs.
+
+The machine-global :class:`~repro.obs.timeseries.TimeSeriesAggregator`
+answers "how is the box doing"; fairness questions need "how is each
+*tenant* doing". This module attributes observability signals to
+tenants by vpn range -- co-running trace workloads claim globally
+disjoint vpn namespaces (``vpn_base`` padding, see
+:class:`~repro.workloads.trace_file.StreamingTraceWorkload`) -- and
+folds them into the same fixed simulated-time windows:
+
+* per-window executed accesses/writes, read live from each tenant
+  workload's execution-progress counters (fed by the run scheduler's
+  window sink on both engine speeds);
+* per-window migration activity from vpn-carrying tracepoints:
+  TPM commits/aborts, MPQ enqueues, and successful promotion-direction
+  ``migrate.sync`` events;
+* per-window p50/p99 of the tenant's closing TPM spans.
+
+Like every obs component, the aggregator only *reads* simulation state
+from an engine process at window boundaries and from emit listeners; it
+never charges cycles or mutates frames, so enabling it is invisible to
+simulated results (pinned by the tenant invariance test).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, TYPE_CHECKING
+
+from .hist import Histogram
+from .tracepoints import TraceRing
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..system import Machine
+    from ..workloads.base import Workload
+    from .spans import Span
+    from .tracepoints import TraceRecord
+
+__all__ = [
+    "TENANT_TIMESERIES_COLUMNS",
+    "TenantRange",
+    "TenantSeriesAggregator",
+    "tenant_timeseries_to_csv",
+    "tenant_timeseries_to_json",
+]
+
+# The fixed per-tenant CSV schema (scripts/check_obs_output.py validates
+# it when the export is present).
+TENANT_TIMESERIES_COLUMNS = (
+    "t_start",
+    "t_end",
+    "tenant",
+    "accesses",
+    "writes",
+    "tpm_commits",
+    "tpm_aborts",
+    "abort_rate",
+    "mpq_enqueues",
+    "sync_promotions",
+    "promotions",
+    "tpm_p50_cycles",
+    "tpm_p99_cycles",
+    "spans_closed",
+)
+
+# Tracepoints the attribution listener consumes (all carry a vpn).
+_COUNT_FIELDS = ("tpm_commits", "tpm_aborts", "mpq_enqueues", "sync_promotions")
+
+
+@dataclass(frozen=True)
+class TenantRange:
+    """One tenant's identity: a name and its private vpn range."""
+
+    name: str
+    lo: int  # inclusive
+    hi: int  # exclusive
+    workload: Optional["Workload"] = None
+
+    def __post_init__(self) -> None:
+        if self.lo < 0 or self.hi <= self.lo:
+            raise ValueError(
+                f"tenant {self.name!r}: vpn range [{self.lo}, {self.hi}) "
+                "must be non-empty and non-negative"
+            )
+
+
+class _TenantState:
+    """Mutable per-tenant window accumulators."""
+
+    def __init__(self) -> None:
+        self.window = {name: 0 for name in _COUNT_FIELDS}
+        self.total = {name: 0 for name in _COUNT_FIELDS}
+        self.last_accesses = 0
+        self.last_writes = 0
+        self.hist = Histogram.geometric(100.0, 1e8, 49, name="tpm.span_cycles")
+        self.spans_closed = 0
+
+    def reset_window(self) -> None:
+        for name in _COUNT_FIELDS:
+            self.window[name] = 0
+        self.hist = Histogram.geometric(100.0, 1e8, 49, name="tpm.span_cycles")
+        self.spans_closed = 0
+
+
+class TenantSeriesAggregator:
+    """Engine process folding a co-run into per-tenant windows."""
+
+    def __init__(
+        self,
+        machine: "Machine",
+        tenants: Sequence[TenantRange],
+        window_cycles: float = 100_000.0,
+        capacity: int = 8192,
+    ) -> None:
+        if window_cycles <= 0:
+            raise ValueError(
+                f"window_cycles must be positive, got {window_cycles}"
+            )
+        if not tenants:
+            raise ValueError("need at least one tenant range")
+        ordered = sorted(tenants, key=lambda t: t.lo)
+        for prev, cur in zip(ordered, ordered[1:]):
+            if cur.lo < prev.hi:
+                raise ValueError(
+                    f"tenant vpn ranges overlap: {prev.name!r} "
+                    f"[{prev.lo}, {prev.hi}) and {cur.name!r} "
+                    f"[{cur.lo}, {cur.hi})"
+                )
+        self.machine = machine
+        self.tenants = ordered
+        self.window_cycles = float(window_cycles)
+        self.rows = TraceRing(capacity=capacity, overwrite=True)
+        self._lows = [t.lo for t in ordered]
+        self._states = [_TenantState() for _ in ordered]
+        self._t_start = machine.engine.now
+        self.unattributed = 0  # vpn-carrying events outside every range
+        self.proc = None
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    def _find(self, vpn: Any) -> Optional[int]:
+        try:
+            # Accept plain and numpy integers (fast-path emits carry
+            # numpy scalars); reject None, strings, and negatives.
+            vpn = int(vpn)
+        except (TypeError, ValueError):
+            return None
+        if vpn < 0:
+            return None
+        i = bisect_right(self._lows, vpn) - 1
+        if i >= 0 and vpn < self.tenants[i].hi:
+            return i
+        return None
+
+    # ------------------------------------------------------------------
+    # Feeds (emit listener + span subscription)
+    # ------------------------------------------------------------------
+    def feed(self, record: "TraceRecord") -> None:
+        name = record.name
+        if name == "tpm.commit":
+            field = "tpm_commits"
+        elif name == "tpm.abort":
+            field = "tpm_aborts"
+        elif name == "mpq.enqueue":
+            field = "mpq_enqueues"
+        elif name == "migrate.sync":
+            if not record.args.get("success"):
+                return
+            if record.args.get("dst_tier", 1) >= record.args.get("src_tier", 0):
+                return  # demotion-direction: not a promotion
+            field = "sync_promotions"
+        else:
+            return
+        i = self._find(record.args.get("vpn"))
+        if i is None:
+            self.unattributed += 1
+            return
+        state = self._states[i]
+        state.window[field] += 1
+        state.total[field] += 1
+
+    def note_span(self, span: "Span") -> None:
+        if span.kind != "tpm":
+            return
+        i = self._find(span.key)
+        if i is None:
+            return
+        state = self._states[i]
+        state.spans_closed += 1
+        state.hist.observe(max(span.duration, 1e-9))
+
+    # ------------------------------------------------------------------
+    # Engine process
+    # ------------------------------------------------------------------
+    def start(self) -> "TenantSeriesAggregator":
+        if self.proc is None or not self.proc.alive:
+            self.proc = self.machine.engine.spawn(
+                self._run(), name="obs.tenants"
+            )
+        return self
+
+    def stop(self) -> None:
+        if self.proc is not None and self.proc.alive:
+            self.machine.engine.kill(self.proc)
+        self.proc = None
+
+    def _run(self):
+        while True:
+            yield self.window_cycles
+            self._close_window()
+
+    def _close_window(self) -> None:
+        now = self.machine.engine.now
+        for tenant, state in zip(self.tenants, self._states):
+            accesses = writes = 0
+            if tenant.workload is not None:
+                cur_a = tenant.workload.executed_accesses
+                cur_w = tenant.workload.executed_writes
+                accesses = cur_a - state.last_accesses
+                writes = cur_w - state.last_writes
+                state.last_accesses = cur_a
+                state.last_writes = cur_w
+            row: Dict[str, Any] = {
+                "t_start": self._t_start,
+                "t_end": now,
+                "tenant": tenant.name,
+                "accesses": accesses,
+                "writes": writes,
+            }
+            row.update(state.window)
+            ended = row["tpm_commits"] + row["tpm_aborts"]
+            row["abort_rate"] = row["tpm_aborts"] / ended if ended else 0.0
+            row["promotions"] = row["tpm_commits"] + row["sync_promotions"]
+            if state.hist.total:
+                row["tpm_p50_cycles"] = state.hist.percentile(50.0)
+                row["tpm_p99_cycles"] = state.hist.percentile(99.0)
+            else:
+                row["tpm_p50_cycles"] = 0.0
+                row["tpm_p99_cycles"] = 0.0
+            row["spans_closed"] = state.spans_closed
+            self.rows.append(row)
+            state.reset_window()
+        self._t_start = now
+
+    def finish(self) -> None:
+        """Close the final partial window (idempotent)."""
+        if self._finished:
+            return
+        if self.machine.engine.now > self._t_start:
+            self._close_window()
+        self._finished = True
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def as_rows(self) -> List[Dict[str, Any]]:
+        return self.rows.records()
+
+    def totals(self) -> Dict[str, Dict[str, float]]:
+        """Cumulative per-tenant counters over the whole run."""
+        out: Dict[str, Dict[str, float]] = {}
+        for tenant, state in zip(self.tenants, self._states):
+            entry = {name: float(state.total[name]) for name in _COUNT_FIELDS}
+            entry["promotions"] = (
+                entry["tpm_commits"] + entry["sync_promotions"]
+            )
+            if tenant.workload is not None:
+                entry["accesses"] = float(tenant.workload.executed_accesses)
+                entry["writes"] = float(tenant.workload.executed_writes)
+            out[tenant.name] = entry
+        return out
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+def tenant_timeseries_to_csv(agg: TenantSeriesAggregator) -> str:
+    """Fixed-schema CSV: one row per (window, tenant)."""
+    agg.finish()
+    buf = io.StringIO()
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(TENANT_TIMESERIES_COLUMNS)
+    for row in agg.as_rows():
+        writer.writerow([row.get(col, "") for col in TENANT_TIMESERIES_COLUMNS])
+    return buf.getvalue()
+
+
+def tenant_timeseries_to_json(agg: TenantSeriesAggregator) -> str:
+    """The same rows as a JSON document, plus the tenant layout."""
+    agg.finish()
+    return json.dumps(
+        {
+            "window_cycles": agg.window_cycles,
+            "dropped": agg.rows.dropped,
+            "unattributed": agg.unattributed,
+            "tenants": [
+                {"name": t.name, "lo": t.lo, "hi": t.hi} for t in agg.tenants
+            ],
+            "rows": agg.as_rows(),
+        },
+        indent=1,
+        sort_keys=True,
+    ) + "\n"

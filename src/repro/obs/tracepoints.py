@@ -138,8 +138,9 @@ register_tracepoint(
     "one kswapd reclaim pass completed",
 )
 register_tracepoint(
-    "migrate.sync", ("src_tier", "dst_tier", "success", "reason", "retries"),
-    "a stock synchronous migration finished (success or failure)",
+    "migrate.sync", ("vpn", "src_tier", "dst_tier", "success", "reason", "retries"),
+    "a stock synchronous migration finished (success or failure); vpn is "
+    "the frame's first mapping (-1 if unmapped), for tenant attribution",
 )
 register_tracepoint(
     "migrate.sync_fallback", ("vpn", "mapcount"),
@@ -245,6 +246,7 @@ class ObsManager:
         # span stitching, windowed time series, wall-clock self-profile.
         self.spans = None  # SpanTracker
         self.timeseries = None  # TimeSeriesAggregator
+        self.tenant_series = None  # TenantSeriesAggregator
         self.selfprof = None  # SelfProfiler
         # emit() fan-out beyond the ring (the span tracker subscribes
         # here). Listeners receive the TraceRecord; they must only read
@@ -324,6 +326,36 @@ class ObsManager:
         self.timeseries.start()
         return self.timeseries
 
+    def enable_tenant_series(
+        self,
+        tenants,
+        window_cycles: float = 100_000.0,
+        capacity: int = 8192,
+    ):
+        """Aggregate per-tenant windows for a multi-tenant co-run.
+
+        ``tenants`` is a sequence of
+        :class:`~repro.obs.tenants.TenantRange` (disjoint vpn ranges).
+        Implies :meth:`enable_spans` (per-tenant TPM latency percentiles
+        are fed by closing spans, attributed by the span's vpn key) and
+        registers an emit listener that attributes vpn-carrying
+        tracepoints. Returns the running
+        :class:`~repro.obs.tenants.TenantSeriesAggregator`.
+        """
+        if self.tenant_series is not None:
+            return self.tenant_series
+        tracker = self.enable_spans()
+        from .tenants import TenantSeriesAggregator
+
+        self.tenant_series = TenantSeriesAggregator(
+            self.machine, tenants, window_cycles=window_cycles,
+            capacity=capacity,
+        )
+        self._listeners.append(self.tenant_series.feed)
+        tracker.subscribe(self.tenant_series.note_span)
+        self.tenant_series.start()
+        return self.tenant_series
+
     def enable_selfprof(self):
         """Attribute host wall time to subsystems (idempotent).
 
@@ -347,6 +379,8 @@ class ObsManager:
             self.sampler.stop()
         if self.timeseries is not None:
             self.timeseries.stop()
+        if self.tenant_series is not None:
+            self.tenant_series.stop()
         if self.selfprof is not None:
             self.selfprof.stop()
             self.machine.engine.profiler = None
@@ -447,5 +481,13 @@ class ObsManager:
                 "windows": len(self.timeseries.rows),
                 "dropped": self.timeseries.rows.dropped,
                 "window_cycles": self.timeseries.window_cycles,
+            }
+        if self.tenant_series is not None:
+            out["tenant_series"] = {
+                "rows": len(self.tenant_series.rows),
+                "dropped": self.tenant_series.rows.dropped,
+                "tenants": len(self.tenant_series.tenants),
+                "unattributed": self.tenant_series.unattributed,
+                "window_cycles": self.tenant_series.window_cycles,
             }
         return out

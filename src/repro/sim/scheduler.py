@@ -158,6 +158,16 @@ class RunScheduler:
             workload.bind(m)
         start_counters = m.stats.snapshot()
         sinks: List[List[WindowSample]] = [[] for _ in workloads]
+
+        def make_sink(workload, windows):
+            # Window sink shared by both execution speeds: collects the
+            # private window stream and advances the workload's
+            # execution-progress counters (read by per-tenant obs).
+            def sink(sample: WindowSample) -> None:
+                windows.append(sample)
+                workload.executed_accesses += sample.reads + sample.writes
+                workload.executed_writes += sample.writes
+            return sink
         procs = []
         proc_groups: List[List] = [[] for _ in workloads]
         # Two-speed execution applies when each thread exclusively owns
@@ -175,7 +185,7 @@ class RunScheduler:
                 proc = m.engine.spawn(
                     self._thread_proc(
                         workload, m.cpus.get(cpu_name), shared_chunks,
-                        sinks[0].append,
+                        make_sink(workload, sinks[0]),
                     ),
                     name=f"app:{workload.name}:{cpu_name}",
                 )
@@ -185,7 +195,8 @@ class RunScheduler:
             for i, (workload, cpu_name) in enumerate(zip(workloads, app_cpus)):
                 proc = m.engine.spawn(
                     self._app_proc(
-                        workload, m.cpus.get(cpu_name), sinks[i].append,
+                        workload, m.cpus.get(cpu_name),
+                        make_sink(workload, sinks[i]),
                         fastpath=use_fastpath,
                     ),
                     name=f"app:{workload.name}",

@@ -6,7 +6,20 @@ from .liblinear import LiblinearWorkload
 from .pagerank import PageRankWorkload
 from .pointer_chase import PointerChase
 from .seqscan import SeqScanWorkload
-from .trace_file import TraceWorkload, record_trace
+from .trace_file import StreamingTraceWorkload, TraceWorkload, record_trace
+from .trace_store import (
+    TRACE_SCHEMA,
+    TraceManifest,
+    TraceWriter,
+    import_text_trace,
+)
+from .tracegen import (
+    GENERATORS,
+    build_trace,
+    default_params,
+    generate_chunks,
+    interleave_tenants,
+)
 from .ycsb import YCSB_CASES, YcsbWorkload
 from .zipfian import SCENARIOS, ZipfianMicrobench
 
@@ -23,5 +36,15 @@ __all__ = [
     "LiblinearWorkload",
     "SeqScanWorkload",
     "TraceWorkload",
+    "StreamingTraceWorkload",
     "record_trace",
+    "TRACE_SCHEMA",
+    "TraceManifest",
+    "TraceWriter",
+    "import_text_trace",
+    "GENERATORS",
+    "default_params",
+    "generate_chunks",
+    "build_trace",
+    "interleave_tenants",
 ]

@@ -135,6 +135,12 @@ class Workload:
         self.machine: Optional["Machine"] = None
         self.space: Optional["AddressSpace"] = None
         self.finished = False
+        # Execution-time progress counters, bumped by the run scheduler
+        # as each chunk's window commits (fast path and slow path alike).
+        # Per-tenant observability reads these at window boundaries to
+        # attribute throughput without touching machine-global state.
+        self.executed_accesses = 0
+        self.executed_writes = 0
 
     # ------------------------------------------------------------------
     def bind(self, machine: "Machine") -> None:

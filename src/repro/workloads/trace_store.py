@@ -1,0 +1,423 @@
+"""Versioned, chunked on-disk trace format: npz shards + JSON manifest.
+
+A stored trace is a *directory*::
+
+    mytrace.trace/
+        manifest.json        # schema, params, digests, shard index
+        shard-00000.npz      # vpns (int64), writes (bool)
+        shard-00001.npz
+        ...
+
+The manifest records the schema version, the trace's footprint
+(``nr_pages``), the generator that produced it (name, params, seed --
+so a trace is reproducible from its manifest alone), optional
+multi-tenant layout metadata, and two levels of content digest:
+
+* per-shard ``sha256`` over the shard's raw array bytes (corruption is
+  pinpointed to a shard);
+* a trace-level ``digest`` chaining every shard's bytes in order (the
+  identity CI's golden fixtures pin).
+
+Digests cover array *content* (``tobytes()``), not npz container bytes,
+so they are stable across numpy/zlib versions; byte-identical *files*
+for a fixed seed are additionally guaranteed because ``savez_compressed``
+writes deterministic archives and the manifest is serialized with sorted
+keys (``scripts/check_trace_conformance.py`` checks both properties).
+
+Shard boundaries depend only on trace content, never on the writer's
+append call pattern: :class:`TraceWriter` buffers and flushes exact
+``shard_accesses``-sized shards. :meth:`TraceManifest.iter_chunks`
+streams the shards back out in bounded memory, which is what lets
+:class:`~repro.workloads.trace_file.StreamingTraceWorkload` replay
+traces far larger than RAM through ``ChunkStream``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "MANIFEST_NAME",
+    "TraceWriter",
+    "TraceManifest",
+    "import_text_trace",
+]
+
+TRACE_SCHEMA = "repro-trace/2"
+MANIFEST_NAME = "manifest.json"
+
+# Default accesses per shard: ~1 MiB of raw array data per shard
+# (8 B vpn + 1 B write flag per access), small enough to stream.
+DEFAULT_SHARD_ACCESSES = 65_536
+
+
+def _shard_bytes(vpns: np.ndarray, writes: np.ndarray) -> bytes:
+    return vpns.tobytes() + b"|" + writes.tobytes()
+
+
+class TraceWriter:
+    """Stream accesses into a trace directory, shard by shard.
+
+    ``append`` any number of (vpns, writes) chunks in any sizes;
+    ``close`` flushes the tail shard and writes the manifest. The
+    resulting directory is readable via :class:`TraceManifest`.
+    """
+
+    def __init__(
+        self,
+        out_dir: Union[str, Path],
+        name: str = "trace",
+        nr_pages: Optional[int] = None,
+        fast_fraction: float = 1.0,
+        generator: Optional[Dict[str, Any]] = None,
+        tenants: Optional[List[Dict[str, Any]]] = None,
+        shard_accesses: int = DEFAULT_SHARD_ACCESSES,
+    ) -> None:
+        if shard_accesses <= 0:
+            raise ValueError(
+                f"shard_accesses must be positive, got {shard_accesses}"
+            )
+        if not 0.0 <= fast_fraction <= 1.0:
+            raise ValueError(
+                f"fast_fraction must be in [0, 1], got {fast_fraction}"
+            )
+        self.out_dir = Path(out_dir)
+        self.name = name
+        self.nr_pages = nr_pages
+        self.fast_fraction = float(fast_fraction)
+        self.generator = dict(generator) if generator else None
+        self.tenants = list(tenants) if tenants else None
+        self.shard_accesses = int(shard_accesses)
+        self._buf_v: List[np.ndarray] = []
+        self._buf_w: List[np.ndarray] = []
+        self._buffered = 0
+        self._shards: List[Dict[str, Any]] = []
+        self._digest = hashlib.sha256()
+        self._accesses = 0
+        self._writes = 0
+        self._vpn_max = -1
+        self._closed = False
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def append(self, vpns: np.ndarray, writes: np.ndarray) -> None:
+        if self._closed:
+            raise RuntimeError("TraceWriter already closed")
+        vpns = np.asarray(vpns, dtype=np.int64)
+        writes = np.asarray(writes, dtype=bool)
+        if len(vpns) != len(writes):
+            raise ValueError("vpns and writes must have equal length")
+        if len(vpns) == 0:
+            return
+        if vpns.min() < 0:
+            raise ValueError("trace vpns must be non-negative")
+        self._vpn_max = max(self._vpn_max, int(vpns.max()))
+        self._buf_v.append(vpns)
+        self._buf_w.append(writes)
+        self._buffered += len(vpns)
+        while self._buffered >= self.shard_accesses:
+            self._flush_shard(self.shard_accesses)
+
+    def _take(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Pop exactly ``n`` buffered accesses (n <= buffered)."""
+        out_v: List[np.ndarray] = []
+        out_w: List[np.ndarray] = []
+        need = n
+        while need > 0:
+            v, w = self._buf_v[0], self._buf_w[0]
+            if len(v) <= need:
+                out_v.append(v)
+                out_w.append(w)
+                self._buf_v.pop(0)
+                self._buf_w.pop(0)
+                need -= len(v)
+            else:
+                out_v.append(v[:need])
+                out_w.append(w[:need])
+                self._buf_v[0] = v[need:]
+                self._buf_w[0] = w[need:]
+                need = 0
+        self._buffered -= n
+        return np.concatenate(out_v), np.concatenate(out_w)
+
+    def _flush_shard(self, n: int) -> None:
+        vpns, writes = self._take(n)
+        fname = f"shard-{len(self._shards):05d}.npz"
+        np.savez_compressed(self.out_dir / fname, vpns=vpns, writes=writes)
+        blob = _shard_bytes(vpns, writes)
+        self._digest.update(blob)
+        self._shards.append(
+            {
+                "file": fname,
+                "accesses": int(len(vpns)),
+                "sha256": hashlib.sha256(blob).hexdigest(),
+            }
+        )
+        self._accesses += int(len(vpns))
+        self._writes += int(writes.sum())
+
+    # ------------------------------------------------------------------
+    def close(self) -> "TraceManifest":
+        """Flush the tail shard, write ``manifest.json``, return it."""
+        if self._closed:
+            return TraceManifest.load(self.out_dir)
+        if self._buffered:
+            self._flush_shard(self._buffered)
+        if self._accesses == 0:
+            raise ValueError("trace must contain at least one access")
+        nr_pages = (
+            int(self.nr_pages)
+            if self.nr_pages is not None
+            else self._vpn_max + 1
+        )
+        if nr_pages <= self._vpn_max:
+            raise ValueError(
+                f"nr_pages must cover the trace footprint "
+                f"(max vpn {self._vpn_max}), got {nr_pages}"
+            )
+        doc: Dict[str, Any] = {
+            "schema": TRACE_SCHEMA,
+            "name": self.name,
+            "nr_pages": nr_pages,
+            "fast_fraction": self.fast_fraction,
+            "accesses": self._accesses,
+            "writes": self._writes,
+            "vpn_max": self._vpn_max,
+            "digest": self._digest.hexdigest(),
+            "shards": self._shards,
+        }
+        if self.generator is not None:
+            doc["generator"] = self.generator
+        if self.tenants is not None:
+            doc["tenants"] = self.tenants
+        path = self.out_dir / MANIFEST_NAME
+        with open(path, "w") as f:
+            json.dump(doc, f, indent=1, sort_keys=True)
+            f.write("\n")
+        self._closed = True
+        return TraceManifest(doc, self.out_dir)
+
+
+class TraceManifest:
+    """A loaded trace manifest plus streaming access to its shards."""
+
+    def __init__(self, doc: Dict[str, Any], base_dir: Path) -> None:
+        self.doc = doc
+        self.base_dir = Path(base_dir)
+
+    # Convenience accessors -------------------------------------------
+    @property
+    def schema(self) -> str:
+        return self.doc["schema"]
+
+    @property
+    def name(self) -> str:
+        return self.doc["name"]
+
+    @property
+    def nr_pages(self) -> int:
+        return int(self.doc["nr_pages"])
+
+    @property
+    def fast_fraction(self) -> float:
+        return float(self.doc["fast_fraction"])
+
+    @property
+    def accesses(self) -> int:
+        return int(self.doc["accesses"])
+
+    @property
+    def digest(self) -> str:
+        return self.doc["digest"]
+
+    @property
+    def generator(self) -> Optional[Dict[str, Any]]:
+        return self.doc.get("generator")
+
+    @property
+    def tenants(self) -> Optional[List[Dict[str, Any]]]:
+        return self.doc.get("tenants")
+
+    @property
+    def shards(self) -> List[Dict[str, Any]]:
+        return self.doc["shards"]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TraceManifest":
+        """Load from a trace directory or a manifest.json path."""
+        path = Path(path)
+        if path.is_dir():
+            path = path / MANIFEST_NAME
+        if not path.is_file():
+            raise FileNotFoundError(f"no trace manifest at {path}")
+        with open(path) as f:
+            doc = json.load(f)
+        schema = doc.get("schema")
+        if schema != TRACE_SCHEMA:
+            raise ValueError(
+                f"unsupported trace schema {schema!r} "
+                f"(this reader understands {TRACE_SCHEMA!r})"
+            )
+        return cls(doc, path.parent)
+
+    # ------------------------------------------------------------------
+    def iter_shards(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield (vpns, writes) per shard; one shard in memory at a time."""
+        for shard in self.shards:
+            with np.load(self.base_dir / shard["file"]) as data:
+                yield (
+                    np.asarray(data["vpns"], dtype=np.int64),
+                    np.asarray(data["writes"], dtype=bool),
+                )
+
+    def iter_chunks(
+        self, chunk_size: int
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Stream the trace re-chunked to ``chunk_size`` accesses.
+
+        Carries remainders across shard boundaries so the chunk sequence
+        is independent of the shard layout (same content, same chunks).
+        """
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        rest_v: Optional[np.ndarray] = None
+        rest_w: Optional[np.ndarray] = None
+        for vpns, writes in self.iter_shards():
+            if rest_v is not None and len(rest_v):
+                vpns = np.concatenate([rest_v, vpns])
+                writes = np.concatenate([rest_w, writes])
+            off = 0
+            while off + chunk_size <= len(vpns):
+                yield vpns[off:off + chunk_size], writes[off:off + chunk_size]
+                off += chunk_size
+            rest_v, rest_w = vpns[off:], writes[off:]
+        if rest_v is not None and len(rest_v):
+            yield rest_v, rest_w
+
+    def load_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Materialize the full trace (tests, small traces)."""
+        parts = list(self.iter_shards())
+        return (
+            np.concatenate([v for v, _ in parts]),
+            np.concatenate([w for _, w in parts]),
+        )
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Recompute every digest from shard content; raise on mismatch."""
+        chained = hashlib.sha256()
+        accesses = 0
+        for shard, (vpns, writes) in zip(self.shards, self.iter_shards()):
+            blob = _shard_bytes(vpns, writes)
+            got = hashlib.sha256(blob).hexdigest()
+            if got != shard["sha256"]:
+                raise ValueError(
+                    f"shard {shard['file']} digest mismatch: "
+                    f"manifest {shard['sha256'][:12]}..., "
+                    f"content {got[:12]}..."
+                )
+            if len(vpns) != shard["accesses"]:
+                raise ValueError(
+                    f"shard {shard['file']} has {len(vpns)} accesses, "
+                    f"manifest says {shard['accesses']}"
+                )
+            chained.update(blob)
+            accesses += len(vpns)
+        if chained.hexdigest() != self.digest:
+            raise ValueError(
+                f"trace digest mismatch: manifest {self.digest[:12]}..., "
+                f"content {chained.hexdigest()[:12]}..."
+            )
+        if accesses != self.accesses:
+            raise ValueError(
+                f"trace has {accesses} accesses, manifest says {self.accesses}"
+            )
+
+
+# ----------------------------------------------------------------------
+# Importer for simple text dumps from real systems
+# ----------------------------------------------------------------------
+def import_text_trace(
+    src: Union[str, Path],
+    out_dir: Union[str, Path],
+    name: Optional[str] = None,
+    nr_pages: Optional[int] = None,
+    fast_fraction: float = 1.0,
+    shard_accesses: int = DEFAULT_SHARD_ACCESSES,
+) -> TraceManifest:
+    """Convert a ``vpn,rw`` text dump into the manifest format.
+
+    Accepted line shapes (blank lines and ``#`` comments skipped)::
+
+        4711,r        # comma separated
+        4711 w        # whitespace separated
+        4711,1        # 0 = read, 1 = write
+        4711          # bare vpn: read access
+
+    ``rw`` is case-insensitive (``r``/``w``/``0``/``1``).
+    """
+    src = Path(src)
+    writer = TraceWriter(
+        out_dir,
+        name=name or src.stem,
+        nr_pages=nr_pages,
+        fast_fraction=fast_fraction,
+        generator={"name": "import", "params": {"source": src.name}, "seed": 0},
+        shard_accesses=shard_accesses,
+    )
+    batch_v: List[int] = []
+    batch_w: List[bool] = []
+
+    def flush() -> None:
+        if batch_v:
+            writer.append(
+                np.asarray(batch_v, dtype=np.int64),
+                np.asarray(batch_w, dtype=bool),
+            )
+            del batch_v[:]
+            del batch_w[:]
+
+    with open(src) as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.replace(",", " ").split()
+            try:
+                vpn = int(parts[0])
+            except ValueError:
+                raise ValueError(
+                    f"{src}:{lineno}: bad vpn {parts[0]!r}"
+                ) from None
+            if vpn < 0:
+                raise ValueError(f"{src}:{lineno}: negative vpn {vpn}")
+            if len(parts) == 1:
+                write = False
+            elif len(parts) == 2:
+                rw = parts[1].lower()
+                if rw in ("r", "0"):
+                    write = False
+                elif rw in ("w", "1"):
+                    write = True
+                else:
+                    raise ValueError(
+                        f"{src}:{lineno}: bad access kind {parts[1]!r} "
+                        "(want r/w/0/1)"
+                    )
+            else:
+                raise ValueError(
+                    f"{src}:{lineno}: want 'vpn[,rw]', got {line!r}"
+                )
+            batch_v.append(vpn)
+            batch_w.append(write)
+            if len(batch_v) >= shard_accesses:
+                flush()
+    flush()
+    return writer.close()

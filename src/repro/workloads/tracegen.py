@@ -1,0 +1,359 @@
+"""Parameterized trace generators: realistic traffic for the simulator.
+
+The synthetic micro-benchmarks are stationary: one zipf distribution,
+one working set, forever. Real fleet traffic -- the kind that drove
+TPP's and Nomad's policy arguments -- drifts, phase-changes, and
+breathes with the day. This module generates such streams as chunked
+(vpns, writes) iterators, and writes them into the on-disk manifest
+format (:mod:`repro.workloads.trace_store`) for bit-identical replay.
+
+Generators (all fully seeded and deterministic):
+
+* ``zipf-drift`` -- zipf skew interpolates ``theta0 -> theta1`` across
+  the trace while the hot set's identity slowly rotates through the
+  footprint (``drift`` controls how far it travels);
+* ``phase-shift`` -- the trace is cut into ``phases`` equal segments,
+  each with its own working-set window and page permutation: an abrupt
+  working-set shift mid-trace, the classic promotion-policy stressor;
+* ``diurnal`` -- the active fraction of the footprint follows a raised
+  cosine between ``trough`` and 1.0 over ``periods`` cycles: load
+  breathes like a day/night curve.
+
+``interleave_tenants`` builds the "million-user" input: N independent
+tenant traces woven onto one timeline by a deterministic weighted
+round-robin (no RNG in the interleaver itself), each tenant's vpns
+offset into a private namespace, with the layout recorded in the
+manifest so per-tenant attribution survives the round trip.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .trace_store import DEFAULT_SHARD_ACCESSES, TraceManifest, TraceWriter
+
+__all__ = [
+    "GENERATORS",
+    "default_params",
+    "generate_chunks",
+    "build_trace",
+    "interleave_tenants",
+]
+
+_CHUNK = 4096  # generator-internal chunk granularity (accesses)
+
+ChunkIter = Iterator[Tuple[np.ndarray, np.ndarray]]
+
+
+def _zipf_cdf(n: int, theta: float) -> np.ndarray:
+    weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), theta)
+    cdf = np.cumsum(weights)
+    return cdf / cdf[-1]
+
+
+def _check(nr_pages: int, accesses: int) -> None:
+    if nr_pages <= 0:
+        raise ValueError(f"nr_pages must be positive, got {nr_pages}")
+    if accesses <= 0:
+        raise ValueError(f"accesses must be positive, got {accesses}")
+
+
+def _chunk_sizes(accesses: int, chunk: int) -> Iterator[Tuple[int, float]]:
+    """(size, progress in [0,1)) per chunk; progress is the chunk start."""
+    done = 0
+    while done < accesses:
+        n = min(chunk, accesses - done)
+        yield n, done / accesses
+        done += n
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def zipf_drift(
+    nr_pages: int,
+    accesses: int,
+    seed: int,
+    theta0: float = 1.2,
+    theta1: float = 0.4,
+    drift: float = 0.5,
+    write_ratio: float = 0.3,
+) -> ChunkIter:
+    """Zipf skew interpolating ``theta0 -> theta1``; hot set rotates.
+
+    A fixed permutation scatters ranks over the footprint (so "hot"
+    pages are not a contiguous prefix), then the whole mapping rotates
+    by up to ``drift * nr_pages`` pages across the trace.
+    """
+    _check(nr_pages, accesses)
+    rng = np.random.default_rng(seed)
+    perm = np.random.default_rng(seed + 1).permutation(nr_pages)
+    for n, progress in _chunk_sizes(accesses, _CHUNK):
+        theta = theta0 + (theta1 - theta0) * progress
+        cdf = _zipf_cdf(nr_pages, max(theta, 0.0))
+        ranks = np.searchsorted(cdf, rng.random(n), side="left")
+        shift = int(progress * drift * nr_pages)
+        vpns = (perm[ranks] + shift) % nr_pages
+        writes = rng.random(n) < write_ratio
+        yield vpns.astype(np.int64), writes
+
+
+def phase_shift(
+    nr_pages: int,
+    accesses: int,
+    seed: int,
+    phases: int = 4,
+    theta: float = 0.9,
+    working_set: float = 0.5,
+    write_ratio: float = 0.3,
+) -> ChunkIter:
+    """Abrupt working-set shifts: each phase targets a different window.
+
+    Phase ``k`` accesses a ``working_set``-sized window of the footprint
+    starting at a stride that walks the windows apart, through a
+    per-phase permutation -- so the hot set changes identity wholesale
+    at each boundary (chunks never straddle a boundary).
+    """
+    _check(nr_pages, accesses)
+    phases = max(int(phases), 1)
+    ws = max(int(nr_pages * working_set), 1)
+    rng = np.random.default_rng(seed)
+    cdf = _zipf_cdf(ws, theta)
+    span = max(nr_pages - ws, 0)
+    per_phase = accesses // phases
+    for k in range(phases):
+        n_phase = per_phase if k < phases - 1 else accesses - per_phase * (
+            phases - 1
+        )
+        if n_phase <= 0:
+            continue
+        offset = (k * span) // max(phases - 1, 1) if span else 0
+        perm = np.random.default_rng(seed + 100 + k).permutation(ws)
+        for n, _progress in _chunk_sizes(n_phase, _CHUNK):
+            ranks = np.searchsorted(cdf, rng.random(n), side="left")
+            vpns = offset + perm[ranks]
+            writes = rng.random(n) < write_ratio
+            yield vpns.astype(np.int64), writes
+
+
+def diurnal(
+    nr_pages: int,
+    accesses: int,
+    seed: int,
+    periods: float = 2.0,
+    trough: float = 0.2,
+    theta: float = 0.8,
+    write_ratio: float = 0.3,
+) -> ChunkIter:
+    """Load curve: the active footprint breathes on a raised cosine.
+
+    The active fraction swings between ``trough`` and 1.0 over
+    ``periods`` full cycles; accesses are zipf-distributed over the
+    currently active pages (scattered by a fixed permutation).
+    """
+    _check(nr_pages, accesses)
+    if not 0.0 < trough <= 1.0:
+        raise ValueError(f"trough must be in (0, 1], got {trough}")
+    rng = np.random.default_rng(seed)
+    perm = np.random.default_rng(seed + 1).permutation(nr_pages)
+    cdf = _zipf_cdf(nr_pages, theta)
+    for n, progress in _chunk_sizes(accesses, _CHUNK):
+        active = trough + (1.0 - trough) * 0.5 * (
+            1.0 - np.cos(2.0 * np.pi * periods * progress)
+        )
+        active_pages = max(int(nr_pages * active), 1)
+        ranks = np.searchsorted(cdf, rng.random(n), side="left")
+        vpns = perm[ranks % active_pages]
+        writes = rng.random(n) < write_ratio
+        yield vpns.astype(np.int64), writes
+
+
+GENERATORS: Dict[str, Callable[..., ChunkIter]] = {
+    "zipf-drift": zipf_drift,
+    "phase-shift": phase_shift,
+    "diurnal": diurnal,
+}
+
+
+def default_params(generator: str) -> Dict[str, Any]:
+    """The generator's keyword defaults (recorded in manifests)."""
+    fn = GENERATORS[generator]
+    code = fn.__code__
+    names = code.co_varnames[: code.co_argcount]
+    defaults = fn.__defaults__ or ()
+    return dict(zip(names[len(names) - len(defaults):], defaults))
+
+
+def generate_chunks(
+    generator: str,
+    nr_pages: int,
+    accesses: int,
+    seed: int,
+    params: Optional[Dict[str, Any]] = None,
+) -> ChunkIter:
+    """Chunk iterator for a named generator (unknown params rejected)."""
+    try:
+        fn = GENERATORS[generator]
+    except KeyError:
+        raise ValueError(
+            f"unknown trace generator {generator!r}; "
+            f"have {sorted(GENERATORS)}"
+        ) from None
+    params = dict(params or {})
+    known = set(default_params(generator))
+    unknown = set(params) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {generator} params {sorted(unknown)}; "
+            f"have {sorted(known)}"
+        )
+    return fn(nr_pages, accesses, seed, **params)
+
+
+# ----------------------------------------------------------------------
+# Trace building
+# ----------------------------------------------------------------------
+def build_trace(
+    out_dir: Union[str, Path],
+    generator: str,
+    nr_pages: int,
+    accesses: int,
+    seed: int,
+    name: Optional[str] = None,
+    fast_fraction: float = 1.0,
+    params: Optional[Dict[str, Any]] = None,
+    shard_accesses: int = DEFAULT_SHARD_ACCESSES,
+) -> TraceManifest:
+    """Generate a trace straight into the on-disk manifest format."""
+    effective = default_params(generator)
+    effective.update(params or {})
+    writer = TraceWriter(
+        out_dir,
+        name=name or f"{generator}-s{seed}",
+        nr_pages=nr_pages,
+        fast_fraction=fast_fraction,
+        generator={"name": generator, "params": effective, "seed": int(seed)},
+        shard_accesses=shard_accesses,
+    )
+    for vpns, writes in generate_chunks(
+        generator, nr_pages, accesses, seed, params
+    ):
+        writer.append(vpns, writes)
+    return writer.close()
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant interleaving
+# ----------------------------------------------------------------------
+def interleave_tenants(
+    out_dir: Union[str, Path],
+    tenants: List[Dict[str, Any]],
+    name: str = "interleaved",
+    quantum: int = 256,
+    fast_fraction: float = 1.0,
+    shard_accesses: int = DEFAULT_SHARD_ACCESSES,
+) -> TraceManifest:
+    """Weave N tenant streams onto one timeline, namespaced by tenant.
+
+    Each ``tenants`` entry is a dict with keys ``generator``,
+    ``nr_pages``, ``accesses``, ``seed`` and optionally ``name``,
+    ``params``, ``weight``. Tenant ``i`` owns the vpn range
+    ``[base_i, base_i + nr_pages_i)`` where bases stack cumulatively;
+    the manifest's ``tenants`` list records the layout.
+
+    The interleaver is a deterministic weighted round-robin: tenant
+    ``i`` contributes up to ``weight_i * quantum`` accesses per turn
+    until its stream is exhausted. No randomness -- the schedule is a
+    pure function of the tenant list.
+    """
+    if not tenants:
+        raise ValueError("need at least one tenant")
+    if quantum <= 0:
+        raise ValueError(f"quantum must be positive, got {quantum}")
+
+    streams = []
+    meta: List[Dict[str, Any]] = []
+    base = 0
+    for i, spec in enumerate(tenants):
+        generator = spec["generator"]
+        nr_pages = int(spec["nr_pages"])
+        accesses = int(spec["accesses"])
+        seed = int(spec.get("seed", i))
+        params = dict(spec.get("params") or {})
+        weight = float(spec.get("weight", 1.0))
+        if weight <= 0:
+            raise ValueError(f"tenant weight must be positive, got {weight}")
+        effective = default_params(generator)
+        effective.update(params)
+        tname = spec.get("name") or f"tenant{i}"
+        meta.append(
+            {
+                "name": tname,
+                "base": base,
+                "nr_pages": nr_pages,
+                "accesses": accesses,
+                "generator": generator,
+                "params": effective,
+                "seed": seed,
+                "weight": weight,
+            }
+        )
+        streams.append(
+            {
+                "it": generate_chunks(generator, nr_pages, accesses, seed, params),
+                "base": base,
+                "budget": max(int(weight * quantum), 1),
+                "buf_v": None,
+                "buf_w": None,
+                "done": False,
+            }
+        )
+        base += nr_pages
+
+    writer = TraceWriter(
+        out_dir,
+        name=name,
+        nr_pages=base,
+        fast_fraction=fast_fraction,
+        generator={
+            "name": "interleave",
+            "params": {"quantum": quantum},
+            "seed": 0,
+        },
+        tenants=meta,
+        shard_accesses=shard_accesses,
+    )
+
+    def pull(stream: Dict[str, Any], n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Up to ``n`` accesses from one tenant (empty when exhausted)."""
+        out_v: List[np.ndarray] = []
+        out_w: List[np.ndarray] = []
+        got = 0
+        while got < n:
+            if stream["buf_v"] is None or len(stream["buf_v"]) == 0:
+                try:
+                    stream["buf_v"], stream["buf_w"] = next(stream["it"])
+                except StopIteration:
+                    stream["done"] = True
+                    break
+            take = min(n - got, len(stream["buf_v"]))
+            out_v.append(stream["buf_v"][:take])
+            out_w.append(stream["buf_w"][:take])
+            stream["buf_v"] = stream["buf_v"][take:]
+            stream["buf_w"] = stream["buf_w"][take:]
+            got += take
+        if not out_v:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        return np.concatenate(out_v), np.concatenate(out_w)
+
+    while not all(s["done"] for s in streams):
+        for stream in streams:
+            if stream["done"]:
+                continue
+            vpns, writes = pull(stream, stream["budget"])
+            if len(vpns):
+                writer.append(vpns + stream["base"], writes)
+    return writer.close()

@@ -118,3 +118,18 @@ def test_thp_vs_base_rows():
     # and fewer migration events for the same access stream.
     assert on["faults"] < off["faults"]
     assert on["migration_events"] <= off["migration_events"]
+
+
+def test_multi_tenant_fairness_rows():
+    rows = E.multi_tenant_fairness(TINY, "A", nr_tenants=4,
+                                   policies=("no-migration", "nomad"))
+    # One aggregate row plus one per tenant, per policy.
+    assert len(rows) == 2 * (1 + 4)
+    agg = [r for r in rows if r["tenant"] == "*"]
+    assert {r["policy"] for r in agg} == {"no-migration", "nomad"}
+    for row in agg:
+        assert 0.0 < row["jain"] <= 1.0
+        assert row["max_min"] >= 1.0
+        assert row["gbps"] > 0
+    assert all(r["promotions"] == 0 for r in rows
+               if r["policy"] == "no-migration")

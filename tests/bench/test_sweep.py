@@ -185,3 +185,38 @@ def test_timing_table_sorted_slowest_first():
 def test_run_sweep_rejects_zero_workers():
     with pytest.raises(ValueError, match="at least one worker"):
         run_sweep(GRID.expand(), workers=0)
+
+
+# ----------------------------------------------------------------------
+# Trace-replay jobs
+# ----------------------------------------------------------------------
+def test_expand_trace_generators_axis():
+    spec = SweepSpec(
+        platforms=("A",),
+        policies=("tpp", "nomad"),
+        trace_generators=("zipf-drift", "diurnal"),
+        accesses=(8_000,),
+        seeds=(42,),
+    )
+    jobs = spec.expand()
+    assert len(jobs) == 4
+    assert all(j.kind == "trace" for j in jobs)
+    assert {j.generator for j in jobs} == {"zipf-drift", "diurnal"}
+    assert jobs[0].job_id.startswith("trace/A/")
+
+
+def test_trace_job_spec_requires_generator():
+    with pytest.raises(ValueError, match="generator"):
+        JobSpec(kind="trace")
+
+
+def test_trace_job_executes_deterministically():
+    job = JobSpec(kind="trace", generator="zipf-drift", platform="A",
+                  policy="nomad", accesses=8_000, seed=3)
+    a = execute_job(job)
+    b = execute_job(job)
+    assert a["status"] == "ok"
+    assert a["trace_digest"] == b["trace_digest"]
+    assert a["counter_digest"] == b["counter_digest"]
+    assert a["sim_cycles"] == b["sim_cycles"]
+    assert a["metrics"]["promotions"] > 0  # split placement migrates

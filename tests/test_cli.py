@@ -17,7 +17,7 @@ def test_experiments_cover_all_figures_and_tables():
         "tab1", "fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11",
         "fig12", "fig13", "fig14", "fig15", "fig16", "tab2", "tab3", "tab4",
         "abl-variants", "abl-reclaim", "timeline", "abort_timeline",
-        "thp_vs_base",
+        "thp_vs_base", "multi_tenant_fairness",
     }
     assert expected == set(EXPERIMENTS)
 
@@ -267,3 +267,115 @@ def test_bench_command_quick_profile(tmp_path, capsys, monkeypatch):
     report = load_report(str(reports[0]))
     assert report["profile"] == "quick"
     assert report["jobs"][0]["status"] == "ok"
+
+
+def test_trace_gen_list(capsys):
+    assert main(["trace-gen", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("zipf-drift", "phase-shift", "diurnal"):
+        assert name in out
+
+
+def test_trace_gen_roundtrip_and_replay(tmp_path, capsys):
+    trace = str(tmp_path / "t")
+    assert main([
+        "trace-gen", "gen", "zipf-drift", "--out", trace,
+        "--pages", "600", "--accesses", "4000", "--seed", "3",
+        "--fast-fraction", "0.5", "--param", "theta0=1.1",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "4000" in out
+    assert main(["trace-gen", "info", trace, "--verify"]) == 0
+    assert "zipf-drift" in capsys.readouterr().out
+
+    import json
+
+    assert main([
+        "replay", trace, "--policy", "nomad", "--platform", "A", "--json",
+    ]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["workload_counters"]["accesses"] == 4000.0
+    assert payload["policy"] == "nomad"
+    assert payload["counter_digest"]
+
+    # Streaming and in-RAM replay arms agree bit for bit.
+    assert main([
+        "replay", trace, "--policy", "nomad", "--platform", "A",
+        "--in-ram", "--json",
+    ]) == 0
+    in_ram = json.loads(capsys.readouterr().out)
+    assert in_ram["counter_digest"] == payload["counter_digest"]
+    assert in_ram["sim_cycles"] == payload["sim_cycles"]
+
+
+def test_trace_gen_rejects_bad_params(capsys):
+    assert main([
+        "trace-gen", "gen", "zipf-drift", "--out", "unused",
+        "--param", "bogus=1",
+    ]) != 0
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_trace_gen_interleave(tmp_path, capsys):
+    trace = str(tmp_path / "multi")
+    assert main([
+        "trace-gen", "interleave", "--out", trace,
+        "--tenants", "3", "--pages", "64", "--accesses", "900",
+        "--seed", "5", "--quantum", "32",
+    ]) == 0
+    capsys.readouterr()
+    assert main(["trace-gen", "info", trace, "--verify"]) == 0
+    out = capsys.readouterr().out
+    assert "tenant" in out
+
+    from repro.workloads import TraceManifest
+
+    manifest = TraceManifest.load(trace)
+    assert len(manifest.tenants) == 3
+    assert manifest.accesses == 2700  # --accesses is per tenant
+    assert manifest.nr_pages == 192
+
+
+def test_trace_gen_import(tmp_path, capsys):
+    src = tmp_path / "dump.csv"
+    src.write_text("0,r\n1,w\n2,r\n1,w\n")
+    trace = str(tmp_path / "imported")
+    assert main(["trace-gen", "import", str(src), "--out", trace]) == 0
+    capsys.readouterr()
+
+    from repro.workloads import TraceManifest
+
+    manifest = TraceManifest.load(trace)
+    assert manifest.accesses == 4
+    assert manifest.doc["writes"] == 2
+
+
+def test_multi_tenant_fairness_experiment(capsys):
+    assert main([
+        "run", "multi_tenant_fairness", "--accesses", "8000",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Multi-tenant fairness" in out
+    assert "jain" in out
+    assert "tenant00" in out
+
+
+def test_sweep_command_trace_generators(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "sweep.json"
+    argv = [
+        "sweep",
+        "--platforms", "A",
+        "--policies", "nomad",
+        "--trace-generators", "zipf-drift",
+        "--accesses", "8000",
+        "--output", str(path),
+    ]
+    assert main(argv) == 0
+    assert "1/1 ok" in capsys.readouterr().out
+    doc = json.loads(path.read_text())
+    job = doc["jobs"][0]
+    assert job["id"].startswith("trace/A/nomad/zipf-drift/")
+    assert job["trace_digest"]
+    assert job["counter_digest"]

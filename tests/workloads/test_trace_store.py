@@ -1,0 +1,190 @@
+"""On-disk trace store: writer, manifest, digests, streaming, importer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    TRACE_SCHEMA,
+    TraceManifest,
+    TraceWriter,
+    import_text_trace,
+)
+
+
+def sample_arrays(n=1000, pages=64, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, pages, n), rng.random(n) < 0.4
+
+
+def write_trace(out_dir, vpns, writes, **kwargs):
+    writer = TraceWriter(out_dir, **kwargs)
+    writer.append(vpns, writes)
+    return writer.close()
+
+
+def test_writer_roundtrip(tmp_path):
+    vpns, writes = sample_arrays()
+    manifest = write_trace(
+        tmp_path / "t", vpns, writes, name="sample", fast_fraction=0.5
+    )
+    assert manifest.schema == TRACE_SCHEMA
+    assert manifest.name == "sample"
+    assert manifest.accesses == 1000
+    assert manifest.fast_fraction == 0.5
+    assert manifest.doc["writes"] == int(writes.sum())
+    assert manifest.doc["vpn_max"] == int(vpns.max())
+    loaded = TraceManifest.load(tmp_path / "t")
+    assert loaded.doc == manifest.doc
+    got_v, got_w = loaded.load_arrays()
+    assert np.array_equal(got_v, vpns)
+    assert np.array_equal(got_w, writes)
+
+
+def test_load_accepts_manifest_path_or_dir(tmp_path):
+    vpns, writes = sample_arrays()
+    write_trace(tmp_path / "t", vpns, writes)
+    by_dir = TraceManifest.load(tmp_path / "t")
+    by_file = TraceManifest.load(tmp_path / "t" / "manifest.json")
+    assert by_dir.doc == by_file.doc
+
+
+def test_shard_layout_independent_of_append_pattern(tmp_path):
+    """Same content in different append sizes gives identical shards."""
+    vpns, writes = sample_arrays(n=2000)
+    one = write_trace(tmp_path / "one", vpns, writes, shard_accesses=300)
+    writer = TraceWriter(tmp_path / "many", shard_accesses=300)
+    for lo in range(0, 2000, 7):
+        writer.append(vpns[lo:lo + 7], writes[lo:lo + 7])
+    many = writer.close()
+    assert one.digest == many.digest
+    assert [s["sha256"] for s in one.shards] == [
+        s["sha256"] for s in many.shards
+    ]
+    assert [s["accesses"] for s in one.shards] == [
+        s["accesses"] for s in many.shards
+    ]
+    # Every shard but the tail is exactly shard_accesses long.
+    assert all(s["accesses"] == 300 for s in one.shards[:-1])
+
+
+def test_iter_chunks_independent_of_shard_boundaries(tmp_path):
+    vpns, writes = sample_arrays(n=1500)
+    small = write_trace(tmp_path / "s", vpns, writes, shard_accesses=128)
+    large = write_trace(tmp_path / "l", vpns, writes, shard_accesses=4096)
+    for chunk_size in (64, 100, 1501):
+        for a, b in zip(
+            small.iter_chunks(chunk_size), large.iter_chunks(chunk_size)
+        ):
+            assert np.array_equal(a[0], b[0])
+            assert np.array_equal(a[1], b[1])
+        got_v = np.concatenate([v for v, _ in small.iter_chunks(chunk_size)])
+        assert np.array_equal(got_v, vpns)
+
+
+def test_verify_passes_fresh_and_catches_corruption(tmp_path):
+    vpns, writes = sample_arrays(n=900)
+    manifest = write_trace(
+        tmp_path / "t", vpns, writes, shard_accesses=256
+    )
+    manifest.verify()
+    # Corrupt one shard's content: verify must pinpoint it.
+    victim = tmp_path / "t" / manifest.shards[1]["file"]
+    np.savez_compressed(victim, vpns=vpns[:256] + 1, writes=writes[:256])
+    with pytest.raises(ValueError, match="shard-00001.*digest mismatch"):
+        TraceManifest.load(tmp_path / "t").verify()
+
+
+def test_verify_catches_manifest_tampering(tmp_path):
+    vpns, writes = sample_arrays()
+    write_trace(tmp_path / "t", vpns, writes)
+    path = tmp_path / "t" / "manifest.json"
+    doc = json.loads(path.read_text())
+    doc["accesses"] += 1
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ValueError, match="accesses"):
+        TraceManifest.load(tmp_path / "t").verify()
+
+
+def test_load_rejects_unknown_schema(tmp_path):
+    vpns, writes = sample_arrays()
+    write_trace(tmp_path / "t", vpns, writes)
+    path = tmp_path / "t" / "manifest.json"
+    doc = json.loads(path.read_text())
+    doc["schema"] = "repro-trace/99"
+    path.write_text(json.dumps(doc))
+    with pytest.raises(ValueError, match="repro-trace/99"):
+        TraceManifest.load(tmp_path / "t")
+
+
+def test_load_missing_manifest(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        TraceManifest.load(tmp_path / "nope")
+
+
+def test_writer_validation(tmp_path):
+    with pytest.raises(ValueError, match="shard_accesses must be positive"):
+        TraceWriter(tmp_path / "t", shard_accesses=0)
+    with pytest.raises(ValueError, match=r"fast_fraction must be in \[0, 1\]"):
+        TraceWriter(tmp_path / "t", fast_fraction=1.5)
+    writer = TraceWriter(tmp_path / "t")
+    with pytest.raises(ValueError, match="equal length"):
+        writer.append(np.array([1, 2]), np.array([True]))
+    with pytest.raises(ValueError, match="non-negative"):
+        writer.append(np.array([-1]), np.array([True]))
+    with pytest.raises(ValueError, match="at least one access"):
+        writer.close()
+
+
+def test_writer_rejects_undersized_nr_pages(tmp_path):
+    writer = TraceWriter(tmp_path / "t", nr_pages=4)
+    writer.append(np.array([9]), np.array([False]))
+    with pytest.raises(ValueError, match="nr_pages must cover"):
+        writer.close()
+
+
+def test_writer_append_after_close(tmp_path):
+    vpns, writes = sample_arrays(n=10)
+    writer = TraceWriter(tmp_path / "t")
+    writer.append(vpns, writes)
+    writer.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        writer.append(vpns, writes)
+    # A second close is a no-op returning the persisted manifest.
+    assert writer.close().accesses == 10
+
+
+def test_import_text_trace_line_shapes(tmp_path):
+    src = tmp_path / "dump.txt"
+    src.write_text(
+        "# header comment\n"
+        "4,r\n"
+        "5 w\n"
+        "6,1\n"
+        "7,0\n"
+        "\n"
+        "8   # bare vpn is a read\n"
+    )
+    manifest = import_text_trace(src, tmp_path / "t")
+    vpns, writes = manifest.load_arrays()
+    assert vpns.tolist() == [4, 5, 6, 7, 8]
+    assert writes.tolist() == [False, True, True, False, False]
+    assert manifest.generator["name"] == "import"
+    manifest.verify()
+
+
+@pytest.mark.parametrize(
+    "line,match",
+    [
+        ("zap,r", "bad vpn"),
+        ("-3,w", "negative vpn"),
+        ("4,x", "bad access kind"),
+        ("4 r extra", "want 'vpn"),
+    ],
+)
+def test_import_text_trace_rejects_bad_lines(tmp_path, line, match):
+    src = tmp_path / "dump.txt"
+    src.write_text("1,r\n" + line + "\n")
+    with pytest.raises(ValueError, match=match):
+        import_text_trace(src, tmp_path / "t")
