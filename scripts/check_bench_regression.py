@@ -89,6 +89,17 @@ def main(argv=None) -> int:
         min_cps_ratio=args.min_cps_ratio,
     )
 
+    # Structural gate: the quick suite must keep pinning at least one
+    # deep-chain (3-tier) cell, or the N-tier code paths silently drop
+    # out of CI coverage.
+    if baseline.get("profile") == "quick" and not any(
+        "/3tier" in job.get("id", "") for job in baseline.get("jobs", [])
+    ):
+        errors.append(
+            "quick baseline pins no 3-tier cell (expected a job id with "
+            "'/3tier'); regenerate the baseline with the deep-chain suite"
+        )
+
     print(f"baseline: {baseline_path} ({len(baseline.get('jobs', []))} jobs)")
     print(f"fresh:    {fresh_path} ({len(fresh.get('jobs', []))} jobs)")
     for msg in warnings:

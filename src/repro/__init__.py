@@ -22,15 +22,18 @@ paper-vs-measured record.
 
 from .mem.node import OutOfMemoryError
 from .mem.tiers import FAST_TIER, SLOW_TIER, TieredMemory
+from .mem.topology import TierSpec, TierTopology
 from .sim.platform import (
     PAGES_PER_GB,
     Platform,
+    apply_topology,
     gb_to_pages,
     get_platform,
     platform_a,
     platform_b,
     platform_c,
     platform_d,
+    three_tier,
 )
 from .system import Machine, MachineConfig, RunReport
 
@@ -72,9 +75,13 @@ __all__ = [
     "MachineConfig",
     "RunReport",
     "TieredMemory",
+    "TierSpec",
+    "TierTopology",
     "OutOfMemoryError",
     "FAST_TIER",
     "SLOW_TIER",
+    "three_tier",
+    "apply_topology",
     "Platform",
     "platform_a",
     "platform_b",

@@ -99,6 +99,20 @@ PROFILES: Dict[str, Sequence[SweepSpec]] = {
             seeds=(42,),
             instrument=True,
         ),
+        # Deep-chain suite: one Nomad cell on the DRAM/CXL/SSD preset so
+        # the N-tier chain walk, cascading demotion, and the per-tier
+        # migration counters are pinned bit-for-bit in CI. The legacy
+        # two-tier cells above are untouched (distinct job ids).
+        SweepSpec(
+            platforms=("A",),
+            policies=("nomad",),
+            scenarios=("small",),
+            write_ratios=(1.0,),
+            accesses=(20_000,),
+            seeds=(42,),
+            instrument=True,
+            topologies=("3tier",),
+        ),
         SweepSpec(experiments=("tab1", "fig2"), accesses=(15_000,)),
     ),
     # The grid the paper's figures are drawn from (platforms A/C/D,

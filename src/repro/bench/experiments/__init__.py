@@ -27,6 +27,7 @@ from .analytics import (
     fig16_liblinear_large,
 )
 from .ablations import ablation_nomad_variants, ablation_shadow_reclaim_factor
+from .leaderboard import LEADERBOARD_POLICIES, tier_leaderboard
 from .observability import timeline_gauges
 from .tenancy import multi_tenant_fairness
 from .thp import thp_config, thp_vs_base
@@ -55,6 +56,8 @@ __all__ = [
     "ablation_shadow_reclaim_factor",
     "timeline_gauges",
     "multi_tenant_fairness",
+    "LEADERBOARD_POLICIES",
+    "tier_leaderboard",
     "thp_config",
     "thp_vs_base",
 ]

@@ -1,0 +1,100 @@
+"""Tier leaderboard: every policy on 2-tier and 3-tier chains.
+
+The paper evaluates two tiers (DRAM + CXL/PM); this experiment ranks
+the policies on both the stock pair and the DRAM/CXL/SSD-class chain
+(:func:`repro.sim.platform.three_tier`) so the N-tier generalization is
+exercised end to end: chain-walk allocation spills past the CXL tier,
+tier-0 pressure demotes into the CXL tier, and CXL-tier pressure
+*cascades* into the SSD tier -- visible in the per-tier
+``migrate.demote_to_tier1``/``migrate.demote_to_tier2`` counters.
+
+The 3-tier configuration squeezes the middle (CXL) tier so the large
+Zipfian scenario overflows it: without a squeezed middle the workload
+fits in DRAM+CXL and the bottom tier never sees traffic. Column guide:
+
+* ``to_t1``/``to_t2`` -- demotions landing on tier 1 / tier 2 (per-tier
+  counters are only maintained on chains deeper than two tiers, so
+  2-tier rows show ``-``);
+* ``t2_used`` -- pages resident on the SSD-class tier at run end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ...sim.platform import get_platform, three_tier
+from ...workloads import ZipfianMicrobench
+from ..runner import policy_available, run_experiment
+from .registry import register, rows_printer
+
+__all__ = ["LEADERBOARD_POLICIES", "tier_leaderboard"]
+
+LEADERBOARD_POLICIES = ("no-migration", "tpp", "memtis-default", "nomad")
+
+# Middle (CXL) tier capacity for the 3-tier runs, paper-GB. Half the
+# stock 16 GB: the large scenario (27 GB resident) then overflows
+# DRAM+CXL and the chain must spill into -- and demote toward -- the
+# SSD-class tier.
+_SQUEEZED_CXL_GB = 8.0
+
+
+def tier_leaderboard(
+    accesses: int,
+    platform: Optional[str],
+    policies: Sequence[str] = LEADERBOARD_POLICIES,
+    scenario: str = "large",
+    write_ratio: float = 1.0,
+    seed: int = 42,
+) -> List[dict]:
+    """Run every policy on the 2-tier and 3-tier machines; one row each."""
+    platform_name = (platform or "A").upper()
+    base = get_platform(platform_name)
+    squeezed = three_tier(
+        base.with_capacity(base.fast_gb, _SQUEEZED_CXL_GB)
+    )
+    configs = (("2tier", base), ("3tier", squeezed))
+
+    rows: List[dict] = []
+    for policy in policies:
+        if not policy_available(policy, platform_name):
+            continue
+        for label, plat in configs:
+            result = run_experiment(
+                plat,
+                policy,
+                lambda: ZipfianMicrobench.scenario(
+                    scenario,
+                    write_ratio=write_ratio,
+                    total_accesses=accesses,
+                    seed=seed,
+                ),
+            )
+            deep = len(result.machine.tiers.nodes) > 2
+            usage = result.machine.tiers.usage()
+            rows.append({
+                "policy": policy,
+                "topology": label,
+                "gbps": round(result.overall.bandwidth_gbps, 3),
+                "promotions": int(result.counter("migrate.promotions")),
+                "demotions": int(result.counter("migrate.demotions")),
+                "to_t1": (
+                    int(result.counter("migrate.demote_to_tier1"))
+                    if deep else "-"
+                ),
+                "to_t2": (
+                    int(result.counter("migrate.demote_to_tier2"))
+                    if deep else "-"
+                ),
+                "t2_used": usage.get("tier2_used", "-") if deep else "-",
+            })
+    return rows
+
+
+register(
+    "tier_leaderboard",
+    "every policy on the stock 2-tier pair and the DRAM/CXL/SSD chain: "
+    "bandwidth plus per-tier cascade counters",
+    tier_leaderboard,
+    rows_printer("Tier leaderboard (2-tier vs DRAM/CXL/SSD chain)"),
+    platform_arg=True,
+)

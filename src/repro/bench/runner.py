@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from ..policies import make_policy
-from ..sim.platform import Platform, get_platform
+from ..sim.platform import Platform, apply_topology, get_platform
 from ..system import Machine, MachineConfig, RunReport
 from ..workloads.base import Workload
 
@@ -63,10 +63,18 @@ def build_machine(
     policy: str,
     policy_kwargs: Optional[dict] = None,
     config: Optional[MachineConfig] = None,
+    topology: str = "",
 ) -> Machine:
-    """Construct a machine with ``policy`` installed."""
+    """Construct a machine with ``policy`` installed.
+
+    ``topology`` names a chain preset from
+    :data:`repro.sim.platform.TOPOLOGY_PRESETS` ("" keeps the stock
+    two-tier platform; "3tier" appends an SSD-class tier).
+    """
     if isinstance(platform, str):
         platform = get_platform(platform)
+    if topology:
+        platform = apply_topology(platform, topology)
     machine = Machine(platform, config)
     kwargs = dict(policy_kwargs or {})
     if policy.startswith("memtis") and platform.name in _CXL_PLATFORMS:
@@ -83,6 +91,7 @@ def run_experiment(
     config: Optional[MachineConfig] = None,
     run_cycles: Optional[float] = None,
     instrument: bool = False,
+    topology: str = "",
 ) -> RunResult:
     """Run one (platform, policy, workload) cell and collect the report.
 
@@ -98,7 +107,7 @@ def run_experiment(
         raise ValueError(
             f"policy {policy!r} is not available on platform {platform.name}"
         )
-    machine = build_machine(platform, policy, policy_kwargs, config)
+    machine = build_machine(platform, policy, policy_kwargs, config, topology)
     if instrument:
         machine.obs.enable(sample_period=None)
     workload = workload_factory()

@@ -105,6 +105,9 @@ class JobSpec:
     thp: bool = False
     # Trace jobs only: the tracegen generator name.
     generator: str = ""
+    # Tier-chain preset ("" = the platform's stock two tiers; "3tier"
+    # appends an SSD-class tier -- see sim.platform.TOPOLOGY_PRESETS).
+    topology: str = ""
 
     def __post_init__(self) -> None:
         if self.kind not in ("cell", "experiment", "trace"):
@@ -127,9 +130,11 @@ class JobSpec:
                 f"trace/{self.platform}/{self.policy}/{self.generator}"
                 f"/a{self.accesses}/s{self.seed}"
             )
-        # The "/thp" suffix only appears for THP jobs so every
-        # pre-existing baseline key is untouched.
+        # The "/thp" and "/<topology>" suffixes only appear for jobs that
+        # set them, so every pre-existing baseline key is untouched.
         suffix = "/thp" if self.thp else ""
+        if self.topology:
+            suffix += f"/{self.topology}"
         return (
             f"cell/{self.platform}/{self.policy}/{self.scenario}"
             f"/w{self.write_ratio:g}/a{self.accesses}/s{self.seed}{suffix}"
@@ -167,6 +172,9 @@ class SweepSpec:
     # THP axis: (False,) keeps the historical base-page grid; add True
     # to also run each cell with huge-folio-backed regions.
     thp_modes: Sequence[bool] = (False,)
+    # Topology axis: ("",) keeps the stock two-tier grid; add "3tier"
+    # to also run each cell on the DRAM/CXL/SSD chain.
+    topologies: Sequence[str] = ("",)
     # Trace-replay mode (like experiments, replaces the cell grid): the
     # grid is platform x policy x generator x accesses x seed.
     trace_generators: Sequence[str] = ()
@@ -220,18 +228,20 @@ class SweepSpec:
                         for accesses in self.accesses:
                             for seed in self.seeds:
                                 for thp in self.thp_modes:
-                                    jobs.append(
-                                        JobSpec(
-                                            platform=platform,
-                                            policy=policy,
-                                            scenario=scenario,
-                                            write_ratio=write_ratio,
-                                            accesses=accesses,
-                                            seed=seed,
-                                            instrument=self.instrument,
-                                            thp=thp,
+                                    for topology in self.topologies:
+                                        jobs.append(
+                                            JobSpec(
+                                                platform=platform,
+                                                policy=policy,
+                                                scenario=scenario,
+                                                write_ratio=write_ratio,
+                                                accesses=accesses,
+                                                seed=seed,
+                                                instrument=self.instrument,
+                                                thp=thp,
+                                                topology=topology,
+                                            )
                                         )
-                                    )
         return jobs
 
     def to_dict(self) -> Dict[str, Any]:
@@ -246,6 +256,7 @@ class SweepSpec:
             "instrument": self.instrument,
             "skip_unavailable": self.skip_unavailable,
             "thp_modes": list(self.thp_modes),
+            "topologies": list(self.topologies),
             "trace_generators": list(self.trace_generators),
         }
 
@@ -281,6 +292,7 @@ def _run_cell_job(job: JobSpec) -> Dict[str, Any]:
         ),
         config=config,
         instrument=job.instrument,
+        topology=job.topology,
     )
     return _report_payload(result.report)
 

@@ -16,7 +16,6 @@ from __future__ import annotations
 from typing import Optional, TYPE_CHECKING
 
 from ..kernel.migrate import sync_migrate_page
-from ..mem.tiers import FAST_TIER, SLOW_TIER
 from .queues import MigrationPendingQueue, MigrationRequest
 from .tpm import TpmOutcome, TransactionalMigrator
 
@@ -99,10 +98,11 @@ class Kpromote:
         frame = request.frame
         if request.mpq_ts:
             m.obs.observe("mpq.wait_cycles", m.engine.now - request.mpq_ts)
+        dst_tier = m.tiers.promotion_target(frame.node_id)
         if (
             frame.generation != request.generation
             or not frame.mapped
-            or frame.node_id != SLOW_TIER
+            or dst_tier is None
         ):
             m.stats.bump("nomad.kpromote_stale")
             return
@@ -113,7 +113,7 @@ class Kpromote:
                 "migrate.sync_fallback", vpn=request.vpn, mapcount=frame.mapcount
             )
             result = sync_migrate_page(
-                m, frame, FAST_TIER, self.cpu, category="promotion"
+                m, frame, dst_tier, self.cpu, category="promotion"
             )
             yield max(result.cycles, 1.0)
             m.stats.bump("nomad.sync_fallbacks")

@@ -26,8 +26,8 @@ import numpy as np
 
 from ..kernel.migrate import sync_migrate_page
 from ..mem.frame import Frame, FrameFlags, compound_head
-from ..mem.tiers import FAST_TIER, SLOW_TIER
 from ..mmu.faults import Fault, UnhandledFault
+from ..obs.counters import tier_migration_key
 from ..mmu.pte import (
     PTE_ACCESSED,
     PTE_HUGE,
@@ -66,11 +66,19 @@ class NomadPolicy(TieringPolicy):
         pcq_scan_limit: int = 16,
         mpq_max_attempts: int = 4,
         alloc_fail_factor: int = ALLOC_FAIL_RECLAIM_FACTOR,
+        shadow_chain: str = "drop",
+        admission_filter=None,
     ) -> None:
         super().__init__(machine)
         self.shadowing = shadowing
         self.tpm = tpm
         self.alloc_fail_factor = alloc_fail_factor
+        # TierBPF-style admission seam: a predicate
+        # ``(request, src_tier, dst_tier) -> bool`` consulted before any
+        # MPQ enqueue, per tier boundary. None passes everything through;
+        # rejections bump ``nomad.admission_rejected`` and the candidate
+        # stays off the MPQ (it may re-qualify on a later scan).
+        self.admission_filter = admission_filter
         self.shadow_index = ShadowIndex(machine)
         self.pcq = PromotionCandidateQueue(
             pcq_capacity, obs=machine.obs, debug=machine.debug
@@ -80,7 +88,10 @@ class NomadPolicy(TieringPolicy):
         )
         self.pcq_scan_limit = pcq_scan_limit
         self.migrator = TransactionalMigrator(
-            machine, self.shadow_index, shadowing=shadowing
+            machine,
+            self.shadow_index,
+            shadowing=shadowing,
+            shadow_chain=shadow_chain,
         )
         self.kpromote = Kpromote(
             machine, self.mpq, self.migrator, throttle_enabled=throttle
@@ -127,7 +138,7 @@ class NomadPolicy(TieringPolicy):
 
         _flags, gpfn = pt.entry(fault.vpn)
         frame = compound_head(m.tiers.frame(gpfn))
-        if frame.node_id != SLOW_TIER:
+        if m.tiers.promotion_target(frame.node_id) is None:
             return cycles
 
         # Keep feeding the stock temperature protocol (Nomad does not
@@ -165,7 +176,7 @@ class NomadPolicy(TieringPolicy):
         )
         cycles += m.costs.queue_op
         for request in hot:
-            if self.mpq.push(request):
+            if self._admit(request) and self.mpq.push(request):
                 cycles += m.costs.queue_op
         if hot or daemon_scan:
             self.kpromote.wake()
@@ -176,9 +187,20 @@ class NomadPolicy(TieringPolicy):
         hot = self.pcq.scan_hot(self._is_hot, self.pcq_scan_limit)
         cycles = 0.0
         for request in hot:
-            if self.mpq.push(request):
+            if self._admit(request) and self.mpq.push(request):
                 cycles += self.machine.costs.queue_op
         return cycles
+
+    def _admit(self, request) -> bool:
+        """Consult the admission filter before an MPQ enqueue."""
+        if self.admission_filter is None:
+            return True
+        src = request.frame.node_id
+        dst = self.machine.tiers.promotion_target(src)
+        if dst is None or self.admission_filter(request, src, dst):
+            return True
+        self.machine.stats.bump("nomad.admission_rejected")
+        return False
 
     def _is_hot(self, request) -> bool:
         """Temperature check (Figure 4): a referenced/active page whose
@@ -244,11 +266,15 @@ class NomadPolicy(TieringPolicy):
     # ------------------------------------------------------------------
     def demote_page(self, frame: Frame, cpu) -> Tuple[bool, float]:
         m = self.machine
-        if frame.node_id != FAST_TIER:
+        dst_tier = m.tiers.demotion_target(frame.node_id)
+        if dst_tier is None:
             return False, 0.0
         if frame.shadowed:
+            # A shadowed master remaps to wherever its shadow lives --
+            # the adjacent tier normally, or the deep tier when the
+            # shadow chain was re-keyed across a multi-step promotion.
             return self._remap_demote(frame, cpu)
-        result = sync_migrate_page(m, frame, SLOW_TIER, cpu, category="demotion")
+        result = sync_migrate_page(m, frame, dst_tier, cpu, category="demotion")
         if result.success:
             m.stats.bump("nomad.copy_demotions")
         return result.success, result.cycles
@@ -299,6 +325,8 @@ class NomadPolicy(TieringPolicy):
         cpu.account("demotion", cycles)
         m.stats.bump("nomad.remap_demotions")
         m.stats.bump("migrate.demotions")
+        if len(m.tiers.nodes) > 2:
+            m.stats.bump(tier_migration_key("demote", shadow.node_id))
         return True, cycles
 
     def _remap_demote_folio(
@@ -338,15 +366,22 @@ class NomadPolicy(TieringPolicy):
         m.stats.bump("nomad.remap_demotions")
         m.stats.bump("thp.folio_remap_demotions")
         m.stats.bump("migrate.demotions")
+        if len(m.tiers.nodes) > 2:
+            m.stats.bump(tier_migration_key("demote", shadow.node_id))
         return True, cycles
 
     # ------------------------------------------------------------------
     # Shadow reclamation (Section 3.2)
     # ------------------------------------------------------------------
     def reclaim_hint(self, node_id: int, target: int, cpu) -> Tuple[int, float]:
-        if node_id != SLOW_TIER:
+        # Shadows never live on tier 0 (masters promote *into* it); on
+        # deeper chains each kswapd only reclaims shadows on its own node
+        # so tier-1 pressure does not eat tier-2 shadows and vice versa.
+        if node_id == 0:
             return 0, 0.0
-        freed, cycles = self.shadow_index.reclaim(target)
+        m = self.machine
+        node_filter = node_id if len(m.tiers.nodes) > 2 else None
+        freed, cycles = self.shadow_index.reclaim(target, node_id=node_filter)
         if cycles:
             cpu.account("reclaim", cycles)
         return freed, cycles
@@ -369,23 +404,27 @@ class NomadPolicy(TieringPolicy):
         m = self.machine
         if not frame.active:
             return 0.0
+        # Guaranteed non-None: the hint-fault gate filters pages that
+        # have no faster tier before this ablation path is reached.
+        dst_tier = m.tiers.promotion_target(frame.node_id)
         mapping = frame.sole_mapping()
         if frame.is_huge or mapping is None or frame.locked:
             # Huge folios go through the stock sync path (no shadow is
             # left behind for them in this ablation).
-            result = sync_migrate_page(m, frame, FAST_TIER, cpu, "promotion")
+            result = sync_migrate_page(m, frame, dst_tier, cpu, "promotion")
             return result.cycles
 
         space, vpn = mapping
         pt = space.page_table
-        new_frame = m.tiers.alloc_on(FAST_TIER)
+        src_tier = frame.node_id
+        new_frame = m.tiers.alloc_on(dst_tier)
         if new_frame is None:
             return 0.0
         costs = m.costs
         cycles = costs.migrate_setup + costs.alloc_page
         old_flags, old_gpfn = pt.unmap(vpn)
         cycles += costs.pte_update + m.tlb_shootdown(space, vpn, cpu)
-        cycles += costs.page_copy_cycles(SLOW_TIER, FAST_TIER)
+        cycles += costs.page_copy_cycles(src_tier, dst_tier)
         new_flags = old_flags & ~(0x1 | PTE_PROT_NONE)
         if self.shadowing and new_flags & PTE_WRITE:
             new_flags = (new_flags & ~PTE_WRITE) | PTE_SOFT_SHADOW_RW
@@ -396,9 +435,14 @@ class NomadPolicy(TieringPolicy):
         m.lru.transfer(frame, new_frame)
         frame.clear_flag(FrameFlags.REFERENCED | FrameFlags.ACTIVE)
         if self.shadowing:
-            self.shadow_index.insert(new_frame, frame)
+            # Shadow-chain aware: return value deliberately discarded so
+            # the two-tier cycle accounting stays byte-identical (the
+            # legacy path charged no queue_op here).
+            self.migrator._shadow_after_commit(frame, new_frame)
         else:
             m.tiers.free_page(frame)
         m.stats.bump("migrate.promotions")
+        if len(m.tiers.nodes) > 2:
+            m.stats.bump(tier_migration_key("promote", dst_tier))
         cpu.account("promotion", cycles)
         return cycles

@@ -148,11 +148,15 @@ class ShadowIndex:
         )
 
     # ------------------------------------------------------------------
-    def reclaim(self, nr: int) -> Tuple[int, float]:
+    def reclaim(
+        self, nr: int, node_id: Optional[int] = None
+    ) -> Tuple[int, float]:
         """Free up to ``nr`` shadow pages; returns (freed, cycles).
 
         Used both by kswapd (priority reclaim) and the allocation-failure
-        path (which asks for 10x the failed request, Section 3.2).
+        path (which asks for 10x the failed request, Section 3.2). With
+        ``node_id`` set, only shadows resident on that tier are eligible
+        (per-node kswapd on chains deeper than two tiers).
         """
         m = self.machine
         freed = 0
@@ -162,7 +166,7 @@ class ShadowIndex:
                 # Injection: the batch stops early, as if every
                 # remaining shadow were pinned or already raced away.
                 break
-            found = self.xarray.first_marked(XA_MARK_0)
+            found = self._first_reclaimable(node_id)
             if found is None:
                 break
             gpfn, shadow = found
@@ -185,6 +189,21 @@ class ShadowIndex:
             m.stats.bump("nomad.shadows_reclaimed", freed)
             m.obs.emit("shadow.reclaim", freed=freed, requested=nr)
         return freed, cycles
+
+    def _first_reclaimable(
+        self, node_id: Optional[int]
+    ) -> Optional[Tuple[int, Frame]]:
+        """First reclaim-marked shadow, optionally restricted to a node.
+
+        The unfiltered path keeps the original O(depth) ``first_marked``
+        walk; the filtered path scans marked entries in index order.
+        """
+        if node_id is None:
+            return self.xarray.first_marked(XA_MARK_0)
+        for gpfn, shadow in self.xarray.marked_items(XA_MARK_0):
+            if shadow.node_id == node_id:
+                return gpfn, shadow
+        return None
 
     def restore_master_write(self, master: Frame) -> None:
         """A master without a shadow no longer needs write protection;

@@ -22,7 +22,6 @@ from typing import Optional, TYPE_CHECKING
 import numpy as np
 
 from ..mem.frame import Frame, FrameFlags
-from ..mem.tiers import FAST_TIER, SLOW_TIER
 from ..mmu.pte import (
     PTE_ACCESSED,
     PTE_DIRTY,
@@ -32,6 +31,7 @@ from ..mmu.pte import (
     PTE_SOFT_SHADOW_RW,
     PTE_WRITE,
 )
+from ..obs.counters import tier_migration_key
 from ..sim.bus import MigrationAborted, MigrationCommitted
 from .queues import MigrationRequest
 from .shadow import ShadowIndex
@@ -63,17 +63,66 @@ class TpmResult:
 
 
 class TransactionalMigrator:
-    """Executes TPM transactions for a machine."""
+    """Executes TPM transactions for a machine.
+
+    Promotion always targets the next-faster tier of the chain
+    (``frame.node_id - 1``); a frame already on tier 0 fails validation
+    as stale. On chains longer than two tiers a promoted master may
+    *itself* still own a shadow one tier below its old home (a 2->1
+    promotion leaves a shadow in tier 2; the master then climbs 1->0).
+    ``shadow_chain`` picks what that second promotion does with the deep
+    shadow:
+
+    * ``"drop"`` (default): discard the deep shadow and shadow the
+      master at the adjacent tier, exactly like a first promotion -- the
+      chain never grows beyond one link;
+    * ``"rekey"``: keep the deep shadow, re-keyed to the new master, and
+      free the intermediate frame -- a later remap-demotion then drops
+      the page straight back to the deep tier.
+    """
 
     def __init__(
         self,
         machine: "Machine",
         shadow_index: Optional[ShadowIndex],
         shadowing: bool = True,
+        shadow_chain: str = "drop",
     ) -> None:
+        if shadow_chain not in ("drop", "rekey"):
+            raise ValueError(
+                f"shadow_chain must be 'drop' or 'rekey', got {shadow_chain!r}"
+            )
         self.machine = machine
         self.shadow_index = shadow_index
         self.shadowing = shadowing and shadow_index is not None
+        self.shadow_chain = shadow_chain
+
+    def _shadow_after_commit(self, old_frame: Frame, new_frame: Frame) -> float:
+        """Commit-time shadow bookkeeping; returns extra blocked cycles.
+
+        ``old_frame`` (the source copy) normally becomes the shadow of
+        ``new_frame``. When ``old_frame`` is itself a shadowed master
+        (cross-chain case, >= 3 tiers) the ``shadow_chain`` knob decides
+        between collapsing the chain and re-keying the deep shadow.
+        """
+        m = self.machine
+        costs = m.costs
+        if old_frame.shadowed and self.shadow_chain == "rekey":
+            # Keep the deep shadow: re-key it to the new master and
+            # retire the intermediate frame entirely.
+            self.shadow_index.rekey(old_frame, new_frame)
+            m.tiers.free_folio(old_frame)
+            m.stats.bump("nomad.shadow_chain_rekeys")
+            return costs.queue_op + costs.free_page
+        blocked = 0.0
+        if old_frame.shadowed:
+            # Collapse the chain: the deep shadow dies, the adjacent
+            # tier's copy takes over as the only shadow.
+            self.shadow_index.discard(old_frame, reason="chain_drop")
+            m.stats.bump("nomad.shadow_chain_drops")
+            blocked += costs.free_page
+        self.shadow_index.insert(new_frame, old_frame)
+        return blocked + costs.queue_op
 
     # ------------------------------------------------------------------
     def migrate(self, request: MigrationRequest, cpu: "Cpu"):
@@ -99,10 +148,11 @@ class TransactionalMigrator:
             return cycles
 
         # -- validation ------------------------------------------------
+        dst_tier = m.tiers.promotion_target(frame.node_id)
         if (
             frame.generation != request.generation
             or not frame.mapped
-            or frame.node_id != SLOW_TIER
+            or dst_tier is None
             or frame.sole_mapping() != (space, vpn)
         ):
             m.stats.bump("nomad.tpm_stale")
@@ -111,8 +161,9 @@ class TransactionalMigrator:
             m.stats.bump("nomad.tpm_busy")
             return TpmResult(TpmOutcome.FAILED_BUSY, total)
 
+        src_tier = frame.node_id
         frame.set_flag(FrameFlags.LOCKED)
-        copy_cycles = costs.page_copy_cycles(SLOW_TIER, FAST_TIER)
+        copy_cycles = costs.page_copy_cycles(src_tier, dst_tier)
         m.obs.emit("tpm.begin", vpn=vpn, attempt=request.attempts)
         try:
             yield spend(costs.migrate_setup)
@@ -125,8 +176,8 @@ class TransactionalMigrator:
             # Step 2: TLB shootdown so subsequent stores re-set the bit.
             yield spend(m.tlb_shootdown(space, vpn, cpu))
 
-            # Allocate the destination page on the fast tier.
-            new_frame = m.tiers.alloc_on(FAST_TIER)
+            # Allocate the destination page one tier up the chain.
+            new_frame = m.tiers.alloc_on(dst_tier)
             if new_frame is None:
                 m.stats.bump("nomad.tpm_nomem")
                 m.obs.emit(
@@ -203,10 +254,10 @@ class TransactionalMigrator:
             frame.clear_flag(FrameFlags.REFERENCED | FrameFlags.ACTIVE)
 
             if self.shadowing:
-                # The old frame lives on as the shadow copy.
+                # The old frame lives on as the shadow copy (or the
+                # shadow-chain knob resolves a deeper shadow first).
                 frame.clear_flag(FrameFlags.LOCKED)
-                self.shadow_index.insert(new_frame, frame)
-                blocked += costs.queue_op
+                blocked += self._shadow_after_commit(frame, new_frame)
             else:
                 # TPM-only ablation: exclusive tiering, free the source.
                 frame.clear_flag(FrameFlags.LOCKED)
@@ -215,6 +266,8 @@ class TransactionalMigrator:
 
             m.stats.bump("nomad.tpm_commits")
             m.stats.bump("migrate.promotions")
+            if len(m.tiers.nodes) > 2:
+                m.stats.bump(tier_migration_key("promote", dst_tier))
             m.bus.publish(MigrationCommitted(frame, new_frame, space, vpn))
             yield spend(blocked)
             m.obs.emit(
@@ -261,10 +314,11 @@ class TransactionalMigrator:
             return cycles
 
         # -- validation ------------------------------------------------
+        dst_tier = m.tiers.promotion_target(frame.node_id)
         if (
             frame.generation != request.generation
             or not frame.mapped
-            or frame.node_id != SLOW_TIER
+            or dst_tier is None
             or frame.is_tail
             or frame.sole_mapping() != (space, vpn)
         ):
@@ -274,6 +328,7 @@ class TransactionalMigrator:
             m.stats.bump("nomad.tpm_busy")
             return TpmResult(TpmOutcome.FAILED_BUSY, total)
 
+        src_tier = frame.node_id
         frame.set_flag(FrameFlags.LOCKED)
         chunk_sizes = costs.chunk_plan(fp)
         nr_chunks = len(chunk_sizes)
@@ -291,8 +346,8 @@ class TransactionalMigrator:
             # Step 2: single shootdown of the PMD TLB entry.
             yield spend(m.tlb_shootdown(space, vpn, cpu))
 
-            # Destination folio on the fast tier.
-            new_head = m.tiers.alloc_folio_on(FAST_TIER, frame.order)
+            # Destination folio one tier up the chain.
+            new_head = m.tiers.alloc_folio_on(dst_tier, frame.order)
             if new_head is None:
                 m.stats.bump("nomad.tpm_nomem")
                 m.obs.emit(
@@ -310,7 +365,7 @@ class TransactionalMigrator:
             # the end of its copy slice (no time passes between the copy
             # yield and the check).
             for i, pages in enumerate(chunk_sizes):
-                c = costs.folio_copy_cycles(SLOW_TIER, FAST_TIER, pages)
+                c = costs.folio_copy_cycles(src_tier, dst_tier, pages)
                 copy_cycles += c
                 yield spend(c, "tpm_copy")
                 dirty = (
@@ -406,10 +461,10 @@ class TransactionalMigrator:
             frame.clear_flag(FrameFlags.REFERENCED | FrameFlags.ACTIVE)
 
             if self.shadowing:
-                # The whole slow-tier folio lives on as the shadow copy.
+                # The whole source folio lives on as the shadow copy (or
+                # the shadow-chain knob resolves a deeper shadow first).
                 frame.clear_flag(FrameFlags.LOCKED)
-                self.shadow_index.insert(new_head, frame)
-                blocked += costs.queue_op
+                blocked += self._shadow_after_commit(frame, new_head)
             else:
                 frame.clear_flag(FrameFlags.LOCKED)
                 m.tiers.free_folio(frame)
@@ -418,6 +473,8 @@ class TransactionalMigrator:
             m.stats.bump("nomad.tpm_commits")
             m.stats.bump("thp.folio_promotions")
             m.stats.bump("migrate.promotions")
+            if len(m.tiers.nodes) > 2:
+                m.stats.bump(tier_migration_key("promote", dst_tier))
             m.bus.publish(MigrationCommitted(frame, new_head, space, vpn))
             yield spend(blocked)
             m.obs.emit(

@@ -129,9 +129,11 @@ class DebugManager:
         )
         # Allocation-failure sites hook the nodes directly so the free
         # path of mem/node.py carries no per-alloc debug branch beyond
-        # one attribute test against None.
-        machine.tiers.fast.fault_hook = self._alloc_hook
-        machine.tiers.slow.fault_hook = self._alloc_hook
+        # one attribute test against None. Every node in the chain is
+        # hooked; site naming keeps tier 0 as "fast", everything else as
+        # "slow" for config compatibility.
+        for node in machine.tiers.nodes:
+            node.fault_hook = self._alloc_hook
         if cfg.event_jitter:
             # Independent stream from the injector's: tie-break draws
             # must not perturb which faults inject for a given seed.
@@ -161,9 +163,7 @@ class DebugManager:
         return self.injector.delay(site)
 
     def _alloc_hook(self, node_id: int, order: int) -> bool:
-        from ..mem.tiers import FAST_TIER
-
-        site = "mem.alloc_fast" if node_id == FAST_TIER else "mem.alloc_slow"
+        site = "mem.alloc_fast" if node_id == 0 else "mem.alloc_slow"
         return self.injector.should_fail(site)
 
     def _on_inject(self, site: str) -> None:

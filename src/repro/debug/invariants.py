@@ -32,7 +32,6 @@ from typing import Callable, Dict, List, Optional, Sequence, TYPE_CHECKING
 import numpy as np
 
 from ..mem.frame import compound_head
-from ..mem.tiers import SLOW_TIER
 from ..mem.xarray import XA_MARK_0
 from ..mmu.pte import PTE_WRITE
 
@@ -182,8 +181,11 @@ def _check_shadow_index(machine: "Machine") -> List[str]:
                 out.append(f"shadow of gpfn {gpfn} is mapped")
             if shadow.on_lru:
                 out.append(f"shadow of gpfn {gpfn} is on an LRU list")
-            if shadow.node_id != SLOW_TIER:
-                out.append(f"shadow of gpfn {gpfn} not on the slow tier")
+            if shadow.node_id <= master.node_id:
+                out.append(
+                    f"shadow of gpfn {gpfn} on tier {shadow.node_id}, "
+                    f"not below its master's tier {master.node_id}"
+                )
             if shadow.order != master.order:
                 out.append(
                     f"shadow of gpfn {gpfn}: order {shadow.order} != "
@@ -376,6 +378,47 @@ def _check_mem_accounting(machine: "Machine") -> List[str]:
                 f"node {node.node_id}: watermarks out of order "
                 f"{node.wmark_min}/{node.wmark_low}/{node.wmark_high}"
             )
+    return out
+
+
+@register_invariant(
+    "tier.accounting",
+    "chain addressing is consistent: gpfn bases are cumulative, the "
+    "flat tier map matches node spans, per-node used+free adds up",
+)
+def _check_tier_accounting(machine: "Machine") -> List[str]:
+    out: List[str] = []
+    tiers = machine.tiers
+    base = 0
+    for node in tiers.nodes:
+        nid = node.node_id
+        if tiers._base[nid] != base:
+            out.append(
+                f"node {nid}: gpfn base {tiers._base[nid]} != cumulative "
+                f"span start {base}"
+            )
+        span = tiers.tier_of_gpfn[base : base + node.nr_pages]
+        if not (span == nid).all():
+            out.append(
+                f"node {nid}: tier_of_gpfn span [{base}, "
+                f"{base + node.nr_pages}) has foreign entries"
+            )
+        if node.nr_used + node.nr_free != node.nr_pages:
+            out.append(
+                f"node {nid}: used {node.nr_used} + free {node.nr_free} "
+                f"!= {node.nr_pages} pages"
+            )
+        base += node.nr_pages
+    if base != tiers.total_pages:
+        out.append(
+            f"node spans sum to {base}, total_pages says "
+            f"{tiers.total_pages}"
+        )
+    if len(tiers.tier_of_gpfn) != base:
+        out.append(
+            f"tier_of_gpfn covers {len(tiers.tier_of_gpfn)} gpfns, "
+            f"chain holds {base}"
+        )
     return out
 
 

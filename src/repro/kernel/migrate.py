@@ -17,6 +17,7 @@ import numpy as np
 
 from ..mem.frame import Frame, FrameFlags
 from ..mmu.pte import PTE_HUGE, PTE_PRESENT
+from ..obs.counters import tier_migration_key
 from ..sim.bus import FrameReplaced
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -159,6 +160,10 @@ def sync_migrate_page(
         m.stats.bump("thp.folio_sync_migrations")
     if dst_tier < src_tier:
         m.stats.bump("migrate.promotions")
+        if len(m.tiers.nodes) > 2:
+            m.stats.bump(tier_migration_key("promote", dst_tier))
     elif dst_tier > src_tier:
         m.stats.bump("migrate.demotions")
+        if len(m.tiers.nodes) > 2:
+            m.stats.bump(tier_migration_key("demote", dst_tier))
     return traced(MigrationResult(True, cycles, new_frame, retries))

@@ -14,7 +14,6 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from ..mem.tiers import SLOW_TIER
 from ..mmu.pte import PTE_HUGE, PTE_PRESENT, PTE_PROT_NONE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -145,7 +144,9 @@ class NumaHintScanner:
             if candidates.any():
                 on_slow = np.zeros_like(candidates)
                 idx = np.nonzero(candidates)[0]
-                on_slow[idx] = m.tiers.tier_of_gpfn[gpfns[idx]] == SLOW_TIER
+                # Arm anything below tier 0: every lower tier is a
+                # promotion candidate on chains of any depth.
+                on_slow[idx] = m.tiers.tier_of_gpfn[gpfns[idx]] > 0
                 targets = vpns[candidates & on_slow]
                 if len(targets):
                     huge = (pt.flags[targets] & np.uint32(PTE_HUGE)) != 0

@@ -4,6 +4,7 @@ from .folio import Folio
 from .frame import Frame, FrameFlags, compound_head
 from .node import MemoryNode, OutOfMemoryError
 from .tiers import FAST_TIER, SLOW_TIER, TieredMemory
+from .topology import TierSpec, TierTopology
 from .xarray import XA_MARK_0, XA_MARK_1, XA_MARK_2, XArray
 
 __all__ = [
@@ -14,6 +15,8 @@ __all__ = [
     "MemoryNode",
     "OutOfMemoryError",
     "TieredMemory",
+    "TierSpec",
+    "TierTopology",
     "FAST_TIER",
     "SLOW_TIER",
     "XArray",

@@ -1,10 +1,12 @@
-"""Tiered physical memory: a fast node plus a slow node.
+"""Tiered physical memory: an ordered chain of memory nodes.
 
 Implements the paper's assumed initial placement policy (Section 3):
 "Pages are allocated from the fast tier whenever possible and are placed
 in the slower tier only when there is an insufficient number of free
 pages in the fast tier, or attempts to reclaim memory in the fast tier
-have failed."
+have failed." Generalized to an N-tier chain (see
+:class:`~repro.mem.topology.TierTopology`): allocation walks down the
+chain from the preferred tier, then falls back up it.
 
 Frames live in per-node pools; this module gives them a *global* frame
 number (gpfn) so page tables and the vectorized access path can refer to
@@ -16,43 +18,73 @@ bus:
 * :class:`~repro.sim.bus.AllocFail` -- last-ditch reclaim before OOM
   (Nomad frees shadow pages here, targeting 10x the request,
   Section 3.2); subscribers accumulate into ``event.freed``.
+
+``FAST_TIER``/``SLOW_TIER`` are deprecated aliases for the ends of the
+default two-tier chain; new code should use ``0`` and the topology's
+``demotion_target``/``promotion_target`` walk instead.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from ..sim.bus import AllocFail, LowWatermark, NotifierBus
 from .frame import Frame
 from .node import MemoryNode, OutOfMemoryError
+from .topology import TierTopology
 
 __all__ = ["TieredMemory", "FAST_TIER", "SLOW_TIER"]
 
+# Deprecated: the ends of the default two-tier chain. Kept so external
+# callers (and the workload setup helpers) don't break; on an N-tier
+# machine SLOW_TIER names the first capacity tier, not the bottom.
 FAST_TIER = 0
 SLOW_TIER = 1
 
 
 class TieredMemory:
-    """Two memory nodes and the allocation policy across them."""
+    """A chain of memory nodes and the allocation policy across them."""
 
     def __init__(
         self,
-        fast_pages: int,
-        slow_pages: int,
+        fast_pages: Optional[int] = None,
+        slow_pages: Optional[int] = None,
         watermark_scale: float = 0.02,
         bus: Optional[NotifierBus] = None,
+        topology: Optional[TierTopology] = None,
     ) -> None:
+        if topology is not None:
+            specs = [(t.name, t.pages) for t in topology.tiers]
+        else:
+            if fast_pages is None or slow_pages is None:
+                raise ValueError(
+                    "need fast_pages and slow_pages, or a topology"
+                )
+            specs = [("fast", fast_pages), ("slow", slow_pages)]
+        self.topology = topology
         self.nodes: List[MemoryNode] = [
-            MemoryNode(FAST_TIER, fast_pages, "fast", watermark_scale),
-            MemoryNode(SLOW_TIER, slow_pages, "slow", watermark_scale),
+            MemoryNode(tier, pages, name, watermark_scale)
+            for tier, (name, pages) in enumerate(specs)
         ]
-        self._base = [0, fast_pages]
-        total = fast_pages + slow_pages
+        self._base: List[int] = []
+        total = 0
+        for _, pages in specs:
+            self._base.append(total)
+            total += pages
         self.tier_of_gpfn = np.empty(total, dtype=np.int8)
-        self.tier_of_gpfn[:fast_pages] = FAST_TIER
-        self.tier_of_gpfn[fast_pages:] = SLOW_TIER
+        for tier, (_, pages) in enumerate(specs):
+            start = self._base[tier]
+            self.tier_of_gpfn[start : start + pages] = tier
+        # Fallback order per preferred tier: walk down the chain first
+        # (spill to slower tiers), then back up. For two tiers this is
+        # the historical (0, 1)/(1, 0) flip.
+        nr = len(specs)
+        self._alloc_order: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(range(preferred, nr)) + tuple(range(preferred - 1, -1, -1))
+            for preferred in range(nr)
+        )
         # Pressure events go out on this bus (the machine shares its own).
         self.bus = bus if bus is not None else NotifierBus()
 
@@ -60,11 +92,21 @@ class TieredMemory:
     # Frame addressing
     # ------------------------------------------------------------------
     @property
+    def nr_tiers(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def bottom_tier(self) -> int:
+        """Index of the last (slowest) tier in the chain."""
+        return len(self.nodes) - 1
+
+    @property
     def fast(self) -> MemoryNode:
-        return self.nodes[FAST_TIER]
+        return self.nodes[0]
 
     @property
     def slow(self) -> MemoryNode:
+        """The first capacity tier (tier 1) -- the paper's slow tier."""
         return self.nodes[SLOW_TIER]
 
     @property
@@ -89,9 +131,21 @@ class TieredMemory:
     def tier_of(self, gpfn: int) -> int:
         return int(self.tier_of_gpfn[gpfn])
 
+    def demotion_target(self, tier: int) -> Optional[int]:
+        """Next tier down the chain, or None for the bottom tier."""
+        return tier + 1 if tier < len(self.nodes) - 1 else None
+
+    def promotion_target(self, tier: int) -> Optional[int]:
+        """Next tier up the chain, or None for tier 0."""
+        return tier - 1 if tier > 0 else None
+
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------
+    def alloc_order(self, preferred: int) -> Tuple[int, ...]:
+        """Fallback walk for allocations preferring ``preferred``."""
+        return self._alloc_order[preferred]
+
     def alloc_on(self, tier: int) -> Optional[Frame]:
         """Allocate strictly on ``tier``; None if it has no free frame.
 
@@ -119,11 +173,11 @@ class TieredMemory:
     def alloc_page(self, preferred: int = FAST_TIER) -> Frame:
         """Allocate with the paper's default placement policy.
 
-        Tries the preferred tier, falls back to the other tier, then
-        publishes :class:`AllocFail` (last-ditch reclaim) before
-        declaring OOM.
+        Tries the preferred tier, walks the rest of the chain (slower
+        tiers first, then back up), then publishes :class:`AllocFail`
+        (last-ditch reclaim) before declaring OOM.
         """
-        order = (preferred, SLOW_TIER if preferred == FAST_TIER else FAST_TIER)
+        order = self._alloc_order[preferred]
         for tier in order:
             frame = self.alloc_on(tier)
             if frame is not None:
@@ -136,8 +190,9 @@ class TieredMemory:
                 if frame is not None:
                     return frame
         raise OutOfMemoryError(
-            f"no frames available (fast free={self.fast.nr_free}, "
-            f"slow free={self.slow.nr_free})"
+            "no frames available ("
+            + ", ".join(f"{n.name} free={n.nr_free}" for n in self.nodes)
+            + ")"
         )
 
     def free_page(self, frame: Frame) -> None:
@@ -155,12 +210,18 @@ class TieredMemory:
     # ------------------------------------------------------------------
     def usage(self) -> dict:
         """Snapshot for robustness experiments (Table 3)."""
-        return {
+        out = {
             "fast_used": self.fast.nr_used,
             "fast_free": self.fast.nr_free,
             "slow_used": self.slow.nr_used,
             "slow_free": self.slow.nr_free,
         }
+        if len(self.nodes) > 2:
+            for node in self.nodes:
+                out[f"tier{node.node_id}_used"] = node.nr_used
+                out[f"tier{node.node_id}_free"] = node.nr_free
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<TieredMemory fast={self.fast!r} slow={self.slow!r}>"
+        chain = " ".join(repr(node) for node in self.nodes)
+        return f"<TieredMemory {chain}>"

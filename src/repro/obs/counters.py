@@ -19,7 +19,12 @@ from __future__ import annotations
 
 from typing import Dict
 
-__all__ = ["COUNTERS", "is_registered", "register_counter"]
+__all__ = [
+    "COUNTERS",
+    "is_registered",
+    "register_counter",
+    "tier_migration_key",
+]
 
 # name -> one-line help string (used verbatim as the Prometheus HELP).
 COUNTERS: Dict[str, str] = {
@@ -39,6 +44,16 @@ COUNTERS: Dict[str, str] = {
     "migrate.sync_failed_nomem": "sync migrations without a free target frame",
     "migrate.promotions": "pages moved slow -> fast (any mechanism)",
     "migrate.demotions": "pages moved fast -> slow (any mechanism)",
+    # ---- per-tier migration flux (chains longer than 2 tiers) --------
+    # Bumped only on machines with > 2 tiers so the default two-tier
+    # counter digests stay byte-identical; tiers beyond 3 register
+    # their keys dynamically via tier_migration_key().
+    "migrate.promote_to_tier0": "pages promoted into tier 0",
+    "migrate.promote_to_tier1": "pages promoted into tier 1",
+    "migrate.promote_to_tier2": "pages promoted into tier 2",
+    "migrate.demote_to_tier1": "pages demoted into tier 1",
+    "migrate.demote_to_tier2": "pages demoted into tier 2",
+    "migrate.demote_to_tier3": "pages demoted into tier 3",
     # ---- reclaim (kernel/reclaim.py) ---------------------------------
     "kswapd.passes": "kswapd reclaim passes",
     "kswapd.gave_up": "kswapd runs that stopped without reaching the target",
@@ -76,6 +91,15 @@ COUNTERS: Dict[str, str] = {
     "nomad.tpm_chunk_aborts": (
         "huge-page transactions aborted by the per-chunk dirty re-check"
     ),
+    "nomad.admission_rejected": (
+        "MPQ promotions rejected by the admission filter"
+    ),
+    "nomad.shadow_chain_drops": (
+        "deep shadows discarded on re-promotion (shadow_chain=drop)"
+    ),
+    "nomad.shadow_chain_rekeys": (
+        "deep shadows re-keyed to the new master (shadow_chain=rekey)"
+    ),
     # ---- debug subsystem (repro.debug; bumped only when enabled) -----
     "debug.fault_injections": "debug fault-injection sites that fired",
     "debug.invariant_violations": "invariant violations found by the checker",
@@ -108,3 +132,33 @@ def register_counter(name: str, help_text: str) -> None:
     if name in COUNTERS and COUNTERS[name] != help_text:
         raise ValueError(f"counter {name!r} already registered")
     COUNTERS[name] = help_text
+
+
+# Precomputed per-tier migration keys: bump sites are hot enough that an
+# f-string per migration would show in profiles, and f-strings would
+# also slip past the literal-name lint. Common chain depths are
+# registered above; deeper chains register lazily here.
+_TIER_MIGRATION_KEYS: Dict[tuple, str] = {
+    ("promote", 0): "migrate.promote_to_tier0",
+    ("promote", 1): "migrate.promote_to_tier1",
+    ("promote", 2): "migrate.promote_to_tier2",
+    ("demote", 1): "migrate.demote_to_tier1",
+    ("demote", 2): "migrate.demote_to_tier2",
+    ("demote", 3): "migrate.demote_to_tier3",
+}
+
+
+def tier_migration_key(kind: str, dst_tier: int) -> str:
+    """Counter name for a migration landing on ``dst_tier``.
+
+    ``kind`` is ``"promote"`` or ``"demote"``. Only bumped on machines
+    with more than two tiers (the two-tier digests are pinned).
+    """
+    key = _TIER_MIGRATION_KEYS.get((kind, dst_tier))
+    if key is None:
+        if kind not in ("promote", "demote"):
+            raise ValueError(f"kind must be promote/demote, got {kind!r}")
+        key = f"migrate.{kind}_to_tier{dst_tier}"
+        register_counter(key, f"pages {kind}d into tier {dst_tier}")
+        _TIER_MIGRATION_KEYS[(kind, dst_tier)] = key
+    return key

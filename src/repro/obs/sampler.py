@@ -29,10 +29,13 @@ Gauge = Callable[["Machine"], Optional[float]]
 GAUGES: Dict[str, str] = {
     "mem.fast_free_pages": "free frames on the fast tier",
     "mem.slow_free_pages": "free frames on the slow tier",
+    "mem.tier2_free_pages": "free frames on tier 2 (chains deeper than 2)",
     "lru.fast_active": "active-list length, fast node",
     "lru.fast_inactive": "inactive-list length, fast node",
     "lru.slow_active": "active-list length, slow node",
     "lru.slow_inactive": "inactive-list length, slow node",
+    "lru.tier2_active": "active-list length, tier-2 node (deep chains)",
+    "lru.tier2_inactive": "inactive-list length, tier-2 node (deep chains)",
     "nomad.mpq_depth": "migration pending queue depth",
     "nomad.pcq_depth": "promotion candidate queue depth",
     "nomad.shadow_pages": "live shadow pages",
@@ -63,6 +66,23 @@ def _shadow_pages(machine: "Machine") -> Optional[float]:
     return float(index.nr_shadow_pages) if index is not None else None
 
 
+def _tier_free(machine: "Machine", tier: int) -> Optional[float]:
+    """Free frames on a deep-chain tier; None on two-tier machines so
+    the legacy gauge series stay unchanged."""
+    nodes = machine.tiers.nodes
+    if len(nodes) <= 2 or tier >= len(nodes):
+        return None
+    return float(nodes[tier].nr_free)
+
+
+def _tier_lru(machine: "Machine", tier: int, active: bool) -> Optional[float]:
+    nodes = machine.tiers.nodes
+    if len(nodes) <= 2 or tier >= len(nodes):
+        return None
+    lru = machine.lru
+    return float(lru.nr_active(tier) if active else lru.nr_inactive(tier))
+
+
 def _fastpath_total(machine: "Machine", attr: str) -> Optional[float]:
     """Sum a two-speed telemetry counter across the run's executors.
 
@@ -85,10 +105,13 @@ def default_gauges() -> Dict[str, Gauge]:
     return {
         "mem.fast_free_pages": lambda m: float(m.tiers.fast.nr_free),
         "mem.slow_free_pages": lambda m: float(m.tiers.slow.nr_free),
+        "mem.tier2_free_pages": lambda m: _tier_free(m, 2),
         "lru.fast_active": lambda m: float(m.lru.nr_active(FAST_TIER)),
         "lru.fast_inactive": lambda m: float(m.lru.nr_inactive(FAST_TIER)),
         "lru.slow_active": lambda m: float(m.lru.nr_active(SLOW_TIER)),
         "lru.slow_inactive": lambda m: float(m.lru.nr_inactive(SLOW_TIER)),
+        "lru.tier2_active": lambda m: _tier_lru(m, 2, True),
+        "lru.tier2_inactive": lambda m: _tier_lru(m, 2, False),
         "nomad.mpq_depth": _mpq_depth,
         "nomad.pcq_depth": _pcq_depth,
         "nomad.shadow_pages": _shadow_pages,

@@ -118,7 +118,6 @@ class SpanTracker:
         self.orphan_ends = 0
         self.reopened = 0
         self._on_close: List[Callable[[Span], None]] = []
-        self._fast_tier: Optional[int] = None
 
     # ------------------------------------------------------------------
     def subscribe(self, callback: Callable[[Span], None]) -> None:
@@ -263,13 +262,9 @@ class SpanTracker:
     def _migrate_sync(self, record: TraceRecord) -> None:
         if ("sync_fallback", 0) not in self._open:
             return
-        if self._fast_tier is None:
-            from ..mem.tiers import FAST_TIER
-
-            self._fast_tier = FAST_TIER
         # Only the promotion-direction sync can be the fallback's own
         # migration; demotion syncs (kswapd) pass through untouched.
-        if record.args["dst_tier"] != self._fast_tier:
+        if record.args["dst_tier"] >= record.args["src_tier"]:
             return
         outcome = (
             "success" if record.args["success"]

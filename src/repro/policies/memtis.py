@@ -29,7 +29,6 @@ import numpy as np
 
 from ..kernel.migrate import sync_migrate_page
 from ..mem.frame import Frame, compound_head
-from ..mem.tiers import FAST_TIER, SLOW_TIER
 from ..mmu.pte import PTE_PRESENT
 from ..sim.bus import ChunkExecuted
 from .base import TieringPolicy
@@ -137,7 +136,7 @@ class MemtisPolicy(TieringPolicy):
             # only store samples (and TLB-derived ones, modelled as a
             # residual fraction) survive for slow-tier reads.
             gpfn = space.page_table.gpfn[svpns]
-            on_slow = self.machine.tiers.tier_of_gpfn[np.maximum(gpfn, 0)] == SLOW_TIER
+            on_slow = self.machine.tiers.tier_of_gpfn[np.maximum(gpfn, 0)] > 0
             invisible = on_slow & ~swrites
             residual = self._rng.random(len(svpns)) < 0.25
             keep &= ~invisible | residual
@@ -183,6 +182,7 @@ class MemtisPolicy(TieringPolicy):
     # ------------------------------------------------------------------
     def _migrate_round(self) -> float:
         m = self.machine
+        nr_boundaries = len(m.tiers.nodes) - 1
         cost = 0.0
         for space in list(m.spaces):
             counts, touch, llc = self._state(space)
@@ -191,9 +191,6 @@ class MemtisPolicy(TieringPolicy):
             vpns = np.nonzero(mapped)[0]
             if len(vpns) == 0:
                 continue
-            gpfn = pt.gpfn[vpns]
-            tier = m.tiers.tier_of_gpfn[gpfn]
-            c = counts[vpns]
 
             # Refresh the LLC-residency model: the llc_pages most-touched
             # pages are assumed cache resident; decay touch counts so the
@@ -204,33 +201,44 @@ class MemtisPolicy(TieringPolicy):
                 llc[hottest] = True
             touch *= 0.5
 
-            # Hot threshold sized to fast-tier capacity.
-            capacity = max(1, m.tiers.fast.nr_pages - m.tiers.fast.wmark_high)
-            if len(c) > capacity:
-                kth = np.partition(c, len(c) - capacity)[len(c) - capacity]
-            else:
-                kth = 0.0
-            threshold = max(self.min_hot_samples, kth)
+            # One round per tier boundary k <-> k+1, top down: promote
+            # hot pages from tier k+1 into tier k after demoting tier k's
+            # coldest to make room. k=0 is the stock two-tier round.
+            for k in range(nr_boundaries):
+                gpfn = pt.gpfn[vpns]
+                tier = m.tiers.tier_of_gpfn[gpfn]
+                c = counts[vpns]
+                upper = m.tiers.nodes[k]
 
-            hot_slow = (tier == SLOW_TIER) & (c >= threshold + self.promotion_margin)
-            order = np.argsort(c[hot_slow])[::-1]
-            promote_vpns = vpns[hot_slow][order][: self.promote_budget]
+                # Hot threshold sized to the upper tier's capacity.
+                capacity = max(1, upper.nr_pages - upper.wmark_high)
+                if len(c) > capacity:
+                    kth = np.partition(c, len(c) - capacity)[len(c) - capacity]
+                else:
+                    kth = 0.0
+                threshold = max(self.min_hot_samples, kth)
 
-            # Make room first by demoting the coldest fast pages.
-            needed = len(promote_vpns) + m.tiers.fast.wmark_low
-            if m.tiers.fast.nr_free < needed:
-                cold_fast = (tier == FAST_TIER) & (c < threshold)
-                cold_order = np.argsort(c[cold_fast])
-                demote_vpns = vpns[cold_fast][cold_order][: self.demote_budget]
-                for vpn in demote_vpns:
-                    cost += self._migrate_vpn(space, int(vpn), SLOW_TIER)
-                    if m.tiers.fast.nr_free >= needed:
+                hot_slow = (tier == k + 1) & (
+                    c >= threshold + self.promotion_margin
+                )
+                order = np.argsort(c[hot_slow])[::-1]
+                promote_vpns = vpns[hot_slow][order][: self.promote_budget]
+
+                # Make room first by demoting the coldest upper pages.
+                needed = len(promote_vpns) + upper.wmark_low
+                if upper.nr_free < needed:
+                    cold_fast = (tier == k) & (c < threshold)
+                    cold_order = np.argsort(c[cold_fast])
+                    demote_vpns = vpns[cold_fast][cold_order][: self.demote_budget]
+                    for vpn in demote_vpns:
+                        cost += self._migrate_vpn(space, int(vpn), k + 1)
+                        if upper.nr_free >= needed:
+                            break
+
+                for vpn in promote_vpns:
+                    if upper.nr_free <= upper.wmark_min:
                         break
-
-            for vpn in promote_vpns:
-                if m.tiers.fast.nr_free <= m.tiers.fast.wmark_min:
-                    break
-                cost += self._migrate_vpn(space, int(vpn), FAST_TIER)
+                    cost += self._migrate_vpn(space, int(vpn), k)
         return cost
 
     def _migrate_vpn(self, space, vpn: int, dst_tier: int) -> float:
@@ -241,9 +249,14 @@ class MemtisPolicy(TieringPolicy):
         frame = compound_head(m.tiers.frame(gpfn))
         if frame.node_id == dst_tier or frame.locked:
             return 0.0
+        src_tier = frame.node_id
         result = sync_migrate_page(m, frame, dst_tier, self.cpu, "memtis_migrate")
         if result.success:
-            name = "memtis.promotions" if dst_tier == FAST_TIER else "memtis.demotions"
+            name = (
+                "memtis.promotions"
+                if dst_tier < src_tier
+                else "memtis.demotions"
+            )
             m.stats.bump(name)
         return result.cycles
 
@@ -251,7 +264,8 @@ class MemtisPolicy(TieringPolicy):
     def demote_page(self, frame: Frame, cpu) -> Tuple[bool, float]:
         """kswapd pressure valve (Memtis's kernel keeps migration-based
         demotion for emergencies)."""
-        if frame.node_id != FAST_TIER:
+        dst_tier = self.machine.tiers.demotion_target(frame.node_id)
+        if dst_tier is None:
             return False, 0.0
-        result = sync_migrate_page(self.machine, frame, SLOW_TIER, cpu, "demotion")
+        result = sync_migrate_page(self.machine, frame, dst_tier, cpu, "demotion")
         return result.success, result.cycles

@@ -22,7 +22,6 @@ from typing import Tuple
 
 from ..kernel.migrate import MAX_RETRIES, sync_migrate_page
 from ..mem.frame import Frame, compound_head
-from ..mem.tiers import FAST_TIER, SLOW_TIER
 from ..mmu.faults import Fault
 from ..mmu.pte import PTE_PROT_NONE
 from .base import TieringPolicy
@@ -75,7 +74,8 @@ class TppPolicy(TieringPolicy):
 
         _flags, gpfn = pt.entry(fault.vpn)
         frame = compound_head(m.tiers.frame(gpfn))
-        if frame.node_id != SLOW_TIER:
+        dst_tier = m.tiers.promotion_target(frame.node_id)
+        if dst_tier is None:
             return cycles
 
         # LRU temperature protocol: referenced -> pagevec -> active.
@@ -91,9 +91,10 @@ class TppPolicy(TieringPolicy):
         )
 
         if self.promotion_enabled and (frame.active or low_latency):
-            # Synchronous promotion, on the application's critical path.
+            # Synchronous promotion, on the application's critical path;
+            # one tier boundary at a time on deeper chains.
             result = sync_migrate_page(
-                m, frame, FAST_TIER, cpu, category="promotion"
+                m, frame, dst_tier, cpu, category="promotion"
             )
             cycles += result.cycles
             if result.success:
@@ -116,10 +117,11 @@ class TppPolicy(TieringPolicy):
 
     # ------------------------------------------------------------------
     def demote_page(self, frame: Frame, cpu) -> Tuple[bool, float]:
-        if frame.node_id != FAST_TIER:
+        dst_tier = self.machine.tiers.demotion_target(frame.node_id)
+        if dst_tier is None:
             return False, 0.0
         result = sync_migrate_page(
-            self.machine, frame, SLOW_TIER, cpu, category="demotion"
+            self.machine, frame, dst_tier, cpu, category="demotion"
         )
         if result.success:
             self.machine.stats.bump("tpp.demotions")

@@ -22,22 +22,25 @@ CACHELINE = 64  # bytes per application access
 class CostModel:
     """All simulator costs, in cycles unless noted.
 
-    Tier 0 is the performance tier (local DRAM), tier 1 the capacity tier
-    (CXL memory or PM).
+    Tier 0 is the performance tier (local DRAM); higher indices are
+    successively slower capacity tiers (CXL memory, PM, SSD-class). The
+    per-tier vectors have one entry per tier of the machine's
+    :class:`~repro.mem.topology.TierTopology` (two on the paper's
+    testbeds).
     """
 
     freq_ghz: float
     # Load-to-use latency per tier (Table 1 "read latency", cycles).
-    read_latency: Tuple[float, float]
+    read_latency: Tuple[float, ...]
     # Store latency per tier. Table 1 does not report store latency; we
     # model a store as a cacheline RFO at read latency, which preserves
     # the fast:slow ratio that drives every result shape.
-    write_latency: Tuple[float, float]
+    write_latency: Tuple[float, ...]
     # Single-thread copy bandwidth in bytes/cycle, per (src_tier, dst_tier)
     # derived from Table 1 single-thread read/write bandwidth: a page copy
     # streams reads from src and writes to dst, so the effective rate is
     # the harmonic combination of the two.
-    copy_bytes_per_cycle: Tuple[Tuple[float, float], Tuple[float, float]]
+    copy_bytes_per_cycle: Tuple[Tuple[float, ...], ...]
 
     # Kernel path constants.
     fault_trap: float = 1200.0  # user->kernel->user for a minor fault
@@ -108,22 +111,28 @@ def _bytes_per_cycle(gbps: float, freq_ghz: float) -> float:
 
 def build_copy_matrix(
     freq_ghz: float,
-    read_gbps: Tuple[float, float],
-    write_gbps: Tuple[float, float],
-) -> Tuple[Tuple[float, float], Tuple[float, float]]:
-    """Derive the copy-rate matrix from per-tier stream bandwidths.
+    read_gbps: Tuple[float, ...],
+    write_gbps: Tuple[float, ...],
+) -> Tuple[Tuple[float, ...], ...]:
+    """Derive the N x N copy-rate matrix from per-tier stream bandwidths.
 
     Copying src->dst reads at ``read_gbps[src]`` and writes at
     ``write_gbps[dst]``; the combined rate is harmonic (the two phases
-    serialize per cacheline on a single thread).
+    serialize per cacheline on a single thread). One row/column per tier
+    of the chain.
     """
+    if len(read_gbps) != len(write_gbps):
+        raise ValueError(
+            f"read/write bandwidth vectors disagree: "
+            f"{len(read_gbps)} vs {len(write_gbps)} tiers"
+        )
 
     def combine(src: int, dst: int) -> float:
         r = _bytes_per_cycle(read_gbps[src], freq_ghz)
         w = _bytes_per_cycle(write_gbps[dst], freq_ghz)
         return 1.0 / (1.0 / r + 1.0 / w)
 
-    return (
-        (combine(0, 0), combine(0, 1)),
-        (combine(1, 0), combine(1, 1)),
+    nr = len(read_gbps)
+    return tuple(
+        tuple(combine(src, dst) for dst in range(nr)) for src in range(nr)
     )

@@ -13,8 +13,9 @@ Capacity figures use the simulation scale documented in DESIGN.md:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
+from ..mem.topology import TierSpec, TierTopology
 from .costs import CostModel, build_copy_matrix
 
 __all__ = [
@@ -28,6 +29,9 @@ __all__ = [
     "PAGES_PER_GB",
     "SIM_THP_ORDER",
     "gb_to_pages",
+    "three_tier",
+    "TOPOLOGY_PRESETS",
+    "apply_topology",
 ]
 
 # Simulation scale: one "paper GB" is one simulated MiB.
@@ -63,19 +67,52 @@ class Platform:
     # micro-benchmarks; real-application tests lifted the slow-tier cap).
     fast_gb: float = 16.0
     slow_gb: float = 16.0
+    # Explicit N-tier chain. None (the default everywhere) means the
+    # classic two-tier machine built from the Table-1 fields above;
+    # presets like :func:`three_tier` attach a longer chain.
+    topology: Optional[TierTopology] = None
+
+    def tier_topology(self) -> TierTopology:
+        """The machine's tier chain; defaults to the 2-tier Table-1 pair."""
+        if self.topology is not None:
+            return self.topology
+        return TierTopology(
+            (
+                TierSpec(
+                    "fast",
+                    self.fast_gb,
+                    self.read_latency_cycles[0],
+                    self.read_gbps[0],
+                    self.write_gbps[0],
+                ),
+                TierSpec(
+                    "slow",
+                    self.slow_gb,
+                    self.read_latency_cycles[1],
+                    self.read_gbps[1],
+                    self.write_gbps[1],
+                ),
+            )
+        )
 
     def cost_model(self) -> CostModel:
+        topo = self.tier_topology()
         return CostModel(
             freq_ghz=self.freq_ghz,
-            read_latency=self.read_latency_cycles,
-            write_latency=self.read_latency_cycles,
+            read_latency=topo.read_latencies,
+            write_latency=topo.read_latencies,
             copy_bytes_per_cycle=build_copy_matrix(
-                self.freq_ghz, self.read_gbps, self.write_gbps
+                self.freq_ghz, topo.read_bandwidths, topo.write_bandwidths
             ),
         )
 
     def with_capacity(self, fast_gb: float, slow_gb: float) -> "Platform":
         """A copy of this platform with different tier sizes."""
+        if self.topology is not None:
+            raise ValueError(
+                "with_capacity resizes the default 2-tier pair; a platform "
+                "with an explicit topology must rebuild its TierTopology"
+            )
         return Platform(
             name=self.name,
             description=self.description,
@@ -165,3 +202,67 @@ def get_platform(name: str) -> Platform:
         raise KeyError(
             f"unknown platform {name!r}; choose from {sorted(PLATFORMS)}"
         ) from None
+
+
+def three_tier(base: Platform, ssd_gb: float = 64.0) -> Platform:
+    """A DRAM/CXL/SSD-class chain grown from a 2-tier platform.
+
+    The top two tiers keep ``base``'s measured figures; the appended
+    SSD-class capacity tier models a fast block device mapped as memory:
+    ~5x the CXL/PM load-to-use latency and low-single-GB/s stream
+    bandwidth, with a default capacity of 64 paper-GB (plenty of room
+    under the top tiers, like a swap-class device).
+    """
+    slow_latency = base.read_latency_cycles[1]
+    topo = TierTopology(
+        (
+            TierSpec(
+                "dram",
+                base.fast_gb,
+                base.read_latency_cycles[0],
+                base.read_gbps[0],
+                base.write_gbps[0],
+            ),
+            TierSpec(
+                "cxl",
+                base.slow_gb,
+                slow_latency,
+                base.read_gbps[1],
+                base.write_gbps[1],
+            ),
+            TierSpec("ssd", ssd_gb, slow_latency * 5.0, 1.5, 1.0),
+        )
+    )
+    return Platform(
+        name=base.name,
+        description=base.description + " + SSD-class tier",
+        freq_ghz=base.freq_ghz,
+        cpu_count=base.cpu_count,
+        read_latency_cycles=base.read_latency_cycles,
+        read_gbps=base.read_gbps,
+        write_gbps=base.write_gbps,
+        fast_gb=base.fast_gb,
+        slow_gb=base.slow_gb,
+        topology=topo,
+    )
+
+
+# Named topology transforms the bench/CLI layers can apply to any base
+# platform. "" is the identity (the default 2-tier machine) so sweep
+# grids can carry the axis without special-casing.
+TOPOLOGY_PRESETS = {
+    "": lambda p: p,
+    "3tier": three_tier,
+}
+
+
+def apply_topology(platform: Platform, preset: str) -> Platform:
+    """Apply a named topology preset to ``platform``."""
+    try:
+        transform = TOPOLOGY_PRESETS[preset]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology preset {preset!r}; "
+            f"choose from {sorted(TOPOLOGY_PRESETS)}"
+        ) from None
+    return transform(platform)

@@ -34,7 +34,7 @@ from .kernel.reclaim import Kswapd
 import numpy as np
 
 from .mem.frame import Frame, FrameFlags
-from .mem.tiers import FAST_TIER, SLOW_TIER, TieredMemory
+from .mem.tiers import FAST_TIER, TieredMemory
 from .mmu.access import AccessEngine
 from .mmu.address_space import AddressSpace
 from .mmu.faults import Fault, FaultType, UnhandledFault
@@ -159,7 +159,7 @@ class MachineConfig:
 
 
 class Machine:
-    """A two-tier machine instance."""
+    """A tiered-memory machine instance (two tiers by default)."""
 
     def __init__(
         self,
@@ -181,11 +181,16 @@ class Machine:
         # ``machine.obs.enable()`` (see repro.obs).
         self.obs = ObsManager(self)
         self.cpus = CpuSet(self.engine, self.stats)
+        topology = platform.tier_topology()
+        if len(self.costs.read_latency) != topology.nr_tiers:
+            raise ValueError(
+                f"cost model covers {len(self.costs.read_latency)} tiers "
+                f"but the topology has {topology.nr_tiers}"
+            )
         self.tiers = TieredMemory(
-            platform.fast_pages,
-            platform.slow_pages,
             watermark_scale=self.config.watermark_scale,
             bus=self.bus,
+            topology=topology,
         )
         # Debug faucet: like obs, always constructed; inert (and
         # bit-neutral) unless config.debug_enabled. Built right after
@@ -203,7 +208,11 @@ class Machine:
         # reaching into scheduler locals.
         self.fastpath_executors: List = []
         self.policy = None
-        self.kswapd = [Kswapd(self, FAST_TIER), Kswapd(self, SLOW_TIER)]
+        # One reclaim daemon per tier: pressure at tier k demotes to
+        # k + 1, so a chain cascades top to bottom.
+        self.kswapd = [
+            Kswapd(self, tier) for tier in range(len(self.tiers.nodes))
+        ]
         for daemon in self.kswapd:
             daemon.start()
         self.scanner: Optional[NumaHintScanner] = None
@@ -343,10 +352,11 @@ class Machine:
         kernel's THP allocation-failure fallback).
         """
         order = self.config.thp_order
-        other = SLOW_TIER if preferred == FAST_TIER else FAST_TIER
-        head = self.tiers.alloc_folio_on(preferred, order)
-        if head is None:
-            head = self.tiers.alloc_folio_on(other, order)
+        head = None
+        for tier in self.tiers.alloc_order(preferred):
+            head = self.tiers.alloc_folio_on(tier, order)
+            if head is not None:
+                break
         if head is None:
             self.stats.bump("thp.fallback_base")
             return None
@@ -461,11 +471,12 @@ class Machine:
                 continue
             head_vpn = self.thp_head_vpn(space, vpn)
             if head_vpn is not None:
-                head = self.tiers.alloc_folio_on(tier, order)
-                if head is None:
-                    other = SLOW_TIER if tier == FAST_TIER else FAST_TIER
-                    head = self.tiers.alloc_folio_on(other, order)
-                elif head.node_id == tier:
+                head = None
+                for t in self.tiers.alloc_order(tier):
+                    head = self.tiers.alloc_folio_on(t, order)
+                    if head is not None:
+                        break
+                if head is not None and head.node_id == tier:
                     on_tier += self.folio_pages
                 if head is not None:
                     space.page_table.map_folio(
@@ -506,25 +517,26 @@ class Machine:
         if len(todo) == 0:
             return 0
         tiers = self.tiers
-        other = SLOW_TIER if tier == FAST_TIER else FAST_TIER
-        frames = tiers.nodes[tier].alloc_bulk(len(todo))
-        on_tier = len(frames)
-        if frames and tiers.nodes[tier].below_low():
-            self.bus.publish(LowWatermark(tier))
-        if len(frames) < len(todo):
-            spill = tiers.nodes[other].alloc_bulk(len(todo) - len(frames))
-            if spill:
-                frames += spill
-                if tiers.nodes[other].below_low():
-                    self.bus.publish(LowWatermark(other))
+        frames: List[Frame] = []
+        on_tier = 0
+        for t in tiers.alloc_order(tier):
+            if len(frames) >= len(todo):
+                break
+            got = tiers.nodes[t].alloc_bulk(len(todo) - len(frames))
+            if got:
+                if t == tier:
+                    on_tier = len(got)
+                frames += got
+                if tiers.nodes[t].below_low():
+                    self.bus.publish(LowWatermark(t))
         mapped = len(frames)
         if mapped:
             base = tiers._base
             gpfns = np.fromiter(
-                (f.pfn for f in frames), dtype=np.int64, count=mapped
+                (base[f.node_id] + f.pfn for f in frames),
+                dtype=np.int64,
+                count=mapped,
             )
-            gpfns[:on_tier] += base[tier]
-            gpfns[on_tier:] += base[other]
             pt.map_many(todo[:mapped], gpfns, flags)
             for frame, vpn in zip(frames, todo[:mapped].tolist()):
                 frame.add_rmap(space, vpn)
@@ -541,20 +553,22 @@ class Machine:
         return on_tier
 
     def demote_all(self, space: AddressSpace) -> int:
-        """Move every fast-tier page of ``space`` to the slow tier.
+        """Move every page of ``space`` above the bottom tier down to it.
 
         Models the paper's "customized tool to demote all memory pages to
-        the slow tier before starting the experiment" (Section 4.2).
-        Setup-time only: no cycles are charged. Returns pages moved.
+        the slow tier before starting the experiment" (Section 4.2); on a
+        longer chain everything lands on the slowest tier. Setup-time
+        only: no cycles are charged. Returns pages moved.
         """
         moved = 0
+        bottom = self.tiers.bottom_tier
         pt = space.page_table
         for vpn in pt.mapped_vpns():
             vpn = int(vpn)
             if not pt.is_present(vpn):
                 continue  # folio handled via its head below
             gpfn = int(pt.gpfn[vpn])
-            if self.tiers.tier_of(gpfn) != FAST_TIER:
+            if self.tiers.tier_of(gpfn) == bottom:
                 continue
             frame = self.tiers.frame(gpfn)
             if frame.is_tail:
@@ -563,7 +577,7 @@ class Machine:
                 continue
             if frame.is_huge:
                 fp = frame.nr_pages
-                new = self.tiers.alloc_folio_on(SLOW_TIER, frame.order)
+                new = self.tiers.alloc_folio_on(bottom, frame.order)
                 if new is None:
                     continue  # fragmented: leave the folio in place
                 flags, _ = pt.unmap_folio(vpn, fp)
@@ -579,7 +593,7 @@ class Machine:
                 self.tiers.free_folio(frame)
                 moved += fp
                 continue
-            new = self.tiers.alloc_on(SLOW_TIER)
+            new = self.tiers.alloc_on(bottom)
             if new is None:
                 break
             flags, _ = pt.unmap(vpn)

@@ -25,6 +25,7 @@ EXPECTED_CHECKS = {
     "folio.integrity",
     "lru.membership",
     "mem.accounting",
+    "tier.accounting",
     "queue.consistency",
 }
 
@@ -240,6 +241,23 @@ def test_mem_accounting_catches_dirty_free_frame():
     node.frames[pfn].set_flag(FrameFlags.REFERENCED)
     found = details(machine, "mem.accounting")
     assert any("not cleared" in d for d in found)
+
+
+# ----------------------------------------------------------------------
+# tier.accounting
+# ----------------------------------------------------------------------
+def test_tier_accounting_catches_base_drift():
+    machine = make_machine()
+    machine.tiers._base[1] += 1  # slow node's gpfn base slides off
+    found = details(machine, "tier.accounting")
+    assert any("cumulative" in d for d in found)
+
+
+def test_tier_accounting_catches_foreign_tier_map_entry():
+    machine = make_machine()
+    machine.tiers.tier_of_gpfn[0] = 1  # a fast gpfn claims the slow tier
+    found = details(machine, "tier.accounting")
+    assert any("foreign entries" in d for d in found)
 
 
 # ----------------------------------------------------------------------

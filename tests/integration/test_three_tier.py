@@ -1,0 +1,114 @@
+"""End-to-end behaviour of a DRAM/CXL/SSD-class three-tier chain.
+
+The cascade property the N-tier generalization exists for: pressure on
+tier 0 demotes pages into tier 1, which pushes tier 1 below its own low
+watermark, whose kswapd then demotes into tier 2 -- all visible in the
+per-tier ``migrate.demote_to_tier<N>`` counters that only deep chains
+maintain.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import Machine, MachineConfig
+from repro.bench.runner import run_experiment
+from repro.obs.export import counter_digest
+from repro.policies import make_policy
+from repro.sim.platform import three_tier
+from repro.workloads import ZipfianMicrobench
+
+from ..conftest import tiny_platform
+
+BASELINE = Path(__file__).resolve().parents[2] / "benchmarks/baselines/quick.json"
+THREE_TIER_JOB_ID = "cell/A/nomad/small/w1/a20000/s42/3tier"
+
+
+def make_machine3(fast_gb=0.5, slow_gb=0.5, ssd_gb=1.0):
+    return Machine(
+        three_tier(tiny_platform(fast_gb=fast_gb, slow_gb=slow_gb), ssd_gb),
+        MachineConfig(chunk_size=64),
+    )
+
+
+def fill_tier(machine, space, tier, leave_free=0):
+    """Map cold pages on ``tier`` until only ``leave_free`` frames remain."""
+    count = machine.tiers.nodes[tier].nr_free - leave_free
+    vma = space.mmap(count)
+    machine.populate(space, vma.vpns(), tier)
+    return vma
+
+
+def test_tier0_pressure_cascades_to_the_bottom_tier():
+    m = make_machine3()
+    m.set_policy(make_policy("tpp", m))
+    space = m.create_space()
+    # Tier 1 sits just above its low watermark: its kswapd is asleep
+    # until tier-0 demotions land on it.
+    tier1 = m.tiers.nodes[1]
+    fill_tier(m, space, 1, leave_free=tier1.wmark_low)
+    fill_tier(m, space, 0)
+    assert m.tiers.nodes[2].nr_used == 0
+    m.kswapd[0].wake()
+    m.engine.run(until=100_000_000)
+    # The ripple: tier-0 demotions landed on tier 1, and tier 1's own
+    # kswapd pushed pages onward to the SSD-class tier.
+    assert m.stats.get("migrate.demote_to_tier1") > 0
+    assert m.stats.get("migrate.demote_to_tier2") > 0
+    assert m.tiers.nodes[2].nr_used > 0
+    assert m.tiers.nodes[0].nr_free >= m.tiers.nodes[0].wmark_high
+    # Totals stay consistent with the per-tier split.
+    assert m.stats.get("migrate.demotions") == (
+        m.stats.get("migrate.demote_to_tier1")
+        + m.stats.get("migrate.demote_to_tier2")
+    )
+
+
+def test_bottom_tier_has_nowhere_to_demote():
+    m = make_machine3(ssd_gb=0.25)
+    m.set_policy(make_policy("tpp", m))
+    space = m.create_space()
+    fill_tier(m, space, 2)
+    m.kswapd[2].wake()
+    m.engine.run(until=20_000_000)
+    assert m.stats.get("migrate.demotions") == 0
+    assert m.tiers.nodes[2].nr_free == 0
+
+
+def test_two_tier_machines_carry_no_per_tier_counters():
+    """Legacy machines must not grow new counter keys (digest identity)."""
+    m = Machine(tiny_platform(), MachineConfig(chunk_size=64))
+    m.set_policy(make_policy("tpp", m))
+    space = m.create_space()
+    fill_tier(m, space, 0)
+    m.kswapd[0].wake()
+    m.engine.run(until=50_000_000)
+    assert m.stats.get("migrate.demotions") > 0
+    assert "migrate.demote_to_tier1" not in m.stats.counters
+
+
+@pytest.fixture(scope="module")
+def three_tier_baseline_job():
+    report = json.loads(BASELINE.read_text())
+    jobs = {job["id"]: job for job in report["jobs"]}
+    assert THREE_TIER_JOB_ID in jobs, (
+        f"quick baseline lost its 3-tier anchor job {THREE_TIER_JOB_ID}"
+    )
+    return jobs[THREE_TIER_JOB_ID]
+
+
+def test_three_tier_cell_matches_committed_baseline(three_tier_baseline_job):
+    """The pinned 3-tier quick cell is bit-identical run-to-run."""
+    result = run_experiment(
+        "A",
+        "nomad",
+        lambda: ZipfianMicrobench.scenario(
+            "small", write_ratio=1.0, total_accesses=20_000, seed=42
+        ),
+        instrument=True,
+        topology="3tier",
+    )
+    assert result.report.cycles == three_tier_baseline_job["sim_cycles"]
+    digest = counter_digest(result.report.counters)
+    assert digest == three_tier_baseline_job["counter_digest"]

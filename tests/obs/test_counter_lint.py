@@ -51,6 +51,40 @@ def iter_bump_fstring_prefixes():
                     yield path, node.lineno, str(parts[0].value)
 
 
+def iter_tier_key_bumps():
+    """Yield (path, lineno, kind) for ``bump(tier_migration_key(...))``.
+
+    Per-tier migration counters go through the precomputed-key helper
+    instead of literals; the helper's ``kind`` argument must still be a
+    known literal so the generated ``migrate.<kind>_to_tier<N>`` family
+    stays inside the registry.
+    """
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "bump"
+                and node.args
+                and isinstance(node.args[0], ast.Call)
+            ):
+                continue
+            inner = node.args[0]
+            func = inner.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else getattr(func, "attr", "")
+            )
+            if name != "tier_migration_key":
+                continue
+            kind = None
+            if inner.args and isinstance(inner.args[0], ast.Constant):
+                kind = inner.args[0].value
+            yield path, node.lineno, kind
+
+
 def test_every_literal_bump_name_is_registered():
     unregistered = [
         f"{path.relative_to(SRC.parent.parent)}:{lineno}: {name!r}"
@@ -71,6 +105,25 @@ def test_fstring_bump_prefixes_match_registered_counters():
         if not any(name.startswith(prefix) for name in COUNTERS)
     ]
     assert not bad, "dynamic bump names with unregistered prefixes:\n  " + "\n  ".join(bad)
+
+
+def test_tier_migration_key_bumps_use_known_literal_kinds():
+    sites = list(iter_tier_key_bumps())
+    # The chain-aware migration paths (kernel sync, TPM, remap demotion)
+    # all route per-tier flux through the helper.
+    assert len(sites) >= 4, "tier_migration_key bump sites disappeared"
+    bad = [
+        f"{path.relative_to(SRC.parent.parent)}:{lineno}: kind={kind!r}"
+        for path, lineno, kind in sites
+        if kind not in ("promote", "demote")
+        or not any(
+            name.startswith(f"migrate.{kind}_to_tier") for name in COUNTERS
+        )
+    ]
+    assert not bad, (
+        "tier_migration_key called with a non-literal or unregistered "
+        "kind:\n  " + "\n  ".join(bad)
+    )
 
 
 def test_scan_is_not_vacuous():

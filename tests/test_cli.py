@@ -17,7 +17,7 @@ def test_experiments_cover_all_figures_and_tables():
         "tab1", "fig1", "fig2", "fig7", "fig8", "fig9", "fig10", "fig11",
         "fig12", "fig13", "fig14", "fig15", "fig16", "tab2", "tab3", "tab4",
         "abl-variants", "abl-reclaim", "timeline", "abort_timeline",
-        "thp_vs_base", "multi_tenant_fairness",
+        "thp_vs_base", "multi_tenant_fairness", "tier_leaderboard",
     }
     assert expected == set(EXPERIMENTS)
 
